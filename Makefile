@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all test race bench experiments experiments-quick stress fmt vet cover
+
+all: vet test
+
+test:
+	go test ./...
+
+race:
+	go test -race -count=1 ./internal/native/ .
+
+bench:
+	go test -bench=. -benchmem .
+
+experiments:
+	go run ./cmd/experiments
+
+experiments-quick:
+	go run ./cmd/experiments -quick
+
+stress:
+	go run ./cmd/stress -duration 1m
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...
+
+cover:
+	go test -coverprofile=cover.out ./internal/... .
+	go tool cover -func=cover.out | tail -1

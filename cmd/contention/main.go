@@ -1,0 +1,74 @@
+// Command contention sweeps the processor count and reports the
+// maximum per-variable memory contention of the deterministic
+// (Section 2) and randomized (Section 3) sorts — the paper's headline
+// comparison, as a standalone tool with optional CSV output.
+//
+// Usage:
+//
+//	contention [-min 64] [-max 4096] [-seed 1] [-csv]
+//
+// P doubles from -min to -max with N = P (the contention-critical
+// regime; with N >> P initial contention matters less, §3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"wfsort"
+	"wfsort/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "contention:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("contention", flag.ContinueOnError)
+	minP := fs.Int("min", 64, "smallest processor count")
+	maxP := fs.Int("max", 4096, "largest processor count")
+	seed := fs.Uint64("seed", 1, "seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *minP < 4 || *maxP < *minP {
+		return fmt.Errorf("need 4 <= min <= max, got %d..%d", *minP, *maxP)
+	}
+
+	if *csv {
+		fmt.Fprintln(w, "p,deterministic,lowcontention,sqrtp")
+	} else {
+		fmt.Fprintf(w, "%8s  %14s  %14s  %8s\n", "P=N", "deterministic", "lowcontention", "sqrt(P)")
+	}
+	for p := *minP; p <= *maxP; p *= 2 {
+		rng := xrand.New(*seed + uint64(p))
+		keys := make([]int, p)
+		for i := range keys {
+			keys[i] = rng.Intn(4 * p)
+		}
+		det, err := wfsort.Simulate(keys,
+			wfsort.WithWorkers(p), wfsort.WithVariant(wfsort.Deterministic), wfsort.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		lc, err := wfsort.Simulate(keys,
+			wfsort.WithWorkers(p), wfsort.WithVariant(wfsort.LowContention), wfsort.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		sq := math.Sqrt(float64(p))
+		if *csv {
+			fmt.Fprintf(w, "%d,%d,%d,%.1f\n", p, det.Metrics.MaxContention, lc.Metrics.MaxContention, sq)
+		} else {
+			fmt.Fprintf(w, "%8d  %14d  %14d  %8.1f\n", p, det.Metrics.MaxContention, lc.Metrics.MaxContention, sq)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestContentionTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-min", "64", "-max", "128", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"P=N", "64", "128"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestContentionCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-min", "64", "-max", "64", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || lines[0] != "p,deterministic,lowcontention,sqrtp" {
+		t.Errorf("csv output:\n%s", buf.String())
+	}
+}
+
+func TestContentionRejectsBadRange(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-min", "2", "-max", "1"}); err == nil {
+		t.Fatal("bad range accepted")
+	}
+}

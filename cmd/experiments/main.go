@@ -1,0 +1,66 @@
+// Command experiments regenerates every table in EXPERIMENTS.md: one
+// experiment per claim of the paper (Lemmas 2.1–2.8, 3.1–3.3 and the
+// §3 contention headline).
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-markdown] [-id E6[,E7,...]]
+//
+// Without -id every experiment runs in publication order. -quick trims
+// the sweeps (the CI configuration); full runs are the published
+// numbers. -markdown emits GitHub tables for pasting into
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wfsort/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "trimmed sweeps (CI sizes)")
+	seed := flag.Uint64("seed", 1, "seed for all randomized choices")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	ids := flag.String("id", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	if err := run(*quick, *seed, *markdown, *ids); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, seed uint64, markdown bool, ids string) error {
+	opts := harness.Options{Quick: quick, Seed: seed}
+	var selected []harness.Experiment
+	if ids == "" {
+		selected = harness.All()
+	} else {
+		for _, id := range strings.Split(ids, ",") {
+			e, err := harness.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if markdown {
+			table.Markdown(os.Stdout)
+		} else {
+			table.Render(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Command stress runs a randomized correctness campaign: random input
+// sizes, worker counts, input orders, algorithm variants, schedules and
+// crash patterns, each run verified against the true ranking. It is the
+// long-running confidence builder behind the test suite's fixed cases.
+//
+// Usage:
+//
+//	stress [-duration 30s] [-seed 1] [-maxn 512] [-v]
+//
+// The campaign prints one line per failure (inputs and configuration,
+// enough to reproduce) and a summary at the end; the exit status is
+// non-zero if any run failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"wfsort/internal/core"
+	"wfsort/internal/harness"
+	"wfsort/internal/lowcont"
+	"wfsort/internal/model"
+	"wfsort/internal/pram"
+	"wfsort/internal/xrand"
+)
+
+func main() {
+	duration := flag.Duration("duration", 30*time.Second, "how long to run")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	maxN := flag.Int("maxn", 512, "largest input size")
+	verbose := flag.Bool("v", false, "print every run")
+	flag.Parse()
+
+	failures := run(os.Stdout, *duration, *seed, *maxN, *verbose)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+type campaign struct {
+	rng     *xrand.Rand
+	maxN    int
+	runs    int
+	byLabel map[string]int
+}
+
+func run(w io.Writer, duration time.Duration, seed uint64, maxN int, verbose bool) int {
+	c := &campaign{rng: xrand.New(seed), maxN: maxN, byLabel: map[string]int{}}
+	deadline := time.Now().Add(duration)
+	failures := 0
+	for time.Now().Before(deadline) {
+		label, err := c.one()
+		c.runs++
+		c.byLabel[label]++
+		if err != nil {
+			failures++
+			fmt.Fprintf(w, "FAIL %s: %v\n", label, err)
+		} else if verbose {
+			fmt.Fprintf(w, "ok   %s\n", label)
+		}
+	}
+	fmt.Fprintf(w, "stress: %d runs, %d failures\n", c.runs, failures)
+	for label, n := range c.byLabel {
+		fmt.Fprintf(w, "  %6d  %s\n", n, label)
+	}
+	return failures
+}
+
+// one executes a single random configuration and verifies it.
+func (c *campaign) one() (string, error) {
+	n := 1 + c.rng.Intn(c.maxN)
+	p := 1 + c.rng.Intn(n)
+	input := harness.InputKind(c.rng.Intn(4))
+	seed := c.rng.Uint64()
+	keys := harness.MakeKeys(input, n, seed)
+
+	variants := []string{"det", "rand", "lowcont"}
+	variant := variants[c.rng.Intn(len(variants))]
+	if variant == "lowcont" && (p < 4 || n < p) {
+		variant = "rand"
+	}
+
+	sched, schedName := c.randomSchedule(p, seed)
+	label := fmt.Sprintf("variant=%s n=%d p=%d input=%s sched=%s seed=%d",
+		variant, n, p, input, schedName, seed)
+
+	var a model.Arena
+	var prog model.Program
+	var seedFn func([]model.Word)
+	var places func([]model.Word) []int
+	switch variant {
+	case "det":
+		s := core.NewSorter(&a, n, core.AllocWAT)
+		prog, seedFn, places = s.Program(), s.Seed, s.Places
+	case "rand":
+		s := core.NewSorter(&a, n, core.AllocRandomized)
+		prog, seedFn, places = s.Program(), s.Seed, s.Places
+	default:
+		s := lowcont.New(&a, n, p)
+		prog, seedFn, places = s.Program(), s.Seed, s.Places
+	}
+	m := pram.New(pram.Config{
+		P: p, Mem: a.Size(), Seed: seed, Sched: sched,
+		Less: harness.LessFor(keys),
+	})
+	seedFn(m.Memory())
+	if _, err := m.Run(prog); err != nil {
+		return label, err
+	}
+	want := harness.WantRanks(keys)
+	got := places(m.Memory())
+	for i := range want {
+		if got[i] != want[i] {
+			return label, fmt.Errorf("element %d placed %d, want %d", i+1, got[i], want[i])
+		}
+	}
+	return label, nil
+}
+
+// randomSchedule picks one of the hostile schedules (or none).
+func (c *campaign) randomSchedule(p int, seed uint64) (pram.Scheduler, string) {
+	switch c.rng.Intn(5) {
+	case 0:
+		return nil, "synchronous"
+	case 1:
+		return pram.RandomSubset(0.1 + 0.8*c.rng.Float64()), "randomsubset"
+	case 2:
+		return pram.RoundRobin(1 + c.rng.Intn(3)), "roundrobin"
+	case 3:
+		crashes := pram.RandomCrashes(p, 0.3+0.5*c.rng.Float64(), 500, seed)
+		kept := crashes[:0]
+		for _, cr := range crashes {
+			if cr.PID != 0 {
+				kept = append(kept, cr)
+			}
+		}
+		return pram.WithCrashes(pram.Synchronous(), kept), "crashes"
+	default:
+		return pram.NewContentionAdversary(), "adversary"
+	}
+}

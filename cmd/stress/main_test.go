@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStressCampaign(t *testing.T) {
+	var buf bytes.Buffer
+	failures := run(&buf, 2*time.Second, 7, 64, false)
+	if failures != 0 {
+		t.Fatalf("campaign failures:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "stress:") {
+		t.Errorf("summary missing:\n%s", buf.String())
+	}
+}
+
+func TestStressVerbose(t *testing.T) {
+	var buf bytes.Buffer
+	if failures := run(&buf, 500*time.Millisecond, 8, 32, true); failures != 0 {
+		t.Fatalf("failures:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ok ") {
+		t.Errorf("verbose lines missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,97 @@
+// Command trace runs one simulated sort and renders its
+// contention-over-time profile as an ASCII chart (or CSV) — the
+// clearest visualization of the paper's §3 headline: the deterministic
+// variant opens with a spike of height P while the randomized variant
+// stays flat around sqrt(P).
+//
+// Usage:
+//
+//	trace [-n 1024] [-p 0] [-variant det|rand|lowcont] [-seed 1]
+//	      [-metric contention|active] [-width 100] [-height 12] [-csv]
+//
+// -p 0 means P = N (the contention-critical regime).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wfsort/internal/core"
+	"wfsort/internal/harness"
+	"wfsort/internal/lowcont"
+	"wfsort/internal/model"
+	"wfsort/internal/pram"
+	"wfsort/internal/trace"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	n := fs.Int("n", 1024, "input size")
+	p := fs.Int("p", 0, "processors (0 = N)")
+	variant := fs.String("variant", "lowcont", "det, rand or lowcont")
+	seed := fs.Uint64("seed", 1, "seed")
+	metric := fs.String("metric", "contention", "contention or active")
+	width := fs.Int("width", 100, "chart width")
+	height := fs.Int("height", 12, "chart height")
+	csv := fs.Bool("csv", false, "emit CSV instead of a chart")
+	regions := fs.Bool("regions", false, "append a per-region contention profile")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *p <= 0 {
+		*p = *n
+	}
+	keys := harness.MakeKeys(harness.InputRandom, *n, *seed)
+
+	var a model.Arena
+	var prog model.Program
+	var seedFn func([]model.Word)
+	switch *variant {
+	case "det":
+		s := core.NewSorter(&a, *n, core.AllocWAT)
+		prog, seedFn = s.Program(), s.Seed
+	case "rand":
+		s := core.NewSorter(&a, *n, core.AllocRandomized)
+		prog, seedFn = s.Program(), s.Seed
+	case "lowcont":
+		s := lowcont.New(&a, *n, *p)
+		prog, seedFn = s.Program(), s.Seed
+	default:
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+
+	rec := trace.NewRecorder()
+	profile := trace.NewRegionProfile(a.Regions())
+	m := pram.New(pram.Config{
+		P: *p, Mem: a.Size(), Seed: *seed,
+		Less:     harness.LessFor(keys),
+		Observer: trace.Multi(rec.Observer(), profile.Observer()),
+	})
+	seedFn(m.Memory())
+	met, err := m.Run(prog)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		return rec.WriteCSV(w)
+	}
+	fmt.Fprintf(w, "%s sort, N=%d P=%d: steps=%d maxcontention=%d\n\n",
+		*variant, *n, *p, met.Steps, met.MaxContention)
+	if err := rec.Chart(w, *metric, *width, *height); err != nil {
+		return err
+	}
+	if *regions {
+		fmt.Fprintln(w)
+		return profile.WriteTable(w)
+	}
+	return nil
+}

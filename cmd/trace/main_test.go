@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-n", "64", "-variant", "det", "-width", "40", "-height", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"det sort", "steps=", "1:build", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRegions(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-n", "64", "-variant", "lowcont", "-width", "20", "-height", "3", "-regions"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "winner") {
+		t.Errorf("region table missing:\n%s", buf.String())
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-n", "32", "-variant", "rand", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "step,active,contention,phase") {
+		t.Errorf("csv header wrong:\n%.80s", buf.String())
+	}
+}
+
+func TestTraceUnknownVariant(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-variant", "zzz"}); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// PRAM lab: dissect the algorithm on the deterministic CRCW simulator.
+//
+// This example reproduces, in miniature, the measurements behind
+// EXPERIMENTS.md: exact step counts, per-phase operation counts and
+// per-variable memory contention for both algorithm variants, under a
+// faultless schedule, an adversarially serialized schedule, and a
+// schedule that crashes half the processors.
+//
+// Run with:
+//
+//	go run ./examples/pramlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wfsort"
+	"wfsort/internal/pram"
+	"wfsort/internal/xrand"
+)
+
+func main() {
+	const n = 512
+	rng := xrand.New(42)
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = rng.Intn(4 * n)
+	}
+
+	fmt.Println("== variants under the faultless synchronous schedule (P = N) ==")
+	for _, v := range []wfsort.Variant{wfsort.Deterministic, wfsort.Randomized, wfsort.LowContention} {
+		res, err := wfsort.Simulate(keys,
+			wfsort.WithWorkers(n), wfsort.WithVariant(v), wfsort.WithSeed(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s steps=%-6d ops=%-8d maxcontention=%-5d treedepth=%d\n",
+			v, res.Metrics.Steps, res.Metrics.Ops, res.Metrics.MaxContention, res.TreeDepth)
+	}
+
+	fmt.Println("\n== phase anatomy of the randomized variant ==")
+	res, err := wfsort.Simulate(keys,
+		wfsort.WithWorkers(n), wfsort.WithVariant(wfsort.Randomized), wfsort.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range res.Metrics.PhaseNames() {
+		pm := res.Metrics.ByPhase[name]
+		fmt.Printf("%-12s ops=%-8d steps=%-6d maxcontention=%d\n",
+			name, pm.Ops, pm.Steps, pm.MaxContention)
+	}
+
+	fmt.Println("\n== hostile schedules (wait-freedom in action) ==")
+	schedules := []struct {
+		name  string
+		sched pram.Scheduler
+	}{
+		{"serialized (one op per step)", pram.RoundRobin(1)},
+		{"random 30% subset", pram.RandomSubset(0.3)},
+		{"crash half at random times", pram.WithCrashes(pram.Synchronous(),
+			crashHalf(64, 200))},
+	}
+	small := keys[:128]
+	for _, s := range schedules {
+		res, err := wfsort.Simulate(small,
+			wfsort.WithWorkers(64), wfsort.WithSeed(2), wfsort.WithSchedule(s.sched))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-30s steps=%-8d killed=%-3d ranks correct=%v\n",
+			s.name, res.Metrics.Steps, res.Metrics.Killed, correct(res.Ranks, small))
+	}
+}
+
+// crashHalf kills every odd processor at a random step in the window.
+func crashHalf(p int, window int64) []pram.Crash {
+	rng := xrand.New(7)
+	var crashes []pram.Crash
+	for pid := 1; pid < p; pid += 2 {
+		crashes = append(crashes, pram.Crash{PID: pid, Step: rng.Int63() % window})
+	}
+	return crashes
+}
+
+func correct(ranks []int, keys []int) bool {
+	out := make([]int, len(keys))
+	for i, r := range ranks {
+		out[r-1] = keys[i]
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1] > out[i] {
+			return false
+		}
+	}
+	return true
+}

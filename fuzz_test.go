@@ -1,0 +1,79 @@
+package wfsort_test
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"wfsort"
+)
+
+// FuzzSort feeds arbitrary byte strings through the full native sort
+// pipeline with fuzzer-chosen worker counts and variants, checking the
+// output is a sorted permutation of the input.
+func FuzzSort(f *testing.F) {
+	f.Add([]byte("hello world"), uint8(4), uint8(0))
+	f.Add([]byte{0, 0, 0, 0}, uint8(1), uint8(1))
+	f.Add([]byte{255, 1, 128, 1, 255, 0}, uint8(9), uint8(2))
+	f.Add([]byte{}, uint8(3), uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, workers uint8, variant uint8) {
+		data := make([]int, len(raw))
+		for i, b := range raw {
+			data[i] = int(b)
+		}
+		want := make([]int, len(data))
+		copy(want, data)
+		sort.Ints(want)
+
+		p := int(workers)%32 + 1
+		v := wfsort.Variant(variant % 3)
+		if err := wfsort.Sort(data, wfsort.WithWorkers(p), wfsort.WithVariant(v)); err != nil {
+			t.Fatalf("Sort(p=%d v=%v): %v", p, v, err)
+		}
+		for i := range want {
+			if data[i] != want[i] {
+				t.Fatalf("p=%d v=%v input=%v: position %d = %d, want %d",
+					p, v, raw, i, data[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzSimulate drives the simulator with fuzzer-chosen keys, workers,
+// variants and seeds, checking ranks always form the true ranking.
+func FuzzSimulate(f *testing.F) {
+	f.Add([]byte{5, 3, 8}, uint8(2), uint8(0), uint64(1))
+	f.Add([]byte{1, 1, 1, 1, 1}, uint8(5), uint8(2), uint64(9))
+	f.Add(bytes.Repeat([]byte{7}, 40), uint8(16), uint8(1), uint64(3))
+	f.Fuzz(func(t *testing.T, raw []byte, workers uint8, variant uint8, seed uint64) {
+		if len(raw) > 256 {
+			raw = raw[:256] // keep simulation cheap
+		}
+		keys := make([]int, len(raw))
+		for i, b := range raw {
+			keys[i] = int(b)
+		}
+		p := int(workers)%64 + 1
+		v := wfsort.Variant(variant % 3)
+		res, err := wfsort.Simulate(keys,
+			wfsort.WithWorkers(p), wfsort.WithVariant(v), wfsort.WithSeed(seed))
+		if err != nil {
+			t.Fatalf("Simulate(p=%d v=%v): %v", p, v, err)
+		}
+		if len(keys) == 0 {
+			return
+		}
+		// Verify ranks: stable ranking by (key, index).
+		ids := make([]int, len(keys))
+		for i := range ids {
+			ids[i] = i
+		}
+		sort.SliceStable(ids, func(a, b int) bool { return keys[ids[a]] < keys[ids[b]] })
+		for pos, i := range ids {
+			if res.Ranks[i] != pos+1 {
+				t.Fatalf("p=%d v=%v keys=%v: element %d rank %d, want %d",
+					p, v, keys, i+1, res.Ranks[i], pos+1)
+			}
+		}
+	})
+}

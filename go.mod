@@ -1,0 +1,3 @@
+module wfsort
+
+go 1.22

@@ -1,0 +1,97 @@
+// Package baseline implements the comparison systems the paper measures
+// itself against, all on the same machine model as the wait-free sort:
+//
+//   - Barrier: a tournament PRAM barrier — the synchronization
+//     primitive classic PRAM algorithms assume and the precise thing a
+//     wait-free algorithm must do without. Any crash strands every
+//     other processor in a spin loop.
+//   - BitonicBarrier: Batcher's bitonic sorting network [11] run round
+//     by round with barriers. O(log^2 N) rounds, not wait-free.
+//   - BitonicRobust: the same network with every round executed through
+//     a certified write-all (a fresh Work Assignment Tree per round)
+//     and generation double-buffering — the Kanellakis–Shvartsman-style
+//     simulation of a reliable PRAM on a fail-stop one [32,33,16]. This
+//     is the paper's §1.1 strawman: sorting made fault-tolerant by
+//     general transformation, at O(log^2 N · log N) = O(log^3 N) cost
+//     instead of O(log N).
+//   - BarrierQuicksort: the pivot-tree sort with static work assignment
+//     and barriers instead of work-assignment trees — the fastest
+//     fault-free configuration (Chlebus–Vrťo-style [17]) and the
+//     clearest demonstration of what crashes do to a non-wait-free
+//     algorithm.
+package baseline
+
+import (
+	"math/bits"
+
+	"wfsort/internal/model"
+)
+
+// Word aliases the shared-memory word type.
+type Word = model.Word
+
+// Barrier is a sense-reversing tournament barrier in PRAM shared
+// memory: processors pair up level by level, losers post their arrival
+// and spin on the release word, winners wait for their partner's flag
+// and climb. Arrival takes O(log P) steps on a synchronous machine.
+//
+// Wait spins, so the barrier is deliberately NOT wait-free: if any
+// participant crashes, every other participant spins forever (in the
+// simulator, until MaxSteps aborts the run — which is exactly the
+// behaviour the failure experiments demonstrate).
+type Barrier struct {
+	flags   model.Region // flags[level*parties + pid] holds the arrival sense
+	release int          // flips to the current sense when all arrived
+	levels  int
+	parties int
+}
+
+// NewBarrier lays out a barrier for the given number of participants.
+func NewBarrier(a *model.Arena, parties int) *Barrier {
+	if parties < 1 {
+		panic("baseline: barrier needs at least one party")
+	}
+	levels := bits.Len(uint(parties - 1))
+	return &Barrier{
+		flags:   a.Named("barrier.flags", max(levels, 1)*parties),
+		release: a.NamedWord("barrier.release"),
+		levels:  levels,
+		parties: parties,
+	}
+}
+
+// Waiter tracks one processor's local barrier sense. The zero value is
+// ready for the first Wait. Senses alternate 1, 2, 1, 2, … so the
+// zero-initialized flag memory never reads as "arrived".
+type Waiter struct {
+	sense Word
+}
+
+// Wait blocks until all parties have arrived.
+func (b *Barrier) Wait(p model.Proc, w *Waiter) {
+	if w.sense == 2 {
+		w.sense = 1
+	} else {
+		w.sense = 2
+	}
+	pid := p.ID() % b.parties
+	for lvl := 0; lvl < b.levels; lvl++ {
+		bit := 1 << lvl
+		if pid&bit != 0 {
+			// Loser: post arrival (cumulative for the subtree below)
+			// and spin on release.
+			p.Write(b.flags.At(lvl*b.parties+pid), w.sense)
+			for p.Read(b.release) != w.sense {
+			}
+			return
+		}
+		partner := pid | bit
+		if partner < b.parties {
+			// Winner: wait for the partner's subtree to arrive.
+			for p.Read(b.flags.At(lvl*b.parties+partner)) != w.sense {
+			}
+		}
+	}
+	// Processor 0 wins every level: release everyone.
+	p.Write(b.release, w.sense)
+}

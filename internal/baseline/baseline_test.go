@@ -1,0 +1,257 @@
+package baseline
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"wfsort/internal/model"
+	"wfsort/internal/pram"
+	"wfsort/internal/xrand"
+)
+
+func lessFor(keys []int) func(i, j int) bool {
+	return func(i, j int) bool {
+		a, b := keys[i-1], keys[j-1]
+		if a != b {
+			return a < b
+		}
+		return i < j
+	}
+}
+
+func randKeys(n int, seed uint64) []int {
+	rng := xrand.New(seed)
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = rng.Intn(3 * n)
+	}
+	return keys
+}
+
+func wantOrder(keys []int) []int {
+	ids := make([]int, len(keys))
+	for i := range ids {
+		ids[i] = i + 1
+	}
+	less := lessFor(keys)
+	sort.Slice(ids, func(a, b int) bool { return less(ids[a], ids[b]) })
+	return ids
+}
+
+func checkOrder(t *testing.T, got, want []int, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: output has %d elements, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: position %d holds element %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestBarrierReleasesAllParties(t *testing.T) {
+	const p, rounds = 8, 5
+	var a model.Arena
+	b := NewBarrier(&a, p)
+	counters := a.Array(p)
+	m := pram.New(pram.Config{P: p, Mem: a.Size()})
+	_, err := m.Run(func(pr model.Proc) {
+		var w Waiter
+		for r := 0; r < rounds; r++ {
+			pr.Write(counters.At(pr.ID()), Word(r+1))
+			b.Wait(pr, &w)
+			// After the barrier, every processor must have written r+1.
+			for q := 0; q < p; q++ {
+				if v := pr.Read(counters.At(q)); v < Word(r+1) {
+					t.Errorf("round %d: processor %d saw counter[%d]=%d", r, pr.ID(), q, v)
+				}
+			}
+			b.Wait(pr, &w)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestBarrierHangsOnCrash(t *testing.T) {
+	var a model.Arena
+	b := NewBarrier(&a, 4)
+	m := pram.New(pram.Config{
+		P: 4, Mem: a.Size(), MaxSteps: 20000,
+		Sched: pram.WithCrashes(pram.Synchronous(), []pram.Crash{{Step: 1, PID: 0}}),
+	})
+	_, err := m.Run(func(pr model.Proc) {
+		var w Waiter
+		pr.Idle()
+		pr.Idle()
+		b.Wait(pr, &w)
+	})
+	if !errors.Is(err, pram.ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps (barrier must hang when a party crashes)", err)
+	}
+}
+
+func TestBitonicBarrierSorts(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{
+		{1, 1}, {2, 2}, {7, 3}, {16, 4}, {33, 8}, {64, 64}, {100, 16}, {256, 32},
+	} {
+		keys := randKeys(tc.n, uint64(tc.n*5+tc.p))
+		var a model.Arena
+		s := NewBitonicBarrier(&a, tc.n, tc.p)
+		m := pram.New(pram.Config{P: tc.p, Mem: a.Size(), Less: lessFor(keys)})
+		s.Seed(m.Memory())
+		if _, err := m.Run(s.Program()); err != nil {
+			t.Fatalf("bitonic(n=%d p=%d): %v", tc.n, tc.p, err)
+		}
+		checkOrder(t, s.Output(m.Memory()), wantOrder(keys), "bitonic-barrier")
+	}
+}
+
+func TestBitonicBarrierHangsUnderCrash(t *testing.T) {
+	keys := randKeys(32, 1)
+	var a model.Arena
+	s := NewBitonicBarrier(&a, 32, 8)
+	m := pram.New(pram.Config{
+		P: 8, Mem: a.Size(), Less: lessFor(keys), MaxSteps: 100000,
+		Sched: pram.WithCrashes(pram.Synchronous(), []pram.Crash{{Step: 10, PID: 3}}),
+	})
+	s.Seed(m.Memory())
+	_, err := m.Run(s.Program())
+	if !errors.Is(err, pram.ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps: the barrier network must not survive a crash", err)
+	}
+}
+
+func TestBitonicRobustSorts(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{
+		{1, 1}, {4, 4}, {16, 16}, {33, 8}, {64, 64}, {128, 16},
+	} {
+		keys := randKeys(tc.n, uint64(tc.n*9+tc.p))
+		var a model.Arena
+		s := NewBitonicRobust(&a, tc.n)
+		m := pram.New(pram.Config{P: tc.p, Mem: a.Size(), Less: lessFor(keys)})
+		s.Seed(m.Memory())
+		if _, err := m.Run(s.Program()); err != nil {
+			t.Fatalf("robust(n=%d p=%d): %v", tc.n, tc.p, err)
+		}
+		checkOrder(t, s.Output(m.Memory()), wantOrder(keys), "bitonic-robust")
+	}
+}
+
+func TestBitonicRobustSurvivesCrashes(t *testing.T) {
+	for trial := uint64(0); trial < 4; trial++ {
+		const n, p = 64, 16
+		keys := randKeys(n, trial)
+		crashes := pram.RandomCrashes(p, 0.6, 500, 40+trial)
+		kept := crashes[:0]
+		for _, c := range crashes {
+			if c.PID != 0 {
+				kept = append(kept, c)
+			}
+		}
+		var a model.Arena
+		s := NewBitonicRobust(&a, n)
+		m := pram.New(pram.Config{
+			P: p, Mem: a.Size(), Less: lessFor(keys), Seed: trial,
+			Sched: pram.WithCrashes(pram.Synchronous(), kept),
+		})
+		s.Seed(m.Memory())
+		if _, err := m.Run(s.Program()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkOrder(t, s.Output(m.Memory()), wantOrder(keys), "bitonic-robust-crash")
+	}
+}
+
+func TestBitonicRobustCostsLogCubed(t *testing.T) {
+	// The §1.1 claim: per-step certified write-all multiplies the
+	// O(log^2 N) network rounds by an O(log N) overhead, for O(log^3 N)
+	// total. Check the shape: steps per round must be Θ(log N) with
+	// P = N (so steps ≈ rounds · log N, i.e. log^3), not O(1).
+	for _, n := range []int{64, 256, 1024} {
+		keys := randKeys(n, uint64(n))
+		var a model.Arena
+		r := NewBitonicRobust(&a, n)
+		m := pram.New(pram.Config{P: n, Mem: a.Size(), Less: lessFor(keys)})
+		r.Seed(m.Memory())
+		met, err := m.Run(r.Program())
+		if err != nil {
+			t.Fatal(err)
+		}
+		logN := int64(0)
+		for v := n; v > 1; v >>= 1 {
+			logN++
+		}
+		rounds := int64(r.Rounds())
+		perRound := met.Steps / rounds
+		t.Logf("n=%d: steps=%d rounds=%d per-round=%d logN=%d", n, met.Steps, rounds, perRound, logN)
+		if perRound < logN {
+			t.Errorf("n=%d: %d steps per round, want >= log N = %d (write-all overhead)", n, perRound, logN)
+		}
+		if perRound > 20*logN {
+			t.Errorf("n=%d: %d steps per round, want O(log N) ≈ %d", n, perRound, logN)
+		}
+	}
+}
+
+func TestBarrierQuicksortSorts(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{
+		{1, 1}, {2, 2}, {16, 4}, {63, 9}, {128, 128}, {200, 25},
+	} {
+		keys := randKeys(tc.n, uint64(tc.n*11+tc.p))
+		var a model.Arena
+		s := NewBarrierQuicksort(&a, tc.n, tc.p)
+		m := pram.New(pram.Config{P: tc.p, Mem: a.Size(), Less: lessFor(keys)})
+		if _, err := m.Run(s.Program()); err != nil {
+			t.Fatalf("parqsort(n=%d p=%d): %v", tc.n, tc.p, err)
+		}
+		checkOrder(t, s.Output(m.Memory()), wantOrder(keys), "barrier-quicksort")
+	}
+}
+
+func TestBarrierQuicksortHangsUnderCrash(t *testing.T) {
+	keys := randKeys(64, 2)
+	var a model.Arena
+	s := NewBarrierQuicksort(&a, 64, 8)
+	m := pram.New(pram.Config{
+		P: 8, Mem: a.Size(), Less: lessFor(keys), MaxSteps: 200000,
+		Sched: pram.WithCrashes(pram.Synchronous(), []pram.Crash{{Step: 4, PID: 5}}),
+	})
+	_, err := m.Run(s.Program())
+	if !errors.Is(err, pram.ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps", err)
+	}
+}
+
+func TestComparatorEnumeration(t *testing.T) {
+	for _, width := range []int{2, 4, 8, 32, 128} {
+		for _, r := range bitonicRounds(width) {
+			seen := make(map[int]bool, width)
+			for c := 0; c < width/2; c++ {
+				lo, hi, _ := r.comparator(c)
+				if lo >= hi || hi != lo|r.j || lo&r.j != 0 {
+					t.Fatalf("width=%d round=%+v c=%d: bad pair (%d,%d)", width, r, c, lo, hi)
+				}
+				if seen[lo] || seen[hi] {
+					t.Fatalf("width=%d round=%+v: index reused", width, r)
+				}
+				seen[lo], seen[hi] = true, true
+			}
+			if len(seen) != width {
+				t.Fatalf("width=%d round=%+v: covered %d indices", width, r, len(seen))
+			}
+		}
+	}
+}
+
+func TestBitonicRoundCount(t *testing.T) {
+	// log w (log w + 1) / 2 rounds.
+	for w, want := range map[int]int{2: 1, 4: 3, 8: 6, 16: 10, 1024: 55} {
+		if got := len(bitonicRounds(w)); got != want {
+			t.Errorf("width %d: %d rounds, want %d", w, got, want)
+		}
+	}
+}

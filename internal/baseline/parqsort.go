@@ -1,0 +1,66 @@
+package baseline
+
+import (
+	"wfsort/internal/core"
+	"wfsort/internal/model"
+)
+
+// BarrierQuicksort is the non-wait-free cousin of the paper's
+// algorithm, in the spirit of Chlebus–Vrťo [17]: the same pivot tree,
+// subtree sums and rank computation, but with static work assignment
+// (each processor inserts a fixed stripe of elements) and barriers
+// between phases instead of work-assignment trees. Fault-free it is the
+// fastest configuration — no completion-tracking overhead — but a
+// single crash either hangs the barrier forever or silently loses the
+// crashed processor's elements. The experiments use it for both the
+// fault-free performance comparison and the failure demonstration.
+type BarrierQuicksort struct {
+	n       int
+	table   *core.Sorter
+	barrier *Barrier
+	p       int
+}
+
+// NewBarrierQuicksort lays out the sorter for n elements and p
+// processors.
+func NewBarrierQuicksort(a *model.Arena, n, p int) *BarrierQuicksort {
+	if n < 1 {
+		panic("baseline: quicksort needs n >= 1")
+	}
+	return &BarrierQuicksort{
+		n:       n,
+		table:   core.NewTable(a, n),
+		barrier: NewBarrier(a, p),
+		p:       p,
+	}
+}
+
+// Program returns the sort: insert stripe, barrier, sum, barrier,
+// place, barrier, shuffle stripe.
+func (s *BarrierQuicksort) Program() model.Program {
+	return func(p model.Proc) {
+		var w Waiter
+		p.Phase("1:build")
+		for i := 2 + p.ID(); i <= s.n; i += s.p {
+			s.table.BuildTree(p, i)
+		}
+		s.barrier.Wait(p, &w)
+		p.Phase("2:sum")
+		s.table.TreeSumFrom(p, 1)
+		s.barrier.Wait(p, &w)
+		p.Phase("3:place")
+		s.table.FindPlaceFrom(p, 1, 0)
+		s.barrier.Wait(p, &w)
+		p.Phase("4:shuffle")
+		for i := 1 + p.ID(); i <= s.n; i += s.p {
+			r := p.Read(s.table.PlaceAddr(i))
+			p.Write(s.table.OutAddr(int(r)-1), Word(i))
+		}
+	}
+}
+
+// Places extracts every element's 1-based rank after a run.
+func (s *BarrierQuicksort) Places(mem []Word) []int { return s.table.Places(mem) }
+
+// Output extracts element ids in sorted order after a run.
+func (s *BarrierQuicksort) Output(mem []Word) []int { return s.table.Output(mem) }

@@ -1,0 +1,218 @@
+package baseline
+
+import (
+	"wfsort/internal/model"
+)
+
+// Universal sorts through a Herlihy-style universal construction — the
+// §1.1 strawman that motivates the paper. The sorted sequence is a
+// wait-free object: its state lives in a versioned buffer, and an
+// operation ("insert element x") is performed by copying the entire
+// current state, applying the insertion locally into a private spare
+// buffer, and compare-and-swapping the version word at the new buffer.
+// Losers retry against the new state. Helping is by construction: any
+// processor can apply any pending element, and membership checks make
+// re-application harmless, so the object is wait-free and
+// crash-tolerant.
+//
+// As in Herlihy's small-object protocol, the version word carries a
+// sequence number (to defeat ABA on buffer reuse) and readers validate
+// the version after copying (a copy raced by the buffer's owner is
+// discarded). Each processor owns two buffers and alternates between
+// them, so the buffer named by the current version is never being
+// written.
+//
+// It is also exactly as slow as the paper says generic constructions
+// are: every successful insertion copies O(N) words and only one
+// insertion can win per copy period, so the whole sort costs Θ(N²)
+// time regardless of P — "only one process performs all pending work"
+// (§1.1). Experiment E14 measures this against the paper's
+// O(N log N / P) algorithm.
+type Universal struct {
+	n       int
+	version int            // packed seq*(2P+1) + slot; slot 0 = empty state
+	applied model.Region   // applied[i] = 1 once element i is known inserted
+	bufs    []model.Region // slots 1..2P: [count, sorted ids...]
+	out     model.Region   // final sorted ids, written by finishers
+	p       int
+}
+
+// NewUniversal lays out the object for n elements and p processors.
+func NewUniversal(a *model.Arena, n, p int) *Universal {
+	if n < 1 || p < 1 {
+		panic("baseline: universal needs n, p >= 1")
+	}
+	u := &Universal{
+		n:       n,
+		version: a.NamedWord("version"),
+		applied: a.Named("applied", n+1),
+		out:     a.Named("out", n),
+		p:       p,
+	}
+	u.bufs = make([]model.Region, 2*p)
+	for i := range u.bufs {
+		u.bufs[i] = a.Named("universal.buf", n+1)
+	}
+	return u
+}
+
+func (u *Universal) pack(seq int64, slot int) model.Word {
+	return model.Word(seq)*model.Word(2*u.p+1) + model.Word(slot)
+}
+
+func (u *Universal) unpack(v model.Word) (seq int64, slot int) {
+	m := model.Word(2*u.p + 1)
+	return int64(v / m), int(v % m)
+}
+
+// Program returns the universal-construction sort.
+func (u *Universal) Program() model.Program {
+	return func(p model.Proc) {
+		u.sort(p)
+	}
+}
+
+func (u *Universal) sort(p model.Proc) {
+	pid := p.ID() % u.p
+	parity := 0
+	cursor := 1                  // elements below this are known applied
+	state := make([]int, 0, u.n) // validated copy of the current state
+	for {
+		// Herlihy's read-copy-validate: copy the state named by the
+		// version word, then re-read the version; a change means the
+		// copy may be torn, so retry.
+		ver := p.Read(u.version)
+		_, slot := u.unpack(ver)
+		state = u.copyState(p, slot, state)
+		if p.Read(u.version) != ver {
+			continue
+		}
+		if len(state) == u.n {
+			break
+		}
+		// Choose an element to apply: scan the applied flags, verify
+		// against the copied state (a crashed winner may have left its
+		// flag unset), healing stale flags as we go.
+		x := u.chooseElement(p, state, &cursor)
+		if x == 0 {
+			// Everything is applied or in flight; re-read and retry.
+			continue
+		}
+		// Apply locally into our spare buffer. The spare is never the
+		// buffer named by the current version (we alternate only after
+		// a win), so no reader validating against ver can see these
+		// writes as current state.
+		mySlot := 1 + 2*pid + parity
+		buf := u.bufs[mySlot-1]
+		next := insertSorted(p, state, x)
+		p.Write(buf.At(0), model.Word(len(next)))
+		for i, v := range next {
+			p.Write(buf.At(i+1), model.Word(v))
+		}
+		// Try to publish with a fresh sequence number (no ABA).
+		seq, _ := u.unpack(ver)
+		if p.CAS(u.version, ver, u.pack(seq+1, mySlot)) {
+			p.Write(u.applied.At(x), 1)
+			parity = 1 - parity
+			state = next
+			if len(state) == u.n {
+				break
+			}
+		}
+	}
+	// Publish the final order (idempotent writes by every finisher).
+	for i, v := range state {
+		p.Write(u.out.At(i), model.Word(v))
+	}
+}
+
+// copyState reads the state buffer in the given slot into dst; slot 0
+// is the initial empty state.
+func (u *Universal) copyState(p model.Proc, slot int, dst []int) []int {
+	dst = dst[:0]
+	if slot == 0 {
+		return dst
+	}
+	buf := u.bufs[slot-1]
+	count := int(p.Read(buf.At(0)))
+	if count > u.n {
+		// Torn read of a buffer being rewritten; validation will
+		// discard the copy, just keep the read in range.
+		count = u.n
+	}
+	for i := 1; i <= count; i++ {
+		dst = append(dst, int(p.Read(buf.At(i))))
+	}
+	return dst
+}
+
+// chooseElement returns an element not present in state whose applied
+// flag is unset, fixing up stale flags (elements present in the state
+// but not yet flagged) along the way. The caller's cursor advances
+// monotonically past known-applied elements (flags never clear), so a
+// processor's total scanning cost over the whole run is O(N) plus its
+// number of rounds. Returns 0 when nothing is available.
+func (u *Universal) chooseElement(p model.Proc, state []int, cursor *int) int {
+	for x := *cursor; x <= u.n; x++ {
+		if p.Read(u.applied.At(x)) != model.Empty {
+			if x == *cursor {
+				*cursor = x + 1
+			}
+			continue
+		}
+		if containsElem(p, state, x) {
+			// A winner crashed between publishing and flagging; heal.
+			p.Write(u.applied.At(x), 1)
+			if x == *cursor {
+				*cursor = x + 1
+			}
+			continue
+		}
+		return x
+	}
+	return 0
+}
+
+// containsElem reports whether element x is in the sorted state (local
+// binary search; comparisons are free in the machine model).
+func containsElem(p model.Proc, state []int, x int) bool {
+	lo, hi := 0, len(state)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if state[mid] == x {
+			return true
+		}
+		if p.Less(state[mid], x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return false
+}
+
+// insertSorted returns state with x inserted at its ordered position.
+func insertSorted(p model.Proc, state []int, x int) []int {
+	lo, hi := 0, len(state)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.Less(state[mid], x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	out := make([]int, 0, len(state)+1)
+	out = append(out, state[:lo]...)
+	out = append(out, x)
+	return append(out, state[lo:]...)
+}
+
+// Output reads the sorted element ids after a run.
+func (u *Universal) Output(mem []Word) []int {
+	ids := make([]int, u.n)
+	for i := range ids {
+		ids[i] = int(mem[u.out.At(i)])
+	}
+	return ids
+}

@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"testing"
+
+	"wfsort/internal/model"
+	"wfsort/internal/pram"
+)
+
+func runUniversal(t *testing.T, keys []int, p int, seed uint64, sched pram.Scheduler) (*Universal, *pram.Machine, *model.Metrics) {
+	t.Helper()
+	var a model.Arena
+	u := NewUniversal(&a, len(keys), p)
+	m := pram.New(pram.Config{P: p, Mem: a.Size(), Seed: seed, Sched: sched, Less: lessFor(keys)})
+	met, err := m.Run(u.Program())
+	if err != nil {
+		t.Fatalf("universal(n=%d p=%d): %v", len(keys), p, err)
+	}
+	checkOrder(t, u.Output(m.Memory()), wantOrder(keys), "universal")
+	return u, m, met
+}
+
+func TestUniversalSorts(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{
+		{1, 1}, {2, 2}, {8, 4}, {16, 16}, {40, 8}, {64, 3},
+	} {
+		runUniversal(t, randKeys(tc.n, uint64(tc.n*13+tc.p)), tc.p, uint64(tc.p), nil)
+	}
+}
+
+func TestUniversalUnderSerializedSchedule(t *testing.T) {
+	runUniversal(t, randKeys(24, 1), 6, 2, pram.RoundRobin(1))
+}
+
+func TestUniversalUnderRandomSchedule(t *testing.T) {
+	runUniversal(t, randKeys(32, 2), 8, 3, pram.RandomSubset(0.3))
+}
+
+func TestUniversalSurvivesCrashes(t *testing.T) {
+	for trial := uint64(0); trial < 4; trial++ {
+		crashes := pram.RandomCrashes(8, 0.6, 2000, 77+trial)
+		kept := crashes[:0]
+		for _, c := range crashes {
+			if c.PID != 0 {
+				kept = append(kept, c)
+			}
+		}
+		runUniversal(t, randKeys(32, trial), 8, trial,
+			pram.WithCrashes(pram.Synchronous(), kept))
+	}
+}
+
+// TestUniversalIsQuadratic verifies the §1.1 complaint: the universal
+// construction's running time grows quadratically in N no matter how
+// many processors participate — adding processors does not help,
+// because one winner per copy period performs all pending work.
+func TestUniversalIsQuadratic(t *testing.T) {
+	steps := map[int]int64{}
+	for _, n := range []int{16, 32, 64} {
+		keys := randKeys(n, uint64(n))
+		_, _, met := runUniversal(t, keys, n, uint64(n), nil)
+		steps[n] = met.Steps
+	}
+	// Doubling N should roughly quadruple the steps (allow slack).
+	if r := float64(steps[64]) / float64(steps[32]); r < 2.5 {
+		t.Errorf("steps grew only %.1fx from N=32 to N=64; expected near-quadratic growth (%v)", r, steps)
+	}
+	// And more processors should NOT make it much faster.
+	keys := randKeys(64, 9)
+	_, _, met4 := runUniversal(t, keys, 4, 1, nil)
+	_, _, met64 := runUniversal(t, keys, 64, 1, nil)
+	if met64.Steps*3 < met4.Steps {
+		t.Errorf("64 processors (%d steps) much faster than 4 (%d steps): the serialization bottleneck disappeared?",
+			met64.Steps, met4.Steps)
+	}
+}
+
+// TestUniversalVersionPacking checks the seq/slot packing round-trips.
+func TestUniversalVersionPacking(t *testing.T) {
+	var a model.Arena
+	u := NewUniversal(&a, 4, 5)
+	for _, tc := range []struct {
+		seq  int64
+		slot int
+	}{{0, 0}, {1, 3}, {7, 10}, {123456, 1}} {
+		seq, slot := u.unpack(u.pack(tc.seq, tc.slot))
+		if seq != tc.seq || slot != tc.slot {
+			t.Errorf("pack/unpack(%d,%d) = (%d,%d)", tc.seq, tc.slot, seq, slot)
+		}
+	}
+}

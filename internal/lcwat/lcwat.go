@@ -1,0 +1,183 @@
+// Package lcwat implements the Low-Contention Work Assignment Tree of
+// the paper's Figure 8 (§3.1). Processors repeatedly probe uniformly
+// random tree nodes and perform whatever bounded action the node's state
+// calls for:
+//
+//   - an EMPTY leaf: do the leaf's job and mark it DONE;
+//   - an EMPTY inner node whose children are both DONE: mark it DONE
+//     (ALLDONE if it is the root);
+//   - an ALLDONE inner node: copy ALLDONE to both children and quit;
+//   - anything else: probe again.
+//
+// Because probes are spread uniformly over ~2P locations, no node
+// attracts more than O(log P / log log P) concurrent accesses w.h.p.
+// (Lemma 3.1), unlike the deterministic WAT whose root suffers O(P)
+// contention. The price is an additive O(log P): the ALLDONE mark must
+// percolate back down before processors notice completion.
+//
+// The paper's routine terminates w.h.p. under synchronous execution but
+// a single unlucky processor has no deterministic bound. To keep the
+// implementation strictly wait-free under any schedule, a processor
+// that has probed fruitlessly for Θ(log n) consecutive rounds falls
+// back to one deterministic sweep of the tree (O(n) bounded work, the
+// same bound as the paper's build_tree phase); under the paper's
+// synchronous assumptions the fallback fires with negligible
+// probability and experiment E7 verifies the O(log P) behaviour.
+package lcwat
+
+import (
+	"math/bits"
+
+	"wfsort/internal/model"
+)
+
+// Tree is a low-contention work-assignment tree over a fixed number of
+// jobs, stored exactly like wat.WAT: a 1-indexed heap with leaves at
+// [leaves, 2·leaves).
+type Tree struct {
+	tree   model.Region
+	leaves int
+	jobs   int
+	// fallbackAfter is the number of consecutive unproductive probes
+	// after which a processor performs the deterministic sweep.
+	fallbackAfter int
+}
+
+// New lays out an LC-WAT for jobs (>= 1) in the arena. Call Seed on the
+// runtime's memory before use.
+func New(a *model.Arena, jobs int) *Tree {
+	return NewNamed(a, "lcwat", jobs)
+}
+
+// NewNamed is New with a region label for contention profiles.
+func NewNamed(a *model.Arena, name string, jobs int) *Tree {
+	if jobs < 1 {
+		panic("lcwat: jobs must be >= 1")
+	}
+	leaves := ceilPow2(jobs)
+	depth := bits.TrailingZeros(uint(leaves))
+	return &Tree{
+		tree:          a.Named(name, 2*leaves),
+		leaves:        leaves,
+		jobs:          jobs,
+		fallbackAfter: 16 * (depth + 2),
+	}
+}
+
+// Jobs returns the number of real jobs.
+func (t *Tree) Jobs() int { return t.jobs }
+
+// Nodes returns the number of tree nodes (2·leaves − 1).
+func (t *Tree) Nodes() int { return 2*t.leaves - 1 }
+
+// Seed pre-marks padding leaves and padding-only inner nodes DONE.
+func (t *Tree) Seed(mem []model.Word) {
+	if t.jobs == t.leaves {
+		return
+	}
+	for n := 2*t.leaves - 1; n >= 1; n-- {
+		if n >= t.leaves {
+			if n-t.leaves >= t.jobs {
+				mem[t.tree.At(n)] = model.Done
+			}
+		} else if mem[t.tree.At(2*n)] == model.Done && mem[t.tree.At(2*n+1)] == model.Done {
+			mem[t.tree.At(n)] = model.Done
+		}
+	}
+}
+
+// Run executes the Figure 8 loop for one processor. job may run more
+// than once per index (two processors can pick the same EMPTY leaf) and
+// must be idempotent.
+func (t *Tree) Run(p model.Proc, job func(j int)) {
+	rng := p.Rand()
+	unproductive := 0
+	for {
+		i := 1 + rng.Intn(t.Nodes())
+		switch v := p.Read(t.tree.At(i)); {
+		case v == model.Empty && t.isLeaf(i):
+			if j := i - t.leaves; j < t.jobs {
+				job(j)
+			}
+			if i == 1 {
+				// Degenerate single-node tree: the leaf is the root, so
+				// completing it completes everything.
+				p.Write(t.tree.At(1), model.AllDone)
+				return
+			}
+			p.Write(t.tree.At(i), model.Done)
+			unproductive = 0
+
+		case v == model.Empty: // inner node
+			if p.Read(t.tree.At(2*i)) == model.Done && p.Read(t.tree.At(2*i+1)) == model.Done {
+				if i == 1 {
+					p.Write(t.tree.At(1), model.AllDone)
+				} else {
+					p.Write(t.tree.At(i), model.Done)
+				}
+				unproductive = 0
+			} else {
+				unproductive++
+			}
+
+		case v == model.AllDone:
+			if !t.isLeaf(i) {
+				p.Write(t.tree.At(2*i), model.AllDone)
+				p.Write(t.tree.At(2*i+1), model.AllDone)
+			}
+			return
+
+		default: // DONE
+			unproductive++
+		}
+
+		if unproductive >= t.fallbackAfter {
+			t.sweep(p, job)
+			return
+		}
+	}
+}
+
+// sweep is the bounded deterministic escape: complete every leaf and
+// mark the whole tree bottom-up, then flood ALLDONE from the root. It
+// costs O(n) operations and leaves the tree in a state from which every
+// other processor (random prober or fellow sweeper) terminates.
+func (t *Tree) sweep(p model.Proc, job func(j int)) {
+	for n := 2*t.leaves - 1; n >= 1; n-- {
+		a := t.tree.At(n)
+		v := p.Read(a)
+		if v != model.Empty {
+			continue
+		}
+		if t.isLeaf(n) {
+			if j := n - t.leaves; j < t.jobs {
+				job(j)
+			}
+			p.Write(a, model.Done)
+			continue
+		}
+		// Children were already handled by this sweep (higher indices),
+		// so they are DONE (or ALLDONE, which implies done).
+		if n == 1 {
+			p.Write(a, model.AllDone)
+		} else {
+			p.Write(a, model.Done)
+		}
+	}
+	// Flood ALLDONE so random probers terminate quickly.
+	for n := 1; n < t.leaves; n++ {
+		if p.Read(t.tree.At(n)) == model.AllDone {
+			p.Write(t.tree.At(2*n), model.AllDone)
+			p.Write(t.tree.At(2*n+1), model.AllDone)
+		}
+	}
+}
+
+func (t *Tree) isLeaf(n int) bool { return n >= t.leaves }
+
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

@@ -1,0 +1,175 @@
+package lcwat
+
+import (
+	"math"
+	"testing"
+
+	"wfsort/internal/model"
+	"wfsort/internal/pram"
+)
+
+func runLCWriteAll(t *testing.T, jobs, p int, seed uint64, sched pram.Scheduler) *model.Metrics {
+	t.Helper()
+	var a model.Arena
+	tr := New(&a, jobs)
+	out := a.Array(jobs)
+	m := pram.New(pram.Config{P: p, Mem: a.Size(), Seed: seed, Sched: sched})
+	tr.Seed(m.Memory())
+	met, err := m.Run(func(pr model.Proc) {
+		tr.Run(pr, func(j int) {
+			pr.Write(out.At(j), 1)
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run(jobs=%d P=%d): %v", jobs, p, err)
+	}
+	for j := 0; j < jobs; j++ {
+		if m.Memory()[out.At(j)] != 1 {
+			t.Fatalf("jobs=%d P=%d: cell %d not written", jobs, p, j)
+		}
+	}
+	return met
+}
+
+func TestLCWriteAllShapes(t *testing.T) {
+	for _, tc := range []struct{ jobs, p int }{
+		{1, 1}, {1, 4}, {2, 2}, {5, 3}, {8, 8}, {16, 16},
+		{31, 8}, {64, 64}, {100, 100}, {128, 32},
+	} {
+		runLCWriteAll(t, tc.jobs, tc.p, uint64(tc.jobs*31+tc.p), nil)
+	}
+}
+
+func TestLCWriteAllSerializedSchedule(t *testing.T) {
+	runLCWriteAll(t, 16, 4, 5, pram.RoundRobin(1))
+}
+
+func TestLCWriteAllRandomSchedule(t *testing.T) {
+	runLCWriteAll(t, 32, 8, 6, pram.RandomSubset(0.3))
+}
+
+func TestLCWriteAllSurvivesCrashes(t *testing.T) {
+	const jobs, p = 32, 16
+	crashes := pram.RandomCrashes(p, 0.5, 40, 7)
+	kept := crashes[:0]
+	for _, c := range crashes {
+		if c.PID != 0 {
+			kept = append(kept, c)
+		}
+	}
+	runLCWriteAll(t, jobs, p, 8, pram.WithCrashes(pram.Synchronous(), kept))
+}
+
+func TestLemma31TimeLogarithmic(t *testing.T) {
+	// Under synchronous execution with P = n, LC-WAT should finish in
+	// O(log P) steps w.h.p. Allow a generous constant; the point is
+	// that growth is logarithmic, not linear.
+	for _, n := range []int{16, 64, 256, 1024} {
+		met := runLCWriteAll(t, n, n, uint64(n)*7, nil)
+		logN := math.Log2(float64(n))
+		if float64(met.Steps) > 40*logN {
+			t.Errorf("P=n=%d: steps = %d, want O(log P) ≈ %.0f", n, met.Steps, logN)
+		}
+	}
+}
+
+func TestLemma31ContentionSublinear(t *testing.T) {
+	// The whole point of LC-WAT: contention must not scale with P.
+	// (The deterministic WAT suffers O(P) at the root.) Lemma 3.1 says
+	// O(log P / log log P); assert it stays under c·log P.
+	for _, n := range []int{64, 256, 1024, 4096} {
+		met := runLCWriteAll(t, n, n, uint64(n)*13, nil)
+		logN := math.Log2(float64(n))
+		if float64(met.MaxContention) > 4*logN {
+			t.Errorf("P=n=%d: max contention = %d, want O(log P) ≈ %.0f", n, met.MaxContention, logN)
+		}
+	}
+}
+
+func TestSweepFallbackAloneCompletesEverything(t *testing.T) {
+	// Force the fallback immediately: with fallbackAfter = 0 a single
+	// processor must still complete all jobs deterministically.
+	var a model.Arena
+	tr := New(&a, 21)
+	tr.fallbackAfter = 0
+	out := a.Array(21)
+	m := pram.New(pram.Config{P: 1, Mem: a.Size()})
+	tr.Seed(m.Memory())
+	_, err := m.Run(func(pr model.Proc) {
+		tr.Run(pr, func(j int) { pr.Write(out.At(j), 1) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 21; j++ {
+		if m.Memory()[out.At(j)] != 1 {
+			t.Errorf("cell %d not written by sweep", j)
+		}
+	}
+	// Root must be ALLDONE afterwards so other processors terminate.
+	if m.Memory()[tr.tree.At(1)] != model.AllDone {
+		t.Error("root not ALLDONE after sweep")
+	}
+}
+
+func TestPerProcessorWorkIsBounded(t *testing.T) {
+	// Wait-freedom: every processor's op count must be bounded even
+	// under a hostile schedule. The fallback guarantees O(n) ops per
+	// processor; check an explicit numeric bound.
+	const jobs, p = 64, 8
+	var a model.Arena
+	tr := New(&a, jobs)
+	out := a.Array(jobs)
+	m := pram.New(pram.Config{P: p, Mem: a.Size(), Seed: 3, Sched: pram.RoundRobin(1)})
+	tr.Seed(m.Memory())
+	if _, err := m.Run(func(pr model.Proc) {
+		tr.Run(pr, func(j int) { pr.Write(out.At(j), 1) })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bound := int64(20*tr.Nodes() + 100)
+	for pid, ops := range m.OpsPerProc() {
+		if ops > bound {
+			t.Errorf("proc %d used %d ops, want <= %d", pid, ops, bound)
+		}
+	}
+}
+
+func TestAllDoneReachesWholeTreeEventually(t *testing.T) {
+	// After a synchronous run every processor has terminated, which
+	// means each one saw an ALLDONE node; the root must be ALLDONE.
+	var a model.Arena
+	tr := New(&a, 32)
+	out := a.Array(32)
+	m := pram.New(pram.Config{P: 32, Mem: a.Size(), Seed: 11})
+	tr.Seed(m.Memory())
+	if _, err := m.Run(func(pr model.Proc) {
+		tr.Run(pr, func(j int) { pr.Write(out.At(j), 1) })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Memory()[tr.tree.At(1)] != model.AllDone {
+		t.Error("root not ALLDONE at termination")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	var a model.Arena
+	tr := New(&a, 6)
+	if tr.Jobs() != 6 {
+		t.Errorf("Jobs = %d", tr.Jobs())
+	}
+	if tr.Nodes() != 15 {
+		t.Errorf("Nodes = %d, want 2*8-1", tr.Nodes())
+	}
+}
+
+func TestNewRejectsZeroJobs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("jobs=0 accepted")
+		}
+	}()
+	var a model.Arena
+	New(&a, 0)
+}

@@ -1,0 +1,140 @@
+package lowcont
+
+import (
+	"testing"
+
+	"wfsort/internal/model"
+	"wfsort/internal/pram"
+)
+
+func TestAccessors(t *testing.T) {
+	var a model.Arena
+	s := New(&a, 100, 25)
+	if s.N() != 100 || s.P() != 25 {
+		t.Errorf("N/P = %d/%d", s.N(), s.P())
+	}
+	if s.Groups() != 5 {
+		t.Errorf("Groups = %d, want floor(sqrt(25)) = 5", s.Groups())
+	}
+	if s.Dup() != 5 {
+		t.Errorf("Dup = %d, want 5", s.Dup())
+	}
+	if s.FatNodes() != 3 {
+		t.Errorf("FatNodes = %d, want 2^2-1 = 3", s.FatNodes())
+	}
+	if addr := s.WinnerRootAddr(); addr != s.winner.At(1) {
+		t.Errorf("WinnerRootAddr = %d", addr)
+	}
+}
+
+// TestFatElemFallback forces the write-most gap path: with the fat tree
+// left completely empty, fatElem must serve every read from the
+// winner's slice and still return the correct sample element.
+func TestFatElemFallback(t *testing.T) {
+	const n, p = 64, 16
+	keys := randKeys(n, 3)
+	var a model.Arena
+	s := New(&a, n, p)
+	m := pram.New(pram.Config{P: p, Mem: a.Size(), Seed: 3, Less: lessFor(keys)})
+	s.Seed(m.Memory())
+	// Replace the program: sort normally, but with fillRounds = 0 so no
+	// duplicate is ever written and every fat read takes the fallback.
+	s.fillRounds = 0
+	met, err := m.Run(s.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	filled, _ := s.FatFilled(m.Memory())
+	if filled != 0 {
+		t.Fatalf("fat tree has %d filled slots despite fillRounds=0", filled)
+	}
+	want := wantRanks(keys)
+	got := s.Places(m.Memory())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fallback-only sort: element %d placed %d, want %d", i+1, got[i], want[i])
+		}
+	}
+	if met.MaxContention < 1 {
+		t.Error("metrics empty")
+	}
+}
+
+// TestLCPhasesFallbackOnly forces the deterministic escape of the
+// low-contention phases 2-3 on every processor: correctness must not
+// depend on the probabilistic path at all.
+func TestLCPhasesFallbackOnly(t *testing.T) {
+	const n, p = 48, 9
+	keys := randKeys(n, 4)
+	var a model.Arena
+	s := New(&a, n, p)
+	s.fallbackAfter = 0
+	m := pram.New(pram.Config{P: p, Mem: a.Size(), Seed: 4, Less: lessFor(keys)})
+	s.Seed(m.Memory())
+	if _, err := m.Run(s.Program()); err != nil {
+		t.Fatal(err)
+	}
+	want := wantRanks(keys)
+	got := s.Places(m.Memory())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fallback-only phases: element %d placed %d, want %d", i+1, got[i], want[i])
+		}
+	}
+}
+
+// TestGlobalTreeIsSortedBST validates the glued tree itself, not just
+// the ranks: the fat top, materialized sample pointers and CAS-inserted
+// bottom must form one consistent BST over all n elements.
+func TestGlobalTreeIsSortedBST(t *testing.T) {
+	const n, p = 81, 81
+	keys := randKeys(n, 5)
+	s, m, _ := runLCSort(t, keys, p, 5, nil)
+	w := int(m.Memory()[s.winner.At(1)]) - 1
+	grp := &s.groups[w]
+	r := s.sampleRank(s.inorderIndex(1), grp.size)
+	root := grp.base + int(m.Memory()[grp.sorter.OutAddr(r-1)])
+	if !s.table.TreeIsSortedBSTFrom(m.Memory(), root, lessFor(keys)) {
+		t.Fatal("global pivot tree is not a sorted BST")
+	}
+}
+
+// TestWinnerWaveWaitBounded checks the Fig. 9 wait loop is bounded by
+// 2·K·logP idles per processor (wait-freedom of selectWinner).
+func TestWinnerWaveWaitBounded(t *testing.T) {
+	const n, p = 64, 64
+	keys := randKeys(n, 6)
+	var a model.Arena
+	s := New(&a, n, p)
+	m := pram.New(pram.Config{P: p, Mem: a.Size(), Seed: 6, Less: lessFor(keys)})
+	s.Seed(m.Memory())
+	met, err := m.Run(s.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total idles across all processors: at most P * K * logP.
+	bound := int64(p * waitUnit * 7)
+	if met.Idles > bound {
+		t.Errorf("idles = %d, want <= %d", met.Idles, bound)
+	}
+}
+
+// TestSpaceIsLinear checks the paper's §1.1 space claim ("we use O(N)
+// space as opposed to their O(N log N)"): the whole layout — group
+// tables, winner tree, fat tree, global table, work assignment — must
+// stay within a constant factor of N words as N grows.
+func TestSpaceIsLinear(t *testing.T) {
+	ratio := func(n, p int) float64 {
+		var a model.Arena
+		New(&a, n, p)
+		return float64(a.Size()) / float64(n)
+	}
+	small := ratio(1024, 1024)
+	large := ratio(65536, 65536)
+	if large > small*1.5 {
+		t.Errorf("space ratio grew from %.1f to %.1f words/element — not O(N)", small, large)
+	}
+	if large > 40 {
+		t.Errorf("space ratio %.1f words/element is excessive", large)
+	}
+}

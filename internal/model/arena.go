@@ -1,0 +1,83 @@
+package model
+
+import (
+	"fmt"
+
+	"wfsort/internal/xrand"
+)
+
+// Rng is the deterministic per-processor random stream type.
+type Rng = xrand.Rand
+
+// Region is a contiguous range of shared-memory words, used to give
+// structure (arrays, trees, record fields) to the flat address space.
+// The zero value is an empty region.
+type Region struct {
+	Base int // first word
+	Len  int // number of words
+}
+
+// At returns the address of the i-th word of the region. It panics on
+// out-of-range access: on a PRAM a stray address silently corrupts some
+// other structure, so bounds violations are programming errors we want
+// loudly at the fault site.
+func (r Region) At(i int) int {
+	if i < 0 || i >= r.Len {
+		panic(fmt.Sprintf("model: region access %d out of [0,%d)", i, r.Len))
+	}
+	return r.Base + i
+}
+
+// NamedRegion is a region annotated with the structure it implements,
+// for contention-attribution tooling (internal/trace).
+type NamedRegion struct {
+	Name string
+	Region
+}
+
+// Arena hands out non-overlapping regions of shared memory. Lay out all
+// structures with a single Arena before a run, then size the machine
+// with Size. The zero value allocates from address 0.
+type Arena struct {
+	next  int
+	named []NamedRegion
+}
+
+// Array reserves n words and returns the region.
+func (a *Arena) Array(n int) Region {
+	if n < 0 {
+		panic("model: negative array size")
+	}
+	r := Region{Base: a.next, Len: n}
+	a.next += n
+	return r
+}
+
+// Named reserves n words under a label; the label shows up in
+// per-region contention profiles. Layout code uses it for every
+// structure whose traffic is worth attributing.
+func (a *Arena) Named(name string, n int) Region {
+	r := a.Array(n)
+	a.named = append(a.named, NamedRegion{Name: name, Region: r})
+	return r
+}
+
+// Word reserves a single word and returns its address.
+func (a *Arena) Word() int {
+	addr := a.next
+	a.next++
+	return addr
+}
+
+// NamedWord reserves a single labelled word and returns its address.
+func (a *Arena) NamedWord(name string) int {
+	return a.Named(name, 1).Base
+}
+
+// Regions returns every labelled region, in allocation order. The
+// returned slice is shared; callers must not modify it.
+func (a *Arena) Regions() []NamedRegion { return a.named }
+
+// Size returns the number of words reserved so far; pass it to the
+// runtime as the memory size.
+func (a *Arena) Size() int { return a.next }

@@ -1,0 +1,102 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PhaseMetrics aggregates measurements attributed to one Phase label.
+type PhaseMetrics struct {
+	// Ops is the number of shared-memory operations (including Idle)
+	// executed under this label.
+	Ops int64
+	// Steps is the number of machine steps during which at least one
+	// operation carried this label.
+	Steps int64
+	// MaxContention is the maximum number of same-step accesses to a
+	// single memory word by operations under this label.
+	MaxContention int
+	// Stalls is the Dwork–Herlihy–Waarts total-stall count: for every
+	// step and address, accesses-1, summed.
+	Stalls int64
+}
+
+// Metrics reports what a run cost. The simulator fills every field; the
+// native runtime fills the fields it can observe (ops, phases, wall
+// time) and leaves step/contention fields zero.
+type Metrics struct {
+	// P is the number of processors the run started with.
+	P int
+	// Steps is the number of machine steps until the last live
+	// processor returned.
+	Steps int64
+	// Ops is the total number of shared-memory operations executed.
+	Ops int64
+	// Reads, Writes, CASes, Idles break Ops down by kind.
+	Reads, Writes, CASes, Idles int64
+	// CASFailures counts failed compare-and-swaps. On real hardware
+	// (internal/native) a failed CAS is the observable trace of memory
+	// contention, so the ratio CASFailures/CASes is the native
+	// counterpart of the simulator's exact contention measure.
+	CASFailures int64
+	// MaxContention is the paper's contention measure (§1.2): the
+	// maximum number of operations addressing a single memory word in a
+	// single step, over the whole run.
+	MaxContention int
+	// Stalls is the Dwork-style total-stall count over the run.
+	Stalls int64
+	// QRQWTime is the run's duration under the Queue-Read Queue-Write
+	// cost model (each step costs its maximum per-word access queue
+	// length) — the contention-sensitive clock of Gibbons, Matias and
+	// Ramachandran that §3 of the paper refers to. Equal to Steps when
+	// no word is ever accessed twice in a step.
+	QRQWTime int64
+	// Killed is the number of processors crashed by the scheduler.
+	Killed int
+	// ByPhase attributes cost to Phase labels, in first-seen order.
+	ByPhase map[string]*PhaseMetrics
+
+	phaseOrder []string
+}
+
+// PhaseNames returns phase labels in order of first appearance.
+func (m *Metrics) PhaseNames() []string {
+	if m.phaseOrder != nil {
+		return m.phaseOrder
+	}
+	names := make([]string, 0, len(m.ByPhase))
+	for name := range m.ByPhase {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RecordPhase notes that a phase label was observed; runtimes call it to
+// preserve first-seen ordering.
+func (m *Metrics) RecordPhase(name string) *PhaseMetrics {
+	if m.ByPhase == nil {
+		m.ByPhase = make(map[string]*PhaseMetrics)
+	}
+	pm, ok := m.ByPhase[name]
+	if !ok {
+		pm = &PhaseMetrics{}
+		m.ByPhase[name] = pm
+		m.phaseOrder = append(m.phaseOrder, name)
+	}
+	return pm
+}
+
+// String renders a compact human-readable summary.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P=%d steps=%d qrqw=%d ops=%d (r=%d w=%d cas=%d idle=%d) maxcont=%d stalls=%d killed=%d",
+		m.P, m.Steps, m.QRQWTime, m.Ops, m.Reads, m.Writes, m.CASes, m.Idles, m.MaxContention, m.Stalls, m.Killed)
+	for _, name := range m.PhaseNames() {
+		pm := m.ByPhase[name]
+		fmt.Fprintf(&b, "\n  phase %-12s ops=%-10d steps=%-8d maxcont=%-6d stalls=%d",
+			name, pm.Ops, pm.Steps, pm.MaxContention, pm.Stalls)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+// Package model defines the abstract machine against which every
+// algorithm in this repository is written: a set of P processors sharing
+// a flat word-addressed memory, in the style of a CRCW PRAM extended
+// with compare-and-swap.
+//
+// Algorithms are expressed as a Program — ordinary Go code parameterized
+// by a Proc. Two runtimes implement Proc: the deterministic simulator in
+// internal/pram (exact step counts, contention accounting, adversarial
+// scheduling, crash injection) and the real-goroutine runtime in
+// internal/native (sync/atomic shared memory). Writing against Proc once
+// lets the same algorithm be measured on the paper's machine model and
+// shipped as a practical parallel sort.
+package model
+
+// Word is the unit of shared memory. All shared state manipulated by the
+// algorithms (tree pointers, sizes, ranks, work-assignment markers) is
+// stored as words; element keys never enter shared memory — comparisons
+// go through Proc.Less on the immutable input.
+type Word = int64
+
+// Sentinel word values. Element and node indices are 1-based throughout
+// so that the zero value of memory reads as Empty.
+const (
+	// Empty marks an unset pointer or an unclaimed slot (zero value).
+	Empty Word = 0
+	// Done marks a completed leaf or subtree in work-assignment trees.
+	Done Word = -1
+	// AllDone marks global completion in low-contention WATs (Fig. 8).
+	AllDone Word = -2
+)
+
+// Proc is one processor's view of the machine. Each shared-memory
+// operation costs one time step on the simulated backend. Methods are
+// only safe to call from the goroutine running the Program.
+type Proc interface {
+	// ID returns this processor's id in [0, NumProcs()).
+	ID() int
+	// NumProcs returns P, the number of processors in the run.
+	NumProcs() int
+
+	// Read returns the current value of memory word a.
+	Read(a int) Word
+	// Write stores v into memory word a.
+	Write(a int, v Word)
+	// CAS atomically replaces the value of word a with new if it equals
+	// old, reporting whether the swap happened.
+	CAS(a int, old, new Word) bool
+	// Idle consumes one time step without touching memory. The paper's
+	// winner-selection routine (Fig. 9) uses timed waits; Idle models
+	// them faithfully on the simulator and is a yield hint natively.
+	Idle()
+
+	// Less reports the input ordering between element indices i and j
+	// (1-based). It is a local operation on the immutable input and
+	// costs no shared-memory step. Runtimes guarantee it is a strict
+	// total order (ties broken by index).
+	Less(i, j int) bool
+
+	// Rand returns this processor's private deterministic RNG stream.
+	Rand() *Rng
+
+	// Phase labels subsequent operations for metrics attribution. It is
+	// free (costs no step) and purely observational.
+	Phase(name string)
+}
+
+// Program is the code run by every processor. The run completes when all
+// live processors have returned. A processor killed by the scheduler
+// unwinds out of the Program via panic; programs must not recover it
+// (runtimes catch it at the boundary).
+type Program func(p Proc)
+
+// Killed is the panic value delivered to a processor that has been
+// crashed by the scheduler. Runtimes recover it at the Program boundary;
+// algorithm code must let it propagate.
+type Killed struct{ PID int }

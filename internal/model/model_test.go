@@ -1,0 +1,73 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestArenaRegionsDisjoint(t *testing.T) {
+	var a Arena
+	r1 := a.Array(10)
+	w := a.Word()
+	r2 := a.Array(5)
+	if r1.Base != 0 || r1.Len != 10 {
+		t.Errorf("r1 = %+v", r1)
+	}
+	if w != 10 {
+		t.Errorf("word addr = %d, want 10", w)
+	}
+	if r2.Base != 11 || r2.Len != 5 {
+		t.Errorf("r2 = %+v", r2)
+	}
+	if a.Size() != 16 {
+		t.Errorf("size = %d, want 16", a.Size())
+	}
+}
+
+func TestRegionAtBounds(t *testing.T) {
+	var a Arena
+	r := a.Array(3)
+	if r.At(0) != 0 || r.At(2) != 2 {
+		t.Error("At miscomputed")
+	}
+	for _, bad := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", bad)
+				}
+			}()
+			r.At(bad)
+		}()
+	}
+}
+
+func TestArenaNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Array(-1) did not panic")
+		}
+	}()
+	var a Arena
+	a.Array(-1)
+}
+
+func TestMetricsPhaseOrdering(t *testing.T) {
+	var m Metrics
+	m.RecordPhase("z")
+	m.RecordPhase("a")
+	m.RecordPhase("z")
+	got := m.PhaseNames()
+	if len(got) != 2 || got[0] != "z" || got[1] != "a" {
+		t.Errorf("PhaseNames = %v, want [z a] (first-seen order)", got)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	var m Metrics
+	m.P = 4
+	m.RecordPhase("build").Ops = 7
+	s := m.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

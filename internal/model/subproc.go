@@ -1,0 +1,41 @@
+package model
+
+// SubProc presents a processor to an algorithm as a member of a smaller
+// machine: a contiguous group of processors working on a slice of the
+// input. The §3.2 sort splits P processors into sqrt(P) groups, each
+// running the Section 2 sort on its own slice; wrapping the processor
+// lets that inner sort run completely unchanged.
+//
+// ID and NumProcs are remapped to the group-local view, Less is
+// remapped so local element ids 1..len address input elements
+// base+1..base+len, and Phase is prefixed so metrics distinguish inner
+// phases from outer ones.
+type SubProc struct {
+	Proc
+	subID       int
+	subP        int
+	base        int
+	phasePrefix string
+}
+
+// NewSubProc wraps p as processor subID of a subP-processor machine
+// whose element i is the parent machine's element base+i. phasePrefix
+// is prepended to Phase labels.
+func NewSubProc(p Proc, subID, subP, base int, phasePrefix string) *SubProc {
+	if subID < 0 || subID >= subP {
+		panic("model: SubProc id out of range")
+	}
+	return &SubProc{Proc: p, subID: subID, subP: subP, base: base, phasePrefix: phasePrefix}
+}
+
+// ID returns the group-local processor id.
+func (s *SubProc) ID() int { return s.subID }
+
+// NumProcs returns the group size.
+func (s *SubProc) NumProcs() int { return s.subP }
+
+// Less remaps local element ids onto the parent machine's input.
+func (s *SubProc) Less(i, j int) bool { return s.Proc.Less(s.base+i, s.base+j) }
+
+// Phase prefixes the label with the group's prefix.
+func (s *SubProc) Phase(name string) { s.Proc.Phase(s.phasePrefix + name) }

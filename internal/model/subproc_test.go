@@ -1,0 +1,49 @@
+package model
+
+import "testing"
+
+// stubProc records calls; only the methods SubProc overrides matter.
+type stubProc struct {
+	Proc
+	lessCalls  [][2]int
+	phaseCalls []string
+}
+
+func (s *stubProc) ID() int           { return 99 }
+func (s *stubProc) NumProcs() int     { return 100 }
+func (s *stubProc) Phase(name string) { s.phaseCalls = append(s.phaseCalls, name) }
+func (s *stubProc) Less(i, j int) bool {
+	s.lessCalls = append(s.lessCalls, [2]int{i, j})
+	return i < j
+}
+
+func TestSubProcRemapping(t *testing.T) {
+	inner := &stubProc{}
+	sub := NewSubProc(inner, 3, 8, 20, "grp:")
+	if sub.ID() != 3 {
+		t.Errorf("ID = %d, want 3 (not the inner 99)", sub.ID())
+	}
+	if sub.NumProcs() != 8 {
+		t.Errorf("NumProcs = %d, want 8", sub.NumProcs())
+	}
+	// Local elements 1 and 5 map to global 21 and 25.
+	if !sub.Less(1, 5) {
+		t.Error("Less(1,5) should hold for increasing global ids")
+	}
+	if got := inner.lessCalls[0]; got != [2]int{21, 25} {
+		t.Errorf("inner Less called with %v, want [21 25]", got)
+	}
+	sub.Phase("build")
+	if inner.phaseCalls[0] != "grp:build" {
+		t.Errorf("Phase forwarded as %q", inner.phaseCalls[0])
+	}
+}
+
+func TestSubProcRejectsBadID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range sub id accepted")
+		}
+	}()
+	NewSubProc(&stubProc{}, 8, 8, 0, "")
+}

@@ -1,0 +1,250 @@
+// Package native runs model.Programs on real goroutines with
+// sync/atomic shared memory — the "operating systems" realization the
+// paper's introduction motivates: sorting threads can be reaped at any
+// moment (kill flags) and the wait-free algorithms still complete on the
+// surviving goroutines.
+//
+// Unlike internal/pram there is no global clock: Read/Write/CAS map
+// directly onto atomic loads, stores and compare-and-swaps, so a run is
+// as fast as the hardware allows and scheduling is whatever the Go
+// runtime does. Metrics are therefore limited to operation counts and
+// wall time; step counts and exact contention are simulator-only.
+package native
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfsort/internal/model"
+	"wfsort/internal/xrand"
+)
+
+// Word aliases the shared-memory word type.
+type Word = model.Word
+
+// Config describes a native run.
+type Config struct {
+	// P is the number of worker goroutines (>= 1).
+	P int
+	// Mem is the shared-memory size in words.
+	Mem int
+	// Seed determines per-processor RNG streams.
+	Seed uint64
+	// Less is the input order consulted by Proc.Less; nil compares
+	// element indices.
+	Less func(i, j int) bool
+	// CountOps enables per-processor operation counters (small cost).
+	CountOps bool
+}
+
+// Runtime executes one Program on P goroutines. Create with New; a
+// Runtime is single-use.
+type Runtime struct {
+	cfg   Config
+	mem   []Word
+	kill  []atomic.Bool
+	ops   []paddedCounter
+	ran   bool
+	start time.Time
+
+	mu      sync.Mutex
+	live    int
+	prog    model.Program
+	wg      sync.WaitGroup
+	root    *xrand.Rand
+	respawn int
+	onPanic func(pid int, rec any)
+
+	// Elapsed is the wall-clock duration of Run, valid after Run.
+	Elapsed time.Duration
+}
+
+// paddedCounter avoids false sharing between per-processor counters.
+type paddedCounter struct {
+	n        int64
+	cas      int64
+	casFails int64
+	_        [5]int64
+}
+
+// New builds a runtime.
+func New(cfg Config) *Runtime {
+	if cfg.P < 1 {
+		panic("native: Config.P must be >= 1")
+	}
+	if cfg.Less == nil {
+		cfg.Less = func(i, j int) bool { return i < j }
+	}
+	return &Runtime{
+		cfg:  cfg,
+		mem:  make([]Word, cfg.Mem),
+		kill: make([]atomic.Bool, cfg.P),
+		ops:  make([]paddedCounter, cfg.P),
+	}
+}
+
+// Memory returns the shared memory. Reading it is only safe before Run
+// starts and after Run returns.
+func (r *Runtime) Memory() []Word { return r.mem }
+
+// Kill marks processor pid for termination: its next shared-memory
+// operation unwinds the Program. Safe to call concurrently with Run —
+// that is its purpose (reaping a sorting thread mid-run, §1 of the
+// paper).
+func (r *Runtime) Kill(pid int) { r.kill[pid].Store(true) }
+
+// Run executes prog on P goroutines and blocks until all have returned
+// or been killed. The returned metrics carry op counts (if enabled),
+// kill counts and wall time.
+func (r *Runtime) Run(prog model.Program) (*model.Metrics, error) {
+	if r.ran {
+		return nil, errors.New("native: Runtime.Run called twice")
+	}
+	r.ran = true
+	r.prog = prog
+	r.root = xrand.New(r.cfg.Seed)
+
+	var (
+		panicMu  sync.Mutex
+		panicked error
+		killed   atomic.Int64
+	)
+	r.onPanic = func(pid int, rec any) {
+		if _, ok := rec.(model.Killed); ok {
+			killed.Add(1)
+			return
+		}
+		panicMu.Lock()
+		if panicked == nil {
+			panicked = fmt.Errorf("native: processor %d panicked: %v", pid, rec)
+		}
+		panicMu.Unlock()
+	}
+	r.start = time.Now()
+	r.mu.Lock()
+	for pid := 0; pid < r.cfg.P; pid++ {
+		r.spawnLocked(pid)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	r.Elapsed = time.Since(r.start)
+
+	met := &model.Metrics{P: r.cfg.P, Killed: int(killed.Load())}
+	if r.cfg.CountOps {
+		for i := range r.ops {
+			met.Ops += atomic.LoadInt64(&r.ops[i].n)
+			met.CASes += atomic.LoadInt64(&r.ops[i].cas)
+			met.CASFailures += atomic.LoadInt64(&r.ops[i].casFails)
+		}
+	}
+	panicMu.Lock()
+	defer panicMu.Unlock()
+	return met, panicked
+}
+
+// spawnLocked starts a goroutine for pid; r.mu must be held.
+func (r *Runtime) spawnLocked(pid int) {
+	r.live++
+	r.wg.Add(1)
+	rng := r.root.Fork(uint64(pid) | uint64(r.respawn)<<32)
+	go func() {
+		defer func() {
+			rec := recover()
+			r.mu.Lock()
+			r.live--
+			r.mu.Unlock()
+			if rec != nil {
+				r.onPanic(pid, rec)
+			}
+			r.wg.Done()
+		}()
+		r.prog(&proc{rt: r, id: pid, rng: rng})
+	}()
+}
+
+// Respawn restarts a previously killed processor id with a fresh
+// goroutine running the program from the beginning — the paper's §1
+// scenario of spawning a new sorting thread when a processor frees up.
+// The wait-free algorithms in this repository are restartable: work
+// already completed is skipped through completion marks, so a
+// restarted processor simply helps finish what remains.
+//
+// Respawn is only valid while Run is in flight with at least one live
+// worker; it returns an error once the run has completed (there is
+// nothing left to help with).
+func (r *Runtime) Respawn(pid int) error {
+	if pid < 0 || pid >= r.cfg.P {
+		return fmt.Errorf("native: respawn pid %d out of range [0,%d)", pid, r.cfg.P)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.ran || r.live == 0 {
+		return errors.New("native: respawn needs a run in flight with live workers")
+	}
+	r.kill[pid].Store(false)
+	r.respawn++
+	r.spawnLocked(pid)
+	return nil
+}
+
+// proc implements model.Proc over atomic operations.
+type proc struct {
+	rt  *Runtime
+	id  int
+	rng *xrand.Rand
+	n   int64 // local op count, flushed lazily
+}
+
+var _ model.Proc = (*proc)(nil)
+
+func (p *proc) ID() int       { return p.id }
+func (p *proc) NumProcs() int { return p.rt.cfg.P }
+
+func (p *proc) pre() {
+	if p.rt.kill[p.id].Load() {
+		panic(model.Killed{PID: p.id})
+	}
+	if p.rt.cfg.CountOps {
+		atomic.AddInt64(&p.rt.ops[p.id].n, 1)
+	}
+}
+
+func (p *proc) Read(a int) Word {
+	p.pre()
+	return atomic.LoadInt64(&p.rt.mem[a])
+}
+
+func (p *proc) Write(a int, v Word) {
+	p.pre()
+	atomic.StoreInt64(&p.rt.mem[a], v)
+}
+
+func (p *proc) CAS(a int, old, new Word) bool {
+	p.pre()
+	ok := atomic.CompareAndSwapInt64(&p.rt.mem[a], old, new)
+	if p.rt.cfg.CountOps {
+		atomic.AddInt64(&p.rt.ops[p.id].cas, 1)
+		if !ok {
+			atomic.AddInt64(&p.rt.ops[p.id].casFails, 1)
+		}
+	}
+	return ok
+}
+
+func (p *proc) Idle() {
+	p.pre()
+}
+
+func (p *proc) Less(i, j int) bool {
+	if i == j {
+		return false
+	}
+	return p.rt.cfg.Less(i, j)
+}
+
+func (p *proc) Rand() *model.Rng { return p.rng }
+
+func (p *proc) Phase(string) {}

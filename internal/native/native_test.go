@@ -1,0 +1,132 @@
+package native
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfsort/internal/model"
+)
+
+func TestAllProcessorsRun(t *testing.T) {
+	const p = 8
+	rt := New(Config{P: p, Mem: p})
+	_, err := rt.Run(func(pr model.Proc) {
+		pr.Write(pr.ID(), model.Word(pr.ID()+1))
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < p; i++ {
+		if rt.Memory()[i] != model.Word(i+1) {
+			t.Errorf("mem[%d] = %d, want %d", i, rt.Memory()[i], i+1)
+		}
+	}
+}
+
+func TestCASExactlyOneWinner(t *testing.T) {
+	const p = 16
+	rt := New(Config{P: p, Mem: 1 + p})
+	_, err := rt.Run(func(pr model.Proc) {
+		if pr.CAS(0, model.Empty, model.Word(pr.ID()+1)) {
+			pr.Write(1+pr.ID(), 1)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	winners := 0
+	for i := 0; i < p; i++ {
+		if rt.Memory()[1+i] == 1 {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("CAS winners = %d, want 1", winners)
+	}
+}
+
+func TestKillUnwindsProcessor(t *testing.T) {
+	const p = 4
+	rt := New(Config{P: p, Mem: p})
+	var entered atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		// Reap processor 0 once it has started working.
+		for entered.Load() == 0 {
+			time.Sleep(time.Microsecond)
+		}
+		rt.Kill(0)
+		close(done)
+	}()
+	met, err := rt.Run(func(pr model.Proc) {
+		if pr.ID() == 0 {
+			entered.Add(1)
+			<-done
+			for {
+				pr.Idle() // kill flag is checked here; must unwind
+			}
+		}
+		pr.Write(pr.ID(), 1)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if met.Killed != 1 {
+		t.Errorf("killed = %d, want 1", met.Killed)
+	}
+	for i := 1; i < p; i++ {
+		if rt.Memory()[i] != 1 {
+			t.Errorf("survivor %d did not finish", i)
+		}
+	}
+}
+
+func TestOpCounting(t *testing.T) {
+	rt := New(Config{P: 3, Mem: 1, CountOps: true})
+	met, err := rt.Run(func(pr model.Proc) {
+		for i := 0; i < 5; i++ {
+			pr.Read(0)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if met.Ops != 15 {
+		t.Errorf("ops = %d, want 15", met.Ops)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	rt := New(Config{P: 2, Mem: 1})
+	_, err := rt.Run(func(pr model.Proc) {
+		if pr.ID() == 1 {
+			panic("kaboom")
+		}
+	})
+	if err == nil {
+		t.Fatal("panic was swallowed")
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	rt := New(Config{P: 1, Mem: 1})
+	if _, err := rt.Run(func(model.Proc) {}); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if _, err := rt.Run(func(model.Proc) {}); err == nil {
+		t.Fatal("second Run succeeded, want error")
+	}
+}
+
+func TestLessTieBreak(t *testing.T) {
+	rt := New(Config{P: 1, Mem: 1, Less: func(i, j int) bool { return false }})
+	_, err := rt.Run(func(pr model.Proc) {
+		if pr.Less(3, 3) {
+			t.Error("Less(i,i) must be false")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

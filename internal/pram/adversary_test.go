@@ -1,0 +1,156 @@
+package pram
+
+import (
+	"testing"
+
+	"wfsort/internal/model"
+)
+
+// TestQRQWTimeEqualsStepsWithoutCollisions checks the QRQW clock
+// degenerates to the step count when all accesses are disjoint.
+func TestQRQWTimeEqualsStepsWithoutCollisions(t *testing.T) {
+	const p, rounds = 8, 4
+	m := New(Config{P: p, Mem: p})
+	met, err := m.Run(func(pr model.Proc) {
+		for r := 0; r < rounds; r++ {
+			pr.Write(pr.ID(), 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.QRQWTime != met.Steps {
+		t.Errorf("QRQW time %d != steps %d despite disjoint accesses", met.QRQWTime, met.Steps)
+	}
+}
+
+// TestQRQWTimeChargesQueues checks a fully colliding step costs P.
+func TestQRQWTimeChargesQueues(t *testing.T) {
+	const p = 16
+	m := New(Config{P: p, Mem: 1})
+	met, err := m.Run(func(pr model.Proc) {
+		pr.Read(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Steps != 1 || met.QRQWTime != p {
+		t.Errorf("steps=%d qrqw=%d, want 1 and %d", met.Steps, met.QRQWTime, p)
+	}
+}
+
+// TestContentionAdversaryForcesCollisions runs a program where each
+// processor writes its own cell and then a shared cell; the adversary
+// must align the shared-cell writes into one step of contention P.
+func TestContentionAdversaryForcesCollisions(t *testing.T) {
+	const p = 16
+	m := New(Config{P: p, Mem: p + 1, Sched: NewContentionAdversary()})
+	met, err := m.Run(func(pr model.Proc) {
+		pr.Write(pr.ID(), 1) // private
+		pr.Write(p, 1)       // shared hot word
+		pr.Write(pr.ID(), 2) // private again
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.MaxContention != p {
+		t.Errorf("adversary achieved contention %d, want %d", met.MaxContention, p)
+	}
+	// All work must still complete: wait-freedom is about progress, and
+	// the adversary always releases someone.
+	for i := 0; i < p; i++ {
+		if m.Memory()[i] != 2 {
+			t.Errorf("processor %d did not finish", i)
+		}
+	}
+}
+
+// TestContentionAdversaryNeverStalls runs a collision-free program: the
+// adversary must release processors anyway.
+func TestContentionAdversaryNeverStalls(t *testing.T) {
+	const p = 8
+	m := New(Config{P: p, Mem: p, Sched: NewContentionAdversary(), MaxSteps: 100000})
+	_, err := m.Run(func(pr model.Proc) {
+		for i := 0; i < 10; i++ {
+			pr.Write(pr.ID(), model.Word(i))
+			pr.Idle()
+		}
+	})
+	if err != nil {
+		t.Fatalf("collision-free program did not finish: %v", err)
+	}
+}
+
+// TestHoldAddressAccumulatesAndDetonates runs a program where every
+// processor does private work of different lengths before touching a
+// shared word; the adversary must hold the early arrivals until ALL
+// processors pend on the shared word, yielding contention exactly P.
+func TestHoldAddressAccumulatesAndDetonates(t *testing.T) {
+	const p = 32
+	const shared = p
+	m := New(Config{P: p, Mem: p + 1, Sched: HoldAddress(shared)})
+	met, err := m.Run(func(pr model.Proc) {
+		// Staggered private work: processors arrive at the shared word
+		// at very different times.
+		for i := 0; i <= pr.ID(); i++ {
+			pr.Write(pr.ID(), model.Word(i))
+		}
+		pr.Write(shared, 1)
+		pr.Write(pr.ID(), 99)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.MaxContention != p {
+		t.Errorf("targeted adversary achieved contention %d, want exactly %d", met.MaxContention, p)
+	}
+	for i := 0; i < p; i++ {
+		if m.Memory()[i] != 99 {
+			t.Errorf("processor %d did not finish", i)
+		}
+	}
+}
+
+// TestHoldAddressNoTouchStillTerminates: a program that never touches
+// the held address must run unimpeded.
+func TestHoldAddressNoTouchStillTerminates(t *testing.T) {
+	m := New(Config{P: 4, Mem: 5, Sched: HoldAddress(4)})
+	met, err := m.Run(func(pr model.Proc) {
+		for i := 0; i < 10; i++ {
+			pr.Write(pr.ID(), model.Word(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Steps != 10 {
+		t.Errorf("steps = %d, want 10 (no holding of unrelated ops)", met.Steps)
+	}
+}
+
+// TestContentionAdversaryOnRandomizedProgram demonstrates the
+// Dwork–Herlihy–Waarts theorem in miniature: even when processors pick
+// random targets (low contention under a fair scheduler), the adversary
+// groups same-target processors together and drives contention well
+// above the oblivious level.
+func TestContentionAdversaryOnRandomizedProgram(t *testing.T) {
+	const p, words, roundsPer = 64, 8, 16
+	prog := func(pr model.Proc) {
+		for i := 0; i < roundsPer; i++ {
+			pr.Write(pr.Rand().Intn(words), 1)
+		}
+	}
+	fair := New(Config{P: p, Mem: words, Seed: 3})
+	metFair, err := fair.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := New(Config{P: p, Mem: words, Seed: 3, Sched: NewContentionAdversary()})
+	metAdv, err := adv.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metAdv.MaxContention <= metFair.MaxContention {
+		t.Errorf("adversary contention %d not above fair %d", metAdv.MaxContention, metFair.MaxContention)
+	}
+}

@@ -1,0 +1,63 @@
+package pram
+
+import (
+	"testing"
+
+	"wfsort/internal/model"
+)
+
+// BenchmarkMachineThroughput measures raw simulator speed: operations
+// per second through the post/execute/resume cycle. It bounds how big
+// an experiment the harness can afford.
+func BenchmarkMachineThroughput(b *testing.B) {
+	for _, p := range []int{1, 16, 256} {
+		b.Run(itoa(p)+"procs", func(b *testing.B) {
+			const opsPerProc = 64
+			rounds := b.N/(p*opsPerProc) + 1
+			b.ResetTimer()
+			total := int64(0)
+			for r := 0; r < rounds; r++ {
+				m := New(Config{P: p, Mem: p})
+				met, err := m.Run(func(pr model.Proc) {
+					for i := 0; i < opsPerProc; i++ {
+						pr.Write(pr.ID(), model.Word(i))
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += met.Ops
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "simops/s")
+		})
+	}
+}
+
+// BenchmarkContendedCAS measures the step loop under full contention
+// (every processor hits the same word).
+func BenchmarkContendedCAS(b *testing.B) {
+	const p = 64
+	rounds := b.N/p + 1
+	for r := 0; r < rounds; r++ {
+		m := New(Config{P: p, Mem: 1})
+		if _, err := m.Run(func(pr model.Proc) {
+			pr.CAS(0, 0, model.Word(pr.ID()+1))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,121 @@
+package pram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wfsort/internal/model"
+)
+
+// TestLinearizability replays every executed operation, in the exact
+// order the machine applied them, against a sequential model of memory,
+// and checks each observed result matches. This validates the
+// simulator's core semantic contract — operations within a step apply
+// sequentially in scheduler order (arbitrary CRCW with linearizable
+// CAS) — over random programs and random schedules.
+func TestLinearizability(t *testing.T) {
+	type result struct {
+		op  ExecutedOp
+		seq int
+	}
+	run := func(seed uint64, p, words, opsPer int, sched Scheduler) bool {
+		var history []ExecutedOp
+		m := New(Config{
+			P: p, Mem: words, Seed: seed, Sched: sched,
+			Observer: func(_ int64, ops []ExecutedOp) {
+				history = append(history, ops...)
+			},
+		})
+		_, err := m.Run(func(pr model.Proc) {
+			rng := pr.Rand()
+			for i := 0; i < opsPer; i++ {
+				a := rng.Intn(words)
+				switch rng.Intn(3) {
+				case 0:
+					pr.Read(a)
+				case 1:
+					pr.Write(a, model.Word(rng.Intn(100)))
+				default:
+					pr.CAS(a, model.Word(rng.Intn(4)), model.Word(rng.Intn(100)))
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		// Sequential replay.
+		mem := make([]model.Word, words)
+		for i, op := range history {
+			switch op.Kind {
+			case OpRead:
+				if mem[op.Addr] != op.Value {
+					t.Fatalf("history[%d]: read(%d) observed %d, replay has %d",
+						i, op.Addr, op.Value, mem[op.Addr])
+				}
+			case OpWrite:
+				mem[op.Addr] = op.Value
+			case OpCAS:
+				// ExecutedOp records the post-op value and success.
+				if op.OK {
+					mem[op.Addr] = op.Value
+				}
+				if mem[op.Addr] != op.Value {
+					t.Fatalf("history[%d]: cas(%d) observed post-value %d, replay has %d",
+						i, op.Addr, op.Value, mem[op.Addr])
+				}
+			}
+		}
+		// Final memory must match the replay.
+		for a := 0; a < words; a++ {
+			if m.Memory()[a] != mem[a] {
+				t.Fatalf("final mem[%d] = %d, replay has %d", a, m.Memory()[a], mem[a])
+			}
+		}
+		return true
+	}
+
+	scheds := []func() Scheduler{
+		func() Scheduler { return Synchronous() },
+		func() Scheduler { return PriorityOrder() },
+		func() Scheduler { return RandomSubset(0.4) },
+		func() Scheduler { return RoundRobin(3) },
+		func() Scheduler { return NewContentionAdversary() },
+	}
+	f := func(seed uint64, schedPick uint8) bool {
+		return run(seed, 8, 4, 30, scheds[int(schedPick)%len(scheds)]())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	_ = result{}
+}
+
+// TestCASPostValueSemantics pins down what ExecutedOp records for CAS:
+// the post-operation value of the word and the success flag.
+func TestCASPostValueSemantics(t *testing.T) {
+	var history []ExecutedOp
+	m := New(Config{
+		P: 1, Mem: 1, Sched: PriorityOrder(),
+		Observer: func(_ int64, ops []ExecutedOp) { history = append(history, ops...) },
+	})
+	_, err := m.Run(func(pr model.Proc) {
+		if !pr.CAS(0, 0, 5) {
+			t.Error("first CAS should succeed")
+		}
+		if pr.CAS(0, 0, 9) {
+			t.Error("second CAS should fail")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 2 {
+		t.Fatalf("history = %d ops", len(history))
+	}
+	if !history[0].OK || history[0].Value != 5 {
+		t.Errorf("first CAS recorded %+v", history[0])
+	}
+	if history[1].OK || history[1].Value != 5 {
+		t.Errorf("second CAS recorded %+v", history[1])
+	}
+}

@@ -1,0 +1,470 @@
+// Package pram implements a deterministic simulator for the machine
+// model of the paper: a CRCW PRAM with compare-and-swap, explicit time
+// steps, exact per-variable contention accounting, adversarial
+// scheduling and crash (fail-stop) injection.
+//
+// # Execution model
+//
+// Every processor runs a model.Program on its own goroutine, but
+// progress is centrally clocked: each shared-memory operation (Read,
+// Write, CAS, Idle) blocks until the machine grants it a step. One
+// machine step proceeds as follows:
+//
+//  1. Every live, unblocked processor has posted exactly one pending
+//     operation (the machine waits for stragglers, so steps are true
+//     barriers).
+//  2. The Scheduler picks an ordered subset of the ready processors to
+//     execute this step, and may crash others.
+//  3. The chosen operations are applied to memory sequentially in the
+//     scheduler's order, each observing the effects of earlier
+//     operations within the step. This realizes arbitrary-CRCW write
+//     semantics and gives CAS its natural one-winner-per-location
+//     behaviour.
+//  4. Contention is recorded: for every address touched this step, the
+//     number of operations touching it. The run's MaxContention is the
+//     paper's contention measure (§1.2).
+//
+// Crashed processors unwind via a model.Killed panic recovered at the
+// Program boundary; wait-free algorithms must complete regardless, and
+// non-wait-free baselines are caught by MaxSteps.
+//
+// Local computation between shared-memory operations is free, matching
+// the PRAM convention of counting memory accesses as the unit of time.
+package pram
+
+import (
+	"errors"
+	"fmt"
+
+	"wfsort/internal/model"
+	"wfsort/internal/xrand"
+)
+
+// Word aliases the shared-memory word type.
+type Word = model.Word
+
+// ErrMaxSteps is returned (wrapped) when a run exceeds Config.MaxSteps.
+// Non-wait-free algorithms hit it when processors crash; tests use it to
+// demonstrate exactly that.
+var ErrMaxSteps = errors.New("pram: exceeded MaxSteps without terminating")
+
+// ErrStalled is returned when the scheduler refuses to run or kill any
+// ready processor, which would freeze the machine forever.
+var ErrStalled = errors.New("pram: scheduler selected no processors")
+
+// DefaultMaxSteps bounds runs that do not set Config.MaxSteps.
+const DefaultMaxSteps = 1 << 26
+
+// Config describes a machine.
+type Config struct {
+	// P is the number of processors (>= 1).
+	P int
+	// Mem is the shared-memory size in words (model.Arena.Size()).
+	Mem int
+	// Seed determines every random choice: per-processor RNG streams
+	// and any randomness inside the scheduler.
+	Seed uint64
+	// Sched decides which processors advance each step. nil means
+	// Synchronous(): the paper's faultless "normal execution".
+	Sched Scheduler
+	// Less is the input order consulted by Proc.Less. nil means ordering
+	// element indices by index value (useful for structural tests).
+	Less func(i, j int) bool
+	// MaxSteps aborts runaway executions; 0 means DefaultMaxSteps.
+	MaxSteps int64
+	// Observer, when non-nil, is invoked after every step with the
+	// operations that executed. It must not retain the slice.
+	Observer func(step int64, execed []ExecutedOp)
+}
+
+// ExecutedOp describes one operation applied during a step, for
+// observers and trace tooling.
+type ExecutedOp struct {
+	PID   int
+	Kind  OpKind
+	Addr  int
+	Value Word // value written (writes), value read (reads), or post-op value (CAS)
+	OK    bool // CAS success
+	Phase string
+}
+
+// OpKind enumerates shared-memory operation kinds.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpCAS
+	OpIdle
+)
+
+// String returns the mnemonic for the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCAS:
+		return "cas"
+	case OpIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("opkind(%d)", uint8(k))
+	}
+}
+
+type op struct {
+	kind OpKind
+	addr int
+	v    Word // write value / CAS new
+	old  Word // CAS expected
+}
+
+type postMsg struct {
+	pid      int
+	exit     bool
+	panicked any
+}
+
+type resumeMsg struct {
+	val    Word
+	ok     bool
+	killed bool
+}
+
+type procState struct {
+	ctx    *procCtx
+	op     op
+	phase  string
+	resume chan resumeMsg
+	ready  bool // has a posted, unexecuted op
+	alive  bool
+	ops    int64
+}
+
+// Machine is a configured simulator. Create with New, run one Program
+// with Run, then inspect memory. A Machine is single-use.
+type Machine struct {
+	cfg    Config
+	mem    []Word
+	procs  []procState
+	posted chan postMsg
+	ran    bool
+
+	metrics    model.Metrics
+	opsPerProc []int64
+	schedRng   *xrand.Rand
+
+	// step scratch
+	accesses map[int]int
+	phases   map[string]bool
+	execed   []ExecutedOp
+	pending  []PendingOp
+}
+
+// New builds a machine. It panics on nonsensical configuration (these
+// are programming errors, not runtime conditions).
+func New(cfg Config) *Machine {
+	if cfg.P < 1 {
+		panic("pram: Config.P must be >= 1")
+	}
+	if cfg.Mem < 0 {
+		panic("pram: negative Config.Mem")
+	}
+	if cfg.Sched == nil {
+		cfg.Sched = Synchronous()
+	}
+	if cfg.Less == nil {
+		cfg.Less = func(i, j int) bool { return i < j }
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	return &Machine{
+		cfg:      cfg,
+		mem:      make([]Word, cfg.Mem),
+		posted:   make(chan postMsg, cfg.P),
+		accesses: make(map[int]int),
+		phases:   make(map[string]bool),
+	}
+}
+
+// Memory returns the shared memory. Callers may read it freely before
+// Run (to set inputs) and after Run returns; accessing it during a run
+// is a race by construction.
+func (m *Machine) Memory() []Word { return m.mem }
+
+// OpsPerProc returns, after Run, the number of operations each
+// processor executed — the quantity bounded by the paper's wait-freedom
+// lemmas.
+func (m *Machine) OpsPerProc() []int64 { return m.opsPerProc }
+
+// Run executes prog on all P processors until every processor returns
+// (or is crashed), and returns the run's metrics. It is an error to call
+// Run twice.
+func (m *Machine) Run(prog model.Program) (*model.Metrics, error) {
+	if m.ran {
+		return nil, errors.New("pram: Machine.Run called twice")
+	}
+	m.ran = true
+
+	root := xrand.New(m.cfg.Seed)
+	m.schedRng = root.Fork(^uint64(0))
+	m.metrics.P = m.cfg.P
+	m.procs = make([]procState, m.cfg.P)
+	for i := range m.procs {
+		m.procs[i] = procState{
+			ctx: &procCtx{
+				m:   m,
+				id:  i,
+				rng: root.Fork(uint64(i)),
+			},
+			resume: make(chan resumeMsg, 1),
+			alive:  true,
+		}
+		m.procs[i].ctx.state = &m.procs[i]
+	}
+	for i := range m.procs {
+		go m.runProc(&m.procs[i], prog)
+	}
+
+	err := m.loop()
+
+	m.opsPerProc = make([]int64, m.cfg.P)
+	for i := range m.procs {
+		m.opsPerProc[i] = m.procs[i].ops
+	}
+	return &m.metrics, err
+}
+
+func (m *Machine) runProc(ps *procState, prog model.Program) {
+	defer func() {
+		msg := postMsg{pid: ps.ctx.id, exit: true}
+		if r := recover(); r != nil {
+			if _, ok := r.(model.Killed); !ok {
+				msg.panicked = r
+			}
+		}
+		m.posted <- msg
+	}()
+	prog(ps.ctx)
+}
+
+// loop is the central clock. Invariant at the top of each iteration:
+// every live processor either has a ready (posted, unexecuted) op or is
+// about to post one; `waiting` counts the latter.
+func (m *Machine) loop() error {
+	live := m.cfg.P
+	waiting := m.cfg.P // procs we expect a post (or exit) from
+	var progErr error
+	ready := make([]int, 0, m.cfg.P)
+
+	for live > 0 {
+		// Collect posts until every live processor is accounted for.
+		for waiting > 0 {
+			msg := <-m.posted
+			waiting--
+			if msg.exit {
+				st := &m.procs[msg.pid]
+				st.alive = false
+				st.ready = false
+				live--
+				if msg.panicked != nil && progErr == nil {
+					progErr = fmt.Errorf("pram: processor %d panicked: %v", msg.pid, msg.panicked)
+				}
+			} else {
+				m.procs[msg.pid].ready = true
+			}
+		}
+		if live == 0 {
+			break
+		}
+		if progErr != nil {
+			// Abort: crash everything still alive so goroutines unwind.
+			for i := range m.procs {
+				st := &m.procs[i]
+				if st.alive && st.ready {
+					st.ready = false
+					waiting++
+					st.resume <- resumeMsg{killed: true}
+				}
+			}
+			for waiting > 0 {
+				msg := <-m.posted
+				waiting--
+				if msg.exit {
+					live--
+				} else {
+					// The processor posted another op before seeing the
+					// kill; kill it again.
+					waiting++
+					m.procs[msg.pid].resume <- resumeMsg{killed: true}
+				}
+			}
+			return progErr
+		}
+
+		ready = ready[:0]
+		for i := range m.procs {
+			if m.procs[i].alive && m.procs[i].ready {
+				ready = append(ready, i)
+			}
+		}
+
+		var dec Decision
+		if oas, ok := m.cfg.Sched.(OpAwareScheduler); ok {
+			m.pending = m.pending[:0]
+			for _, pid := range ready {
+				o := m.procs[pid].op
+				m.pending = append(m.pending, PendingOp{PID: pid, Kind: o.kind, Addr: o.addr})
+			}
+			dec = oas.NextOps(m.metrics.Steps, m.pending, m.schedRng)
+		} else {
+			dec = m.cfg.Sched.Next(m.metrics.Steps, ready, m.schedRng)
+		}
+		if len(dec.Run) == 0 && len(dec.Kill) == 0 {
+			m.abort(&waiting, &live)
+			return fmt.Errorf("%w at step %d with %d ready", ErrStalled, m.metrics.Steps, len(ready))
+		}
+
+		for _, pid := range dec.Kill {
+			st := &m.procs[pid]
+			if !st.alive || !st.ready {
+				continue
+			}
+			st.ready = false
+			st.resume <- resumeMsg{killed: true}
+			waiting++
+			m.metrics.Killed++
+		}
+
+		executed := m.execStep(dec.Run)
+		waiting += executed
+		if executed > 0 {
+			m.metrics.Steps++
+			if m.metrics.Steps > m.cfg.MaxSteps {
+				m.abort(&waiting, &live)
+				return fmt.Errorf("%w (MaxSteps=%d)", ErrMaxSteps, m.cfg.MaxSteps)
+			}
+		}
+	}
+	// A panic can arrive together with the final exit, after the abort
+	// path is no longer reachable; still report it.
+	return progErr
+}
+
+// abort crashes every remaining processor so their goroutines exit.
+func (m *Machine) abort(waiting, live *int) {
+	for i := range m.procs {
+		st := &m.procs[i]
+		if st.alive && st.ready {
+			st.ready = false
+			*waiting++
+			st.resume <- resumeMsg{killed: true}
+		}
+	}
+	for *waiting > 0 {
+		msg := <-m.posted
+		*waiting--
+		if msg.exit {
+			*live--
+		} else {
+			*waiting++
+			m.procs[msg.pid].resume <- resumeMsg{killed: true}
+		}
+	}
+}
+
+// execStep applies the selected processors' ops in order and resumes
+// them. It returns how many processors were resumed.
+func (m *Machine) execStep(run []int) int {
+	clear(m.accesses)
+	clear(m.phases)
+	m.execed = m.execed[:0]
+
+	resumed := 0
+	for _, pid := range run {
+		st := &m.procs[pid]
+		if !st.alive || !st.ready {
+			continue
+		}
+		st.ready = false
+		resumed++
+		o := st.op
+		res := resumeMsg{}
+		switch o.kind {
+		case OpRead:
+			res.val = m.mem[o.addr]
+			m.metrics.Reads++
+			m.accesses[o.addr]++
+		case OpWrite:
+			m.mem[o.addr] = o.v
+			m.metrics.Writes++
+			m.accesses[o.addr]++
+		case OpCAS:
+			if m.mem[o.addr] == o.old {
+				m.mem[o.addr] = o.v
+				res.ok = true
+			} else {
+				m.metrics.CASFailures++
+			}
+			res.val = m.mem[o.addr]
+			m.metrics.CASes++
+			m.accesses[o.addr]++
+		case OpIdle:
+			m.metrics.Idles++
+		}
+		st.ops++
+		m.metrics.Ops++
+		pm := m.metrics.RecordPhase(st.phase)
+		pm.Ops++
+		m.phases[st.phase] = true
+		if m.cfg.Observer != nil {
+			val := res.val
+			if o.kind == OpWrite {
+				val = o.v
+			}
+			m.execed = append(m.execed, ExecutedOp{
+				PID: pid, Kind: o.kind, Addr: o.addr, Value: val, OK: res.ok, Phase: st.phase,
+			})
+		}
+		st.resume <- res
+	}
+
+	// Contention accounting for this step.
+	stepMax := 0
+	for _, n := range m.accesses {
+		if n > stepMax {
+			stepMax = n
+		}
+		if n > 1 {
+			m.metrics.Stalls += int64(n - 1)
+		}
+	}
+	if stepMax > m.metrics.MaxContention {
+		m.metrics.MaxContention = stepMax
+	}
+	// QRQW accounting (Gibbons–Matias–Ramachandran, cited in §3): a
+	// step's duration is the longest per-word access queue it creates.
+	m.metrics.QRQWTime += int64(max(stepMax, 1))
+	// Phase attribution is per-step: the step-wide contention maximum is
+	// charged to every phase with an operation in this step. Phases of
+	// distinct processors rarely overlap in time, so this is exact in
+	// practice and conservative otherwise.
+	for name := range m.phases {
+		pm := m.metrics.ByPhase[name]
+		pm.Steps++
+		if stepMax > pm.MaxContention {
+			pm.MaxContention = stepMax
+		}
+		if stepMax > 1 {
+			pm.Stalls += int64(stepMax - 1)
+		}
+	}
+	if m.cfg.Observer != nil {
+		m.cfg.Observer(m.metrics.Steps, m.execed)
+	}
+	return resumed
+}

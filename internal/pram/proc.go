@@ -1,0 +1,74 @@
+package pram
+
+import (
+	"fmt"
+
+	"wfsort/internal/model"
+	"wfsort/internal/xrand"
+)
+
+// procCtx implements model.Proc for one simulated processor. All methods
+// must be called from the processor's own goroutine (the one running the
+// Program); the machine enforces the step discipline via the
+// post/resume handshake.
+type procCtx struct {
+	m     *Machine
+	state *procState
+	id    int
+	rng   *xrand.Rand
+}
+
+var _ model.Proc = (*procCtx)(nil)
+
+func (p *procCtx) ID() int       { return p.id }
+func (p *procCtx) NumProcs() int { return p.m.cfg.P }
+
+func (p *procCtx) Read(a int) Word {
+	p.checkAddr(a)
+	return p.do(op{kind: OpRead, addr: a}).val
+}
+
+func (p *procCtx) Write(a int, v Word) {
+	p.checkAddr(a)
+	p.do(op{kind: OpWrite, addr: a, v: v})
+}
+
+func (p *procCtx) CAS(a int, old, new Word) bool {
+	p.checkAddr(a)
+	return p.do(op{kind: OpCAS, addr: a, old: old, v: new}).ok
+}
+
+func (p *procCtx) Idle() {
+	p.do(op{kind: OpIdle})
+}
+
+func (p *procCtx) Less(i, j int) bool {
+	if i == j {
+		return false
+	}
+	return p.m.cfg.Less(i, j)
+}
+
+func (p *procCtx) Rand() *model.Rng { return p.rng }
+
+func (p *procCtx) Phase(name string) { p.state.phase = name }
+
+func (p *procCtx) checkAddr(a int) {
+	if a < 0 || a >= len(p.m.mem) {
+		panic(fmt.Sprintf("pram: processor %d accessed address %d outside memory of %d words",
+			p.id, a, len(p.m.mem)))
+	}
+}
+
+// do posts the operation and blocks until the machine executes it. If
+// the scheduler crashed this processor, do panics with model.Killed,
+// which the Program-boundary wrapper recovers.
+func (p *procCtx) do(o op) resumeMsg {
+	p.state.op = o
+	p.m.posted <- postMsg{pid: p.id}
+	msg := <-p.state.resume
+	if msg.killed {
+		panic(model.Killed{PID: p.id})
+	}
+	return msg
+}

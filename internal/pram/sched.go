@@ -1,0 +1,347 @@
+package pram
+
+import (
+	"wfsort/internal/xrand"
+)
+
+// Decision is a scheduler's choice for one step. Run is the ordered list
+// of processors that execute (a subset of the ready set; the order is
+// the sequence in which their operations apply, i.e. the arbiter of
+// concurrent-write and CAS races). Kill lists processors to crash; a
+// crashed processor never runs again, modeling the paper's fail/delay
+// adversary.
+type Decision struct {
+	Run  []int
+	Kill []int
+}
+
+// Scheduler chooses which ready processors advance at every step. The
+// ready slice is owned by the machine: schedulers must not retain it,
+// but may return it (or a reslice of it) as Decision.Run. rng is a
+// stream reserved for the scheduler, derived from the machine seed.
+type Scheduler interface {
+	Next(step int64, ready []int, rng *xrand.Rand) Decision
+}
+
+// PendingOp is what an op-aware adversary may inspect about a ready
+// processor: which operation it has posted and where.
+type PendingOp struct {
+	PID  int
+	Kind OpKind
+	Addr int
+}
+
+// OpAwareScheduler is an optional stronger interface: a scheduler that
+// also sees every ready processor's pending operation. This is the full
+// adversary of Dwork, Herlihy and Waarts ("Contention in Shared Memory
+// Algorithms"), which the paper cites for the theorem that an
+// omnipotent scheduler can force Θ(P) variable-contention on ANY
+// wait-free algorithm — experiment E15 demonstrates it against this
+// repository's sorts. When a Scheduler implements OpAwareScheduler the
+// machine calls NextOps instead of Next.
+type OpAwareScheduler interface {
+	Scheduler
+	NextOps(step int64, pending []PendingOp, rng *xrand.Rand) Decision
+}
+
+// SchedulerFunc adapts a function to the Scheduler interface — the hook
+// for hand-written adversaries in tests.
+type SchedulerFunc func(step int64, ready []int, rng *xrand.Rand) Decision
+
+// Next implements Scheduler.
+func (f SchedulerFunc) Next(step int64, ready []int, rng *xrand.Rand) Decision {
+	return f(step, ready, rng)
+}
+
+type synchronous struct {
+	shuffle bool
+	scratch []int
+}
+
+// Synchronous returns the faultless PRAM schedule: every ready processor
+// runs every step, with the within-step order shuffled uniformly. The
+// shuffle makes concurrent CAS and write races "arbitrary" rather than
+// biased toward low processor ids.
+func Synchronous() Scheduler { return &synchronous{shuffle: true} }
+
+// PriorityOrder returns the deterministic priority-CRCW schedule: every
+// ready processor runs every step and ties resolve toward the lowest
+// processor id. Useful for reproducing exact executions in tests.
+func PriorityOrder() Scheduler { return &synchronous{} }
+
+func (s *synchronous) Next(_ int64, ready []int, rng *xrand.Rand) Decision {
+	if !s.shuffle {
+		return Decision{Run: ready}
+	}
+	s.scratch = append(s.scratch[:0], ready...)
+	for i := len(s.scratch) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		s.scratch[i], s.scratch[j] = s.scratch[j], s.scratch[i]
+	}
+	return Decision{Run: s.scratch}
+}
+
+type randomSubset struct {
+	prob    float64
+	scratch []int
+}
+
+// RandomSubset returns an asynchrony model: each ready processor runs
+// in a given step with probability prob, independently; if the draw
+// selects nobody, one random processor runs (so the machine always makes
+// progress, as any real scheduler eventually does).
+func RandomSubset(prob float64) Scheduler {
+	if prob <= 0 || prob > 1 {
+		panic("pram: RandomSubset prob must be in (0,1]")
+	}
+	return &randomSubset{prob: prob}
+}
+
+func (s *randomSubset) Next(_ int64, ready []int, rng *xrand.Rand) Decision {
+	s.scratch = s.scratch[:0]
+	for _, pid := range ready {
+		if rng.Float64() < s.prob {
+			s.scratch = append(s.scratch, pid)
+		}
+	}
+	if len(s.scratch) == 0 && len(ready) > 0 {
+		s.scratch = append(s.scratch, ready[rng.Intn(len(ready))])
+	}
+	for i := len(s.scratch) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		s.scratch[i], s.scratch[j] = s.scratch[j], s.scratch[i]
+	}
+	return Decision{Run: s.scratch}
+}
+
+type roundRobin struct {
+	k       int
+	next    int
+	scratch []int
+}
+
+// RoundRobin returns an extreme-asynchrony schedule: exactly
+// min(k, ready) processors run per step, rotating through processor ids.
+// RoundRobin(1) serializes the whole computation, the strongest
+// fairness-free test of wait-freedom short of crashes.
+func RoundRobin(k int) Scheduler {
+	if k < 1 {
+		panic("pram: RoundRobin k must be >= 1")
+	}
+	return &roundRobin{k: k}
+}
+
+func (s *roundRobin) Next(_ int64, ready []int, _ *xrand.Rand) Decision {
+	if len(ready) <= s.k {
+		return Decision{Run: ready}
+	}
+	s.scratch = s.scratch[:0]
+	// Pick the next k ready pids in cyclic order starting from s.next.
+	start := 0
+	for i, pid := range ready {
+		if pid >= s.next {
+			start = i
+			break
+		}
+	}
+	for i := 0; i < s.k; i++ {
+		pid := ready[(start+i)%len(ready)]
+		s.scratch = append(s.scratch, pid)
+	}
+	s.next = s.scratch[len(s.scratch)-1] + 1
+	return Decision{Run: s.scratch}
+}
+
+// ContentionAdversary is a patient Dwork–Herlihy–Waarts-style
+// adversary. Each step it picks a target word — the address with the
+// most pending operations — and HOLDS that group back while releasing
+// everyone else, so processors keep advancing until they too pend on
+// the target. The accumulated group is released only when no other
+// processor can make progress (everyone non-idle pends on the target),
+// detonating one maximally contended step. Idle operations always run
+// (they touch no word and holding them gains nothing).
+//
+// Against the deterministic sort this simply deepens the natural O(P)
+// pile-up; against the randomized §3 sort it demonstrates the paper's
+// §4 remark that in the asynchronous case an omnipotent adversary can
+// always push contention above the oblivious-scheduler O(sqrt(P))
+// bound — the DHW theorem says Θ(P) is always reachable in principle;
+// this practical adversary realizes a large fraction of it (experiment
+// E15 reports the measured inflation).
+type ContentionAdversary struct {
+	groups map[int][]int
+	buf    []int
+}
+
+// NewContentionAdversary returns a fresh adversary.
+func NewContentionAdversary() *ContentionAdversary {
+	return &ContentionAdversary{groups: make(map[int][]int)}
+}
+
+// Next implements Scheduler (used only if the machine ignores op
+// awareness): run everyone.
+func (s *ContentionAdversary) Next(_ int64, ready []int, _ *xrand.Rand) Decision {
+	return Decision{Run: ready}
+}
+
+// NextOps implements OpAwareScheduler.
+func (s *ContentionAdversary) NextOps(_ int64, pending []PendingOp, _ *xrand.Rand) Decision {
+	for a := range s.groups {
+		delete(s.groups, a)
+	}
+	s.buf = s.buf[:0]
+	idles := 0
+	for _, op := range pending {
+		if op.Kind == OpIdle {
+			s.buf = append(s.buf, op.PID)
+			idles++
+			continue
+		}
+		s.groups[op.Addr] = append(s.groups[op.Addr], op.PID)
+	}
+	bestAddr, bestLen := -1, 0
+	for a, g := range s.groups {
+		if len(g) > bestLen || (len(g) == bestLen && a < bestAddr) {
+			bestAddr, bestLen = a, len(g)
+		}
+	}
+	released := idles
+	for a, g := range s.groups {
+		if a == bestAddr {
+			continue // hold the target group back so it keeps growing
+		}
+		s.buf = append(s.buf, g...)
+		released += len(g)
+	}
+	if released == 0 {
+		// Everyone pends on the target: detonate the collision.
+		return Decision{Run: s.groups[bestAddr]}
+	}
+	return Decision{Run: s.buf}
+}
+
+// holdAddress is the algorithm-aware adversary implied by the DHW
+// theorem: it knows one address that every processor must eventually
+// operate on (for the §3 sort: the winner-selection root) and holds
+// every operation on it until no other processor can make progress —
+// at which point all accumulated operations detonate in one maximally
+// contended step. Because the held word never changes, processors keep
+// piling onto it instead of being deflected by its updates.
+type holdAddress struct {
+	addr int
+	buf  []int
+}
+
+// HoldAddress returns an op-aware adversary that accumulates every
+// operation on addr and releases them together only when nothing else
+// can run. Progress is never blocked: some processor always runs.
+func HoldAddress(addr int) Scheduler {
+	return &holdAddress{addr: addr}
+}
+
+// Next implements Scheduler: run everyone (not used by the machine,
+// which prefers NextOps).
+func (s *holdAddress) Next(_ int64, ready []int, _ *xrand.Rand) Decision {
+	return Decision{Run: ready}
+}
+
+// NextOps implements OpAwareScheduler.
+func (s *holdAddress) NextOps(_ int64, pending []PendingOp, _ *xrand.Rand) Decision {
+	s.buf = s.buf[:0]
+	held := 0
+	for _, op := range pending {
+		if op.Kind != OpIdle && op.Addr == s.addr {
+			held++
+			continue
+		}
+		s.buf = append(s.buf, op.PID)
+	}
+	if len(s.buf) > 0 {
+		return Decision{Run: s.buf}
+	}
+	// Everyone pends on the held word: detonate.
+	for _, op := range pending {
+		s.buf = append(s.buf, op.PID)
+	}
+	return Decision{Run: s.buf}
+}
+
+// Crash describes one scheduled processor crash.
+type Crash struct {
+	Step int64 // machine step at (or after) which the crash fires
+	PID  int
+}
+
+type withCrashes struct {
+	inner   Scheduler
+	crashes []Crash
+	killed  map[int]bool
+	kills   []int
+	runBuf  []int
+}
+
+// WithCrashes wraps a scheduler with fail-stop injection: each listed
+// processor is crashed at the first step >= its Step at which it is
+// ready. Crashed processors are permanently removed, exactly the
+// failure model under which wait-freedom is defined.
+func WithCrashes(inner Scheduler, crashes []Crash) Scheduler {
+	cs := make([]Crash, len(crashes))
+	copy(cs, crashes)
+	return &withCrashes{inner: inner, crashes: cs, killed: make(map[int]bool)}
+}
+
+// RandomCrashes builds a crash list killing each processor in [0, p)
+// with probability frac, at a uniform step in [0, window). The run seed
+// is deliberately not reused: pass any fixed seed for reproducibility.
+func RandomCrashes(p int, frac float64, window int64, seed uint64) []Crash {
+	rng := xrand.New(seed)
+	var out []Crash
+	for pid := 0; pid < p; pid++ {
+		if rng.Float64() < frac {
+			step := int64(0)
+			if window > 0 {
+				step = rng.Int63() % window
+			}
+			out = append(out, Crash{Step: step, PID: pid})
+		}
+	}
+	return out
+}
+
+func (s *withCrashes) Next(step int64, ready []int, rng *xrand.Rand) Decision {
+	s.kills = s.kills[:0]
+	for _, c := range s.crashes {
+		if !s.killed[c.PID] && step >= c.Step && contains(ready, c.PID) {
+			s.killed[c.PID] = true
+			s.kills = append(s.kills, c.PID)
+		}
+	}
+	if len(s.kills) > 0 {
+		// Remove the freshly killed processors from the ready set seen
+		// by the inner scheduler.
+		s.runBuf = s.runBuf[:0]
+		for _, pid := range ready {
+			if !contains(s.kills, pid) {
+				s.runBuf = append(s.runBuf, pid)
+			}
+		}
+		ready = s.runBuf
+	}
+	if len(ready) == 0 {
+		// Everyone left ready this step is being killed; run nobody but
+		// still report the kills so the machine can make progress.
+		return Decision{Kill: s.kills}
+	}
+	dec := s.inner.Next(step, ready, rng)
+	dec.Kill = s.kills
+	return dec
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

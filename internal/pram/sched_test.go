@@ -1,0 +1,173 @@
+package pram
+
+import (
+	"testing"
+
+	"wfsort/internal/model"
+	"wfsort/internal/xrand"
+)
+
+func TestRandomCrashesRespectsFraction(t *testing.T) {
+	const p = 1000
+	crashes := RandomCrashes(p, 0.5, 100, 7)
+	if len(crashes) < p/3 || len(crashes) > 2*p/3 {
+		t.Errorf("crashes = %d of %d at frac 0.5", len(crashes), p)
+	}
+	for _, c := range crashes {
+		if c.Step < 0 || c.Step >= 100 {
+			t.Errorf("crash step %d outside window", c.Step)
+		}
+		if c.PID < 0 || c.PID >= p {
+			t.Errorf("crash pid %d out of range", c.PID)
+		}
+	}
+}
+
+func TestRandomCrashesZeroWindow(t *testing.T) {
+	for _, c := range RandomCrashes(10, 1, 0, 1) {
+		if c.Step != 0 {
+			t.Errorf("window 0 should pin crashes to step 0, got %d", c.Step)
+		}
+	}
+}
+
+func TestRandomCrashesDeterministic(t *testing.T) {
+	a := RandomCrashes(50, 0.4, 100, 3)
+	b := RandomCrashes(50, 0.4, 100, 3)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different crash count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different crashes")
+		}
+	}
+}
+
+func TestWithCrashesKillsEveryListedProcessor(t *testing.T) {
+	const p = 6
+	var crashes []Crash
+	for pid := 1; pid < p; pid++ {
+		crashes = append(crashes, Crash{Step: int64(pid), PID: pid})
+	}
+	m := New(Config{P: p, Mem: p, Sched: WithCrashes(Synchronous(), crashes)})
+	met, err := m.Run(func(pr model.Proc) {
+		for i := 0; i < 50; i++ {
+			pr.Write(pr.ID(), model.Word(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Killed != p-1 {
+		t.Errorf("killed = %d, want %d", met.Killed, p-1)
+	}
+}
+
+func TestWithCrashesKillingEveryReadyProcStillProgresses(t *testing.T) {
+	// All processors are crashed at step 0: the machine must terminate
+	// cleanly with nothing accomplished rather than stall.
+	const p = 3
+	var crashes []Crash
+	for pid := 0; pid < p; pid++ {
+		crashes = append(crashes, Crash{Step: 0, PID: pid})
+	}
+	m := New(Config{P: p, Mem: p, Sched: WithCrashes(Synchronous(), crashes)})
+	met, err := m.Run(func(pr model.Proc) {
+		pr.Write(pr.ID(), 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Killed != p {
+		t.Errorf("killed = %d, want %d", met.Killed, p)
+	}
+	for i := 0; i < p; i++ {
+		if m.Memory()[i] != 0 {
+			t.Errorf("crashed processor %d wrote memory", i)
+		}
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	// Under RoundRobin(1) with equal-length programs, every processor
+	// must execute the same number of ops.
+	const p = 4
+	m := New(Config{P: p, Mem: p, Sched: RoundRobin(1)})
+	_, err := m.Run(func(pr model.Proc) {
+		for i := 0; i < 9; i++ {
+			pr.Write(pr.ID(), model.Word(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, ops := range m.OpsPerProc() {
+		if ops != 9 {
+			t.Errorf("proc %d ops = %d, want 9", pid, ops)
+		}
+	}
+}
+
+func TestRoundRobinRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RoundRobin(0) accepted")
+		}
+	}()
+	RoundRobin(0)
+}
+
+func TestRandomSubsetRejectsBadProb(t *testing.T) {
+	for _, bad := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RandomSubset(%v) accepted", bad)
+				}
+			}()
+			RandomSubset(bad)
+		}()
+	}
+}
+
+func TestSchedulerFuncAdapter(t *testing.T) {
+	called := false
+	s := SchedulerFunc(func(step int64, ready []int, _ *xrand.Rand) Decision {
+		called = true
+		return Decision{Run: ready}
+	})
+	m := New(Config{P: 2, Mem: 1, Sched: s})
+	if _, err := m.Run(func(pr model.Proc) { pr.Read(0) }); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("adapter never invoked")
+	}
+}
+
+func TestSynchronousShuffleUsesAllProcs(t *testing.T) {
+	s := Synchronous()
+	rng := xrand.New(1)
+	ready := []int{0, 1, 2, 3, 4}
+	dec := s.Next(0, ready, rng)
+	if len(dec.Run) != len(ready) {
+		t.Fatalf("synchronous ran %d of %d", len(dec.Run), len(ready))
+	}
+	seen := map[int]bool{}
+	for _, pid := range dec.Run {
+		seen[pid] = true
+	}
+	if len(seen) != len(ready) {
+		t.Errorf("run set has duplicates: %v", dec.Run)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	cases := map[OpKind]string{OpRead: "read", OpWrite: "write", OpCAS: "cas", OpIdle: "idle", OpKind(9): "opkind(9)"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"wfsort/internal/model"
+	"wfsort/internal/pram"
+)
+
+// RegionStats aggregates traffic attributed to one labelled region.
+type RegionStats struct {
+	Name string
+	// Ops counts shared-memory operations landing in the region.
+	Ops int64
+	// MaxContention is the largest number of same-step accesses to a
+	// single word of the region.
+	MaxContention int
+	// Stalls is the Dwork-style stall count contributed by the region.
+	Stalls int64
+	// Words is the region's size (same-named regions are merged).
+	Words int
+}
+
+// RegionProfile attributes per-word traffic to the named regions of an
+// arena — the tool that answers "which structure is hot?". Install its
+// Observer (or combine with a Recorder via Multi) on a pram.Config.
+type RegionProfile struct {
+	bounds []regionBound
+	stats  map[string]*RegionStats
+	order  []string
+	counts map[int]int
+	other  string
+}
+
+type regionBound struct {
+	base, end int
+	name      string
+}
+
+// NewRegionProfile builds a profile over the arena's labelled regions.
+// Traffic to unlabelled addresses is attributed to "(unlabelled)".
+func NewRegionProfile(regions []model.NamedRegion) *RegionProfile {
+	p := &RegionProfile{
+		stats:  make(map[string]*RegionStats),
+		counts: make(map[int]int),
+		other:  "(unlabelled)",
+	}
+	for _, r := range regions {
+		if r.Len == 0 {
+			continue
+		}
+		p.bounds = append(p.bounds, regionBound{base: r.Base, end: r.Base + r.Len, name: r.Name})
+		st := p.stat(r.Name)
+		st.Words += r.Len
+	}
+	sort.Slice(p.bounds, func(i, j int) bool { return p.bounds[i].base < p.bounds[j].base })
+	return p
+}
+
+func (p *RegionProfile) stat(name string) *RegionStats {
+	st, ok := p.stats[name]
+	if !ok {
+		st = &RegionStats{Name: name}
+		p.stats[name] = st
+		p.order = append(p.order, name)
+	}
+	return st
+}
+
+// nameOf resolves an address to its region label by binary search.
+func (p *RegionProfile) nameOf(addr int) string {
+	lo, hi := 0, len(p.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.bounds[mid].base <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > 0 && addr < p.bounds[lo-1].end {
+		return p.bounds[lo-1].name
+	}
+	return p.other
+}
+
+// Observer returns the callback to install as pram.Config.Observer.
+func (p *RegionProfile) Observer() func(step int64, ops []pram.ExecutedOp) {
+	return func(_ int64, ops []pram.ExecutedOp) {
+		clear(p.counts)
+		for _, op := range ops {
+			if op.Kind == pram.OpIdle {
+				continue
+			}
+			p.counts[op.Addr]++
+			p.stat(p.nameOf(op.Addr)).Ops++
+		}
+		for addr, c := range p.counts {
+			st := p.stat(p.nameOf(addr))
+			if c > st.MaxContention {
+				st.MaxContention = c
+			}
+			if c > 1 {
+				st.Stalls += int64(c - 1)
+			}
+		}
+	}
+}
+
+// Stats returns the per-region aggregates sorted by descending
+// contention, then ops.
+func (p *RegionProfile) Stats() []RegionStats {
+	out := make([]RegionStats, 0, len(p.stats))
+	for _, name := range p.order {
+		out = append(out, *p.stats[name])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MaxContention != out[j].MaxContention {
+			return out[i].MaxContention > out[j].MaxContention
+		}
+		return out[i].Ops > out[j].Ops
+	})
+	return out
+}
+
+// WriteTable renders the profile as an aligned text table.
+func (p *RegionProfile) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-18s %10s %8s %12s %10s\n",
+		"region", "words", "maxcont", "ops", "stalls"); err != nil {
+		return err
+	}
+	for _, st := range p.Stats() {
+		if st.Ops == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-18s %10d %8d %12d %10d\n",
+			st.Name, st.Words, st.MaxContention, st.Ops, st.Stalls); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Multi fans one pram Observer slot out to several observers.
+func Multi(obs ...func(int64, []pram.ExecutedOp)) func(int64, []pram.ExecutedOp) {
+	return func(step int64, ops []pram.ExecutedOp) {
+		for _, o := range obs {
+			o(step, ops)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wfsort/internal/model"
+	"wfsort/internal/pram"
+)
+
+func TestRegionProfileAttribution(t *testing.T) {
+	var a model.Arena
+	hot := a.Named("hot", 1)
+	cold := a.Named("cold", 8)
+	unl := a.Array(2) // unlabelled
+
+	prof := NewRegionProfile(a.Regions())
+	m := pram.New(pram.Config{P: 4, Mem: a.Size(), Observer: prof.Observer()})
+	_, err := m.Run(func(p model.Proc) {
+		p.Read(hot.At(0))           // 4 procs on one word: contention 4
+		p.Write(cold.At(p.ID()), 1) // disjoint: contention 1
+		p.Read(unl.At(0))           // unlabelled
+		p.Idle()                    // must not be attributed anywhere
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := map[string]RegionStats{}
+	for _, st := range prof.Stats() {
+		stats[st.Name] = st
+	}
+	if st := stats["hot"]; st.MaxContention != 4 || st.Ops != 4 || st.Stalls != 3 {
+		t.Errorf("hot = %+v", st)
+	}
+	if st := stats["cold"]; st.MaxContention != 1 || st.Ops != 4 || st.Words != 8 {
+		t.Errorf("cold = %+v", st)
+	}
+	if st := stats["(unlabelled)"]; st.MaxContention != 4 || st.Ops != 4 {
+		t.Errorf("unlabelled = %+v", st)
+	}
+}
+
+func TestRegionProfileSortsByContention(t *testing.T) {
+	var a model.Arena
+	one := a.Named("one", 4)
+	two := a.Named("two", 1)
+	prof := NewRegionProfile(a.Regions())
+	m := pram.New(pram.Config{P: 3, Mem: a.Size(), Observer: prof.Observer()})
+	if _, err := m.Run(func(p model.Proc) {
+		p.Write(one.At(p.ID()), 1) // contention 1
+		p.Read(two.At(0))          // contention 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stats := prof.Stats()
+	if stats[0].Name != "two" {
+		t.Errorf("hottest region = %q, want two", stats[0].Name)
+	}
+}
+
+func TestRegionProfileTable(t *testing.T) {
+	var a model.Arena
+	r := a.Named("thing", 2)
+	prof := NewRegionProfile(a.Regions())
+	m := pram.New(pram.Config{P: 2, Mem: a.Size(), Observer: prof.Observer()})
+	if _, err := m.Run(func(p model.Proc) {
+		p.Write(r.At(p.ID()), 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "thing") {
+		t.Errorf("table missing region:\n%s", buf.String())
+	}
+}
+
+func TestRegionNameOfBoundaries(t *testing.T) {
+	var a model.Arena
+	a.Array(3) // gap before the first named region
+	r1 := a.Named("r1", 2)
+	r2 := a.Named("r2", 2)
+	prof := NewRegionProfile(a.Regions())
+	cases := map[int]string{
+		0:           "(unlabelled)",
+		r1.At(0):    "r1",
+		r1.At(1):    "r1",
+		r2.At(0):    "r2",
+		r2.At(1):    "r2",
+		r2.Base + 2: "(unlabelled)",
+	}
+	for addr, want := range cases {
+		if got := prof.nameOf(addr); got != want {
+			t.Errorf("nameOf(%d) = %q, want %q", addr, got, want)
+		}
+	}
+}
+
+func TestMultiObserverFansOut(t *testing.T) {
+	calls := [2]int{}
+	obs := Multi(
+		func(int64, []pram.ExecutedOp) { calls[0]++ },
+		func(int64, []pram.ExecutedOp) { calls[1]++ },
+	)
+	obs(1, nil)
+	obs(2, nil)
+	if calls != [2]int{2, 2} {
+		t.Errorf("calls = %v", calls)
+	}
+}
+
+func TestArenaNamedRegions(t *testing.T) {
+	var a model.Arena
+	a.Named("x", 3)
+	a.Array(2)
+	addr := a.NamedWord("y")
+	regs := a.Regions()
+	if len(regs) != 2 || regs[0].Name != "x" || regs[1].Name != "y" {
+		t.Fatalf("regions = %+v", regs)
+	}
+	if regs[1].Base != addr || regs[1].Len != 1 {
+		t.Errorf("named word region = %+v, addr %d", regs[1], addr)
+	}
+}

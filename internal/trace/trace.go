@@ -1,0 +1,174 @@
+// Package trace records per-step time series from simulator runs and
+// renders them as ASCII charts or CSV. The paper has no measured
+// figures (it is a theory paper), so these series are this
+// repository's figures: contention-over-time makes the difference
+// between the O(P) deterministic sort and the O(sqrt(P)) randomized
+// sort visible at a glance, and the phase timeline shows how the
+// wait-free phases overlap across processors instead of being
+// barrier-separated.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"wfsort/internal/pram"
+)
+
+// Sample is one machine step's aggregate.
+type Sample struct {
+	Step       int64
+	Active     int    // operations executed this step
+	Contention int    // max same-word accesses this step
+	Phase      string // most common phase label this step
+}
+
+// Recorder collects samples via a pram.Config Observer.
+type Recorder struct {
+	samples []Sample
+	counts  map[string]int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{counts: make(map[string]int)}
+}
+
+// Observer returns the callback to install as pram.Config.Observer.
+func (r *Recorder) Observer() func(step int64, ops []pram.ExecutedOp) {
+	return func(step int64, ops []pram.ExecutedOp) {
+		r.record(step, ops)
+	}
+}
+
+func (r *Recorder) record(step int64, ops []pram.ExecutedOp) {
+	clear(r.counts)
+	addrs := make(map[int]int, len(ops))
+	active := 0
+	for _, op := range ops {
+		active++
+		r.counts[op.Phase]++
+		if op.Kind != pram.OpIdle {
+			addrs[op.Addr]++
+		}
+	}
+	maxCont := 0
+	for _, c := range addrs {
+		if c > maxCont {
+			maxCont = c
+		}
+	}
+	phase, best := "", 0
+	for name, c := range r.counts {
+		if c > best || (c == best && name < phase) {
+			phase, best = name, c
+		}
+	}
+	r.samples = append(r.samples, Sample{
+		Step: step, Active: active, Contention: maxCont, Phase: phase,
+	})
+}
+
+// Samples returns the recorded series.
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// WriteCSV emits the series as step,active,contention,phase rows.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "step,active,contention,phase"); err != nil {
+		return err
+	}
+	for _, s := range r.samples {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%s\n", s.Step, s.Active, s.Contention, s.Phase); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chart renders a vertical-bar ASCII chart of one metric over time,
+// downsampled to width columns and scaled to height rows. metric
+// selects what is plotted ("contention" or "active").
+func (r *Recorder) Chart(w io.Writer, metric string, width, height int) error {
+	if width < 1 || height < 1 {
+		return fmt.Errorf("trace: chart needs positive dimensions, got %dx%d", width, height)
+	}
+	if len(r.samples) == 0 {
+		_, err := fmt.Fprintln(w, "(no samples)")
+		return err
+	}
+	pick := func(s Sample) int { return s.Contention }
+	if metric == "active" {
+		pick = func(s Sample) int { return s.Active }
+	}
+	cols, phases := r.downsample(width, pick)
+	maxV := 1
+	for _, v := range cols {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	for row := height; row >= 1; row-- {
+		threshold := float64(row-1) / float64(height) * float64(maxV)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%6d |", int(threshold)+1)
+		for _, v := range cols {
+			if float64(v) > threshold {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "%6s +%s\n", "", strings.Repeat("-", len(cols)))
+	// Phase ruler: mark the first column of each phase change.
+	ruler := make([]byte, len(cols))
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	last := ""
+	var marks []string
+	for i, ph := range phases {
+		if ph != last && ph != "" {
+			ruler[i] = '^'
+			marks = append(marks, fmt.Sprintf("col %d: %s", i, ph))
+			last = ph
+		}
+	}
+	fmt.Fprintf(w, "%6s  %s\n", "", string(ruler))
+	for _, m := range marks {
+		fmt.Fprintf(w, "%6s  %s\n", "", m)
+	}
+	fmt.Fprintf(w, "%6s  x: %d steps in %d columns, y: %s (max %d)\n",
+		"", len(r.samples), len(cols), metric, maxV)
+	return nil
+}
+
+// downsample buckets the samples into at most width columns, keeping
+// the per-bucket maximum of the metric and the dominant phase.
+func (r *Recorder) downsample(width int, pick func(Sample) int) (cols []int, phases []string) {
+	n := len(r.samples)
+	if width > n {
+		width = n
+	}
+	cols = make([]int, width)
+	phases = make([]string, width)
+	for c := 0; c < width; c++ {
+		lo, hi := c*n/width, (c+1)*n/width
+		if hi == lo {
+			hi = lo + 1
+		}
+		best := 0
+		for _, s := range r.samples[lo:hi] {
+			if v := pick(s); v > best {
+				best = v
+			}
+		}
+		cols[c] = best
+		phases[c] = r.samples[lo].Phase
+	}
+	return cols, phases
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wfsort/internal/model"
+	"wfsort/internal/pram"
+)
+
+func record(t *testing.T) *Recorder {
+	t.Helper()
+	rec := NewRecorder()
+	m := pram.New(pram.Config{P: 4, Mem: 2, Observer: rec.Observer()})
+	_, err := m.Run(func(p model.Proc) {
+		p.Phase("first")
+		p.Read(0) // all 4 hit word 0: contention 4
+		p.Phase("second")
+		p.Write(1+p.ID()%1, 1) // all hit word 1
+		p.Idle()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecorderSamples(t *testing.T) {
+	rec := record(t)
+	samples := rec.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(samples))
+	}
+	if samples[0].Contention != 4 || samples[0].Phase != "first" {
+		t.Errorf("sample 0 = %+v", samples[0])
+	}
+	if samples[1].Contention != 4 || samples[1].Phase != "second" {
+		t.Errorf("sample 1 = %+v", samples[1])
+	}
+	if samples[2].Contention != 0 || samples[2].Active != 4 {
+		t.Errorf("idle sample = %+v", samples[2])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rec := record(t)
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d, want 4 (header + 3)", len(lines))
+	}
+	if lines[0] != "step,active,contention,phase" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "first") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	rec := record(t)
+	var buf bytes.Buffer
+	if err := rec.Chart(&buf, "contention", 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#") {
+		t.Errorf("chart has no bars:\n%s", out)
+	}
+	if !strings.Contains(out, "first") || !strings.Contains(out, "second") {
+		t.Errorf("chart missing phase marks:\n%s", out)
+	}
+}
+
+func TestChartActiveMetric(t *testing.T) {
+	rec := record(t)
+	var buf bytes.Buffer
+	if err := rec.Chart(&buf, "active", 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "y: active (max 4)") {
+		t.Errorf("active metric not plotted:\n%s", buf.String())
+	}
+}
+
+func TestChartEmptyAndBadDims(t *testing.T) {
+	rec := NewRecorder()
+	var buf bytes.Buffer
+	if err := rec.Chart(&buf, "contention", 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no samples") {
+		t.Error("empty recorder should say so")
+	}
+	if err := rec.Chart(&buf, "contention", 0, 4); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestDownsampleWiderThanSeries(t *testing.T) {
+	rec := record(t)
+	cols, phases := rec.downsample(100, func(s Sample) int { return s.Active })
+	if len(cols) != 3 || len(phases) != 3 {
+		t.Errorf("downsample should clamp to series length, got %d", len(cols))
+	}
+}

@@ -1,0 +1,74 @@
+package writeall
+
+import (
+	"testing"
+
+	"wfsort/internal/pram"
+)
+
+func TestAllVariantsCompleteFaultless(t *testing.T) {
+	for _, v := range []Variant{WAT, LCWAT, Static} {
+		for _, tc := range []struct{ n, p int }{{1, 1}, {16, 4}, {64, 64}, {100, 13}} {
+			res, err := Run(Config{Variant: v, N: tc.n, P: tc.p, Seed: 5})
+			if err != nil {
+				t.Fatalf("%v n=%d p=%d: %v", v, tc.n, tc.p, err)
+			}
+			if !res.Complete {
+				t.Errorf("%v n=%d p=%d: %d cells missing", v, tc.n, tc.p, res.Missing)
+			}
+		}
+	}
+}
+
+func TestFaultTolerantVariantsSurviveCrashes(t *testing.T) {
+	crashes := pram.RandomCrashes(16, 0.5, 60, 9)
+	kept := crashes[:0]
+	for _, c := range crashes {
+		if c.PID != 0 {
+			kept = append(kept, c)
+		}
+	}
+	for _, v := range []Variant{WAT, LCWAT} {
+		res, err := Run(Config{
+			Variant: v, N: 64, P: 16, Seed: 1,
+			Sched: pram.WithCrashes(pram.Synchronous(), kept),
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !res.Complete {
+			t.Errorf("%v: not complete under crashes (%d missing)", v, res.Missing)
+		}
+	}
+}
+
+func TestStaticLosesCellsUnderCrashes(t *testing.T) {
+	res, err := Run(Config{
+		Variant: Static, N: 64, P: 16, Seed: 1,
+		Sched: pram.WithCrashes(pram.Synchronous(), []pram.Crash{{Step: 0, PID: 3}}),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Complete {
+		t.Error("static write-all claimed completion despite a crash — it must lose cells")
+	}
+	if res.Missing == 0 {
+		t.Error("static write-all reports zero missing cells under a crash")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if WAT.String() != "wat" || LCWAT.String() != "lcwat" || Static.String() != "static" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := Run(Config{Variant: WAT, N: 0, P: 1}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Run(Config{Variant: Variant(99), N: 4, P: 1}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator suitable for per-processor use in simulated and native PRAM
+// executions.
+//
+// The generator is splitmix64 (Steele, Lea, Flood; public domain
+// reference implementation). It is not cryptographically secure. Its
+// virtues here are determinism from a seed, a 64-bit state that is cheap
+// to fork per processor, and statistical quality far beyond what the
+// randomized constructions in the paper require (uniform node picks,
+// geometric coin runs).
+//
+// math/rand is deliberately not used: every processor needs an
+// independent stream derived deterministically from (run seed, processor
+// id) so that simulator runs are exactly reproducible, and math/rand's
+// seeding and locking behaviour make that awkward.
+package xrand
+
+import "math/bits"
+
+// Rand is a deterministic 64-bit PRNG. The zero value is a valid
+// generator seeded with 0; prefer New to decorrelate streams.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator whose stream is determined by seed.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Fork derives an independent generator for the given stream id (for
+// example a processor id). Streams from distinct ids are decorrelated by
+// an extra mixing round.
+func (r *Rand) Fork(id uint64) *Rand {
+	// Mix the id through one splitmix64 round before combining so that
+	// consecutive ids do not yield consecutive internal states.
+	return &Rand{state: mix(r.state ^ mix(id))}
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix(r.state)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and divisionless
+	// in the common case.
+	un := uint64(n)
+	threshold := (-un) % un
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), un)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (r *Rand) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Geometric returns the number of consecutive heads before the first
+// tail, capped at max: the length of the paper's coin-toss wait loop in
+// select_winner (Fig. 9). The result is in [0, max].
+func (r *Rand) Geometric(max int) int {
+	n := 0
+	for n < max && r.Bool() {
+		n++
+	}
+	return n
+}
+
+// Perm fills out with a uniform permutation of [0, len(out)).
+func (r *Rand) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// mix is the splitmix64 output function.
+func mix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,143 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams from equal seeds diverged at %d", i)
+		}
+	}
+}
+
+func TestForkDecorrelates(t *testing.T) {
+	root := New(1)
+	a, b := root.Fork(0), root.Fork(1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("forked streams collided %d/64 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	f := func(seed uint64, n int) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		n = n%1000 + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(0).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	const n, draws = 8, 80000
+	r := New(7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, want about %.0f", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestGeometricDistribution(t *testing.T) {
+	const draws = 40000
+	r := New(11)
+	counts := make(map[int]int)
+	for i := 0; i < draws; i++ {
+		g := r.Geometric(30)
+		if g < 0 || g > 30 {
+			t.Fatalf("Geometric out of range: %d", g)
+		}
+		counts[g]++
+	}
+	// P(G = k) = 2^-(k+1); check the first few buckets loosely.
+	for k := 0; k <= 3; k++ {
+		want := float64(draws) / math.Pow(2, float64(k+1))
+		got := float64(counts[k])
+		if math.Abs(got-want) > 6*math.Sqrt(want) {
+			t.Errorf("Geometric(%d) count %v, want about %v", k, got, want)
+		}
+	}
+}
+
+func TestGeometricCap(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		if g := r.Geometric(3); g > 3 {
+			t.Fatalf("cap violated: %d", g)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	out := make([]int, 40)
+	for trial := 0; trial < 20; trial++ {
+		r.Perm(out)
+		seen := make([]bool, len(out))
+		for _, v := range out {
+			if v < 0 || v >= len(out) || seen[v] {
+				t.Fatalf("not a permutation: %v", out)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBoolIsFair(t *testing.T) {
+	r := New(13)
+	heads := 0
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		if r.Bool() {
+			heads++
+		}
+	}
+	if math.Abs(float64(heads)-draws/2) > 4*math.Sqrt(draws/4) {
+		t.Errorf("heads = %d of %d, badly unfair", heads, draws)
+	}
+}

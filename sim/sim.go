@@ -1,0 +1,61 @@
+// Package sim exposes the simulator's schedulers for use with
+// wfsort.Simulate and wfsort.WithSchedule: asynchrony models, crash
+// (fail-stop) injection and the adversaries used in the experiments.
+//
+// The underlying machinery lives in an internal package; this package
+// re-exports exactly the surface a user of the public API needs. The
+// zero configuration — passing no WithSchedule option at all — is the
+// faultless synchronous PRAM, the paper's "normal execution".
+package sim
+
+import (
+	"wfsort/internal/pram"
+)
+
+// Scheduler decides which simulated processors advance at every machine
+// step. Values are created by the constructors in this package.
+type Scheduler = pram.Scheduler
+
+// Crash schedules one processor's fail-stop: at the first step >= Step
+// at which processor PID is about to execute, it is killed instead and
+// never runs again.
+type Crash = pram.Crash
+
+// Synchronous returns the faultless PRAM schedule: every processor
+// executes one operation every step, with uniformly shuffled
+// within-step order (arbitrary-CRCW conflict resolution).
+func Synchronous() Scheduler { return pram.Synchronous() }
+
+// PriorityOrder is Synchronous with deterministic lowest-id-first
+// conflict resolution (priority CRCW) — useful for exactly reproducible
+// executions in tests.
+func PriorityOrder() Scheduler { return pram.PriorityOrder() }
+
+// RandomSubset models asynchrony: each processor runs in a given step
+// with probability prob, independently.
+func RandomSubset(prob float64) Scheduler { return pram.RandomSubset(prob) }
+
+// RoundRobin models extreme asynchrony: exactly k processors run per
+// step, rotating; RoundRobin(1) serializes the whole computation.
+func RoundRobin(k int) Scheduler { return pram.RoundRobin(k) }
+
+// WithCrashes wraps a scheduler with fail-stop injection. Wait-free
+// algorithms complete regardless; barrier-based ones hang (Simulate
+// returns an error once the step bound hits).
+func WithCrashes(inner Scheduler, crashes []Crash) Scheduler {
+	return pram.WithCrashes(inner, crashes)
+}
+
+// RandomCrashes builds a crash list killing each of p processors with
+// probability frac at a uniform step in [0, window), deterministically
+// from seed.
+func RandomCrashes(p int, frac float64, window int64, seed uint64) []Crash {
+	return pram.RandomCrashes(p, frac, window, seed)
+}
+
+// ContentionAdversary returns the operation-aware greedy adversary: it
+// holds back the largest group of processors pending on one word so the
+// pile-up grows. Against the randomized sort it gains nothing — that is
+// experiment E15's point — but it is the natural generic adversary to
+// test algorithms against.
+func ContentionAdversary() Scheduler { return pram.NewContentionAdversary() }

@@ -1,0 +1,56 @@
+package sim_test
+
+import (
+	"sort"
+	"testing"
+
+	"wfsort"
+	"wfsort/sim"
+)
+
+// TestPublicSchedulersUsable exercises the whole public simulation
+// surface the way an external user would: no internal imports.
+func TestPublicSchedulersUsable(t *testing.T) {
+	keys := make([]int, 80)
+	for i := range keys {
+		keys[i] = (i * 31) % 79
+	}
+	schedulers := map[string]sim.Scheduler{
+		"synchronous": sim.Synchronous(),
+		"priority":    sim.PriorityOrder(),
+		"subset":      sim.RandomSubset(0.4),
+		"roundrobin":  sim.RoundRobin(2),
+		"adversary":   sim.ContentionAdversary(),
+		"crashes": sim.WithCrashes(sim.Synchronous(),
+			keep(sim.RandomCrashes(16, 0.5, 100, 3))),
+	}
+	for name, s := range schedulers {
+		res, err := wfsort.Simulate(keys,
+			wfsort.WithWorkers(16), wfsort.WithSeed(1), wfsort.WithSchedule(s))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ranksSorted(keys, res.Ranks) {
+			t.Errorf("%s: wrong ranks", name)
+		}
+	}
+}
+
+// keep spares processor 0 so crashed runs can still complete.
+func keep(crashes []sim.Crash) []sim.Crash {
+	kept := crashes[:0]
+	for _, c := range crashes {
+		if c.PID != 0 {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+func ranksSorted(keys, ranks []int) bool {
+	out := make([]int, len(keys))
+	for i, r := range ranks {
+		out[r-1] = keys[i]
+	}
+	return sort.IntsAreSorted(out)
+}

@@ -1,0 +1,300 @@
+// Package wfsort is a wait-free parallel sorting library, a faithful
+// implementation of Shavit, Upfal and Zemach, "A Wait-Free Sorting
+// Algorithm" (PODC 1997).
+//
+// The algorithm sorts N elements with P <= N cooperating workers in
+// three wait-free phases: a Quicksort pivot tree is built by
+// compare-and-swap, subtree sizes are summed, and each element's rank
+// is derived from its position in the tree. No worker ever waits for
+// another: work is handed out through work-assignment trees, so any
+// worker can be killed (or descheduled indefinitely) at any moment and
+// the survivors still finish the sort in bounded time. On a faultless
+// machine the running time is O(N log N / P) with high probability.
+//
+// Two execution modes are exposed:
+//
+//   - Sort and SortFunc run on real goroutines over sync/atomic shared
+//     state — a usable parallel sort whose workers may be reaped at
+//     any time (examples/oskernel demonstrates live reap and respawn).
+//   - Simulate runs the same algorithm on a deterministic CRCW PRAM
+//     simulator with exact step counts, per-variable contention
+//     accounting and crash injection — the research instrument behind
+//     EXPERIMENTS.md.
+//
+// Both modes share one algorithm implementation; only the Proc runtime
+// differs. Sorting is stable: equal elements keep their input order
+// (the paper's index tie-break).
+package wfsort
+
+import (
+	"cmp"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wfsort/internal/core"
+	"wfsort/internal/lowcont"
+	"wfsort/internal/model"
+	"wfsort/internal/native"
+	"wfsort/internal/pram"
+)
+
+// Variant selects which of the paper's algorithms runs.
+type Variant int
+
+// Algorithm variants.
+const (
+	// Deterministic is the Section 2 algorithm with deterministic
+	// work-assignment trees. Fastest in practice; its pivot tree
+	// degenerates on already-sorted inputs.
+	Deterministic Variant = iota
+	// Randomized is the Section 2 algorithm with the §2.3 randomized
+	// work allocation: the pivot tree is O(log N) deep w.h.p. for any
+	// input order. The default.
+	Randomized
+	// LowContention is the Section 3 algorithm: sqrt(P) processor
+	// groups, winner selection and a duplicated fat tree cut memory
+	// contention from O(P) to O(sqrt(P)). It needs at least 4 workers
+	// and N >= P; below that it falls back to Randomized.
+	LowContention
+)
+
+// String returns the variant's mnemonic.
+func (v Variant) String() string {
+	switch v {
+	case Deterministic:
+		return "deterministic"
+	case Randomized:
+		return "randomized"
+	case LowContention:
+		return "lowcontention"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Metrics re-exports the run cost report shared by both runtimes.
+type Metrics = model.Metrics
+
+type config struct {
+	workers int
+	variant Variant
+	seed    uint64
+	sched   pram.Scheduler // simulation only
+}
+
+// Option customizes a sort or simulation.
+type Option func(*config)
+
+// WithWorkers sets the number of parallel workers (goroutines, or
+// simulated processors). Defaults to GOMAXPROCS, capped at the input
+// size.
+func WithWorkers(p int) Option {
+	return func(c *config) { c.workers = p }
+}
+
+// WithVariant selects the algorithm variant. Defaults to Randomized.
+func WithVariant(v Variant) Option {
+	return func(c *config) { c.variant = v }
+}
+
+// WithSeed fixes the seed behind all randomized choices, making
+// simulator runs exactly reproducible. Defaults to 0.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithSchedule sets the simulated schedule: asynchrony models,
+// adversaries and crash injection, built with the constructors in
+// wfsort/sim. Simulation only; Sort ignores it. Defaults to the
+// faultless synchronous schedule.
+func WithSchedule(s pram.Scheduler) Option {
+	return func(c *config) { c.sched = s }
+}
+
+func buildConfig(n int, opts []Option) (config, error) {
+	c := config{workers: runtime.GOMAXPROCS(0), variant: Randomized}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.workers < 1 {
+		return c, fmt.Errorf("wfsort: workers must be >= 1, got %d", c.workers)
+	}
+	if c.workers > n {
+		c.workers = n // P <= N is the paper's regime; extra workers idle anyway
+	}
+	return c, nil
+}
+
+// Sort sorts data in place using wait-free parallel workers. It is
+// stable. The zero-length and single-element cases return immediately.
+func Sort[E cmp.Ordered](data []E, opts ...Option) error {
+	return SortFunc(data, func(a, b E) bool { return a < b }, opts...)
+}
+
+// SortFunc sorts data in place by the given strict ordering, using
+// wait-free parallel workers. Ties are broken by original position, so
+// the sort is stable. less must be a strict weak ordering; it is called
+// concurrently and must be safe for concurrent use on immutable data.
+func SortFunc[E any](data []E, less func(a, b E) bool, opts ...Option) error {
+	n := len(data)
+	if n < 2 {
+		return nil
+	}
+	c, err := buildConfig(n, opts)
+	if err != nil {
+		return err
+	}
+	input := make([]E, n)
+	copy(input, data)
+	idxLess := func(i, j int) bool {
+		a, b := input[i-1], input[j-1]
+		if less(a, b) {
+			return true
+		}
+		if less(b, a) {
+			return false
+		}
+		return i < j
+	}
+
+	var a model.Arena
+	runner, err := newRunner(&a, n, c)
+	if err != nil {
+		return err
+	}
+	rt := native.New(native.Config{P: c.workers, Mem: a.Size(), Seed: c.seed, Less: idxLess})
+	runner.seed(rt.Memory())
+	if _, err := rt.Run(runner.program()); err != nil {
+		return err
+	}
+	applyPermutation(data, input, runner.places(rt.Memory()), c.workers)
+	return nil
+}
+
+// applyPermutation moves input[i] to data[places[i]-1], in parallel
+// chunks for large inputs (the scatter is the only sequential tail of
+// the sort, so it is worth spreading across the same workers).
+func applyPermutation[E any](data, input []E, places []int, workers int) {
+	const chunk = 16 * 1024
+	n := len(input)
+	if n < 2*chunk || workers < 2 {
+		for i, r := range places {
+			data[r-1] = input[i]
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				data[places[i]-1] = input[i]
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// SimResult reports one simulated sort.
+type SimResult struct {
+	// Ranks holds each input element's final 1-based rank.
+	Ranks []int
+	// Metrics is the exact cost accounting: steps, operations, maximum
+	// per-variable contention, stalls, per-phase breakdown.
+	Metrics *Metrics
+	// TreeDepth is the depth of the pivot tree the run built.
+	TreeDepth int
+}
+
+// Simulate runs the sort on the deterministic CRCW PRAM simulator and
+// returns the ranks together with exact cost metrics. keys supply the
+// ordering (ties broken by index); the input is not modified.
+func Simulate(keys []int, opts ...Option) (*SimResult, error) {
+	n := len(keys)
+	if n == 0 {
+		return &SimResult{Metrics: &Metrics{}}, nil
+	}
+	c, err := buildConfig(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	less := func(i, j int) bool {
+		a, b := keys[i-1], keys[j-1]
+		if a != b {
+			return a < b
+		}
+		return i < j
+	}
+	var a model.Arena
+	runner, err := newRunner(&a, n, c)
+	if err != nil {
+		return nil, err
+	}
+	m := pram.New(pram.Config{P: c.workers, Mem: a.Size(), Seed: c.seed, Sched: c.sched, Less: less})
+	runner.seed(m.Memory())
+	met, err := m.Run(runner.program())
+	if err != nil {
+		return nil, err
+	}
+	return &SimResult{
+		Ranks:     runner.places(m.Memory()),
+		Metrics:   met,
+		TreeDepth: runner.depth(m.Memory()),
+	}, nil
+}
+
+// runner abstracts over the two sorter layouts.
+type runner struct {
+	core *core.Sorter
+	lc   *lowcont.Sorter
+}
+
+func newRunner(a *model.Arena, n int, c config) (runner, error) {
+	switch c.variant {
+	case Deterministic:
+		return runner{core: core.NewSorter(a, n, core.AllocWAT)}, nil
+	case Randomized:
+		return runner{core: core.NewSorter(a, n, core.AllocRandomized)}, nil
+	case LowContention:
+		if c.workers < 4 || n < c.workers {
+			// Below the §3 regime the deterministic contention bound
+			// O(P) is small anyway; fall back to the Section 2 sort.
+			return runner{core: core.NewSorter(a, n, core.AllocRandomized)}, nil
+		}
+		return runner{lc: lowcont.New(a, n, c.workers)}, nil
+	default:
+		return runner{}, fmt.Errorf("wfsort: unknown variant %v", c.variant)
+	}
+}
+
+func (r runner) seed(mem []model.Word) {
+	if r.core != nil {
+		r.core.Seed(mem)
+	} else {
+		r.lc.Seed(mem)
+	}
+}
+
+func (r runner) program() model.Program {
+	if r.core != nil {
+		return r.core.Program()
+	}
+	return r.lc.Program()
+}
+
+func (r runner) places(mem []model.Word) []int {
+	if r.core != nil {
+		return r.core.Places(mem)
+	}
+	return r.lc.Places(mem)
+}
+
+func (r runner) depth(mem []model.Word) int {
+	if r.core != nil {
+		return r.core.Depth(mem)
+	}
+	return r.lc.Depth(mem)
+}
