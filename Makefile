@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench experiments experiments-quick stress fmt vet cover
+.PHONY: all test race bench benchgate benchgate-baseline experiments experiments-quick stress fmt vet cover
 
 all: vet test
 
@@ -8,10 +8,18 @@ test:
 	go test ./...
 
 race:
-	go test -race -count=1 ./internal/native/ .
+	go test -race -count=1 ./...
 
 bench:
 	go test -bench=. -benchmem .
+
+# Gate native-sort throughput against the checked-in BENCH_native.json.
+benchgate:
+	go run ./cmd/benchgate
+
+# Re-measure and overwrite the baseline (run on the reference machine).
+benchgate-baseline:
+	go run ./cmd/benchgate -write
 
 experiments:
 	go run ./cmd/experiments

@@ -11,6 +11,7 @@ package wfsort_test
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -385,6 +386,45 @@ func BenchmarkE17QRQW(b *testing.B) {
 				qrqw = res.Metrics.QRQWTime
 			}
 			b.ReportMetric(float64(qrqw), "qrqwtime")
+		})
+	}
+}
+
+// BenchmarkNativeArena is the layout × workers matrix behind
+// cmd/benchgate: every native arena layout at P ∈ {1, 4, 8,
+// GOMAXPROCS} and N ∈ {64k, 256k}. The acceptance ratio for the
+// contention-sharded fast path is read off the p8/256k rows:
+// sharded must beat flat by ≥ 1.3×.
+//
+//	go test -bench 'NativeArena' -benchmem .
+func BenchmarkNativeArena(b *testing.B) {
+	workerSet := []int{1, 4, 8}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 && g != 8 {
+		workerSet = append(workerSet, g)
+	}
+	for _, layout := range wfsort.Layouts() {
+		b.Run(layout.String(), func(b *testing.B) {
+			for _, p := range workerSet {
+				for _, n := range []int{65_536, 262_144} {
+					b.Run("p"+itoa(p)+"/"+sizeName(n), func(b *testing.B) {
+						base := benchKeys(n, uint64(n)+uint64(p))
+						data := make([]int, n)
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							copy(data, base)
+							if err := wfsort.Sort(data,
+								wfsort.WithWorkers(p), wfsort.WithLayout(layout)); err != nil {
+								b.Fatal(err)
+							}
+						}
+						b.StopTimer()
+						if !sort.IntsAreSorted(data) {
+							b.Fatal("not sorted")
+						}
+						b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+					})
+				}
+			}
 		})
 	}
 }

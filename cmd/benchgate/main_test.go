@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(host Host, cells ...Result) *Report {
+	return &Report{Host: host, Results: cells}
+}
+
+var hostA = Host{GOOS: "linux", GOARCH: "amd64", GoVersion: "go1.24.0", GOMAXPROCS: 8, NumCPU: 8}
+var hostB = Host{GOOS: "darwin", GOARCH: "arm64", GoVersion: "go1.24.0", GOMAXPROCS: 10, NumCPU: 10}
+
+func TestCompareAbsoluteGate(t *testing.T) {
+	base := report(hostA,
+		Result{Layout: "sharded", P: 8, N: 1 << 18, ElemsPerSec: 1000},
+		Result{Layout: "flat", P: 8, N: 1 << 18, ElemsPerSec: 500})
+
+	// Within tolerance: no failures.
+	cur := report(hostA,
+		Result{Layout: "sharded", P: 8, N: 1 << 18, ElemsPerSec: 950},
+		Result{Layout: "flat", P: 8, N: 1 << 18, ElemsPerSec: 480})
+	if f := compare(base, cur, 0.10); len(f) != 0 {
+		t.Fatalf("expected clean gate, got %v", f)
+	}
+
+	// 20% absolute drop on the sharded cell must fail.
+	cur = report(hostA,
+		Result{Layout: "sharded", P: 8, N: 1 << 18, ElemsPerSec: 800},
+		Result{Layout: "flat", P: 8, N: 1 << 18, ElemsPerSec: 500})
+	f := compare(base, cur, 0.10)
+	if len(f) == 0 {
+		t.Fatal("expected absolute-throughput regression to fail the gate")
+	}
+	if !strings.Contains(f[0], "sharded/p8") {
+		t.Fatalf("failure should name the cell: %v", f)
+	}
+}
+
+func TestCompareRatioGateIsHostIndependent(t *testing.T) {
+	base := report(hostA,
+		Result{Layout: "sharded", P: 8, N: 1 << 18, ElemsPerSec: 1000},
+		Result{Layout: "flat", P: 8, N: 1 << 18, ElemsPerSec: 500}) // 2.0x
+
+	// Different host, globally slower, but the ratio holds: pass.
+	cur := report(hostB,
+		Result{Layout: "sharded", P: 8, N: 1 << 18, ElemsPerSec: 400},
+		Result{Layout: "flat", P: 8, N: 1 << 18, ElemsPerSec: 200}) // 2.0x
+	if f := compare(base, cur, 0.10); len(f) != 0 {
+		t.Fatalf("ratio gate should pass across hosts, got %v", f)
+	}
+
+	// Different host and the sharded advantage collapsed: fail.
+	cur = report(hostB,
+		Result{Layout: "sharded", P: 8, N: 1 << 18, ElemsPerSec: 210},
+		Result{Layout: "flat", P: 8, N: 1 << 18, ElemsPerSec: 200}) // 1.05x
+	f := compare(base, cur, 0.10)
+	if len(f) != 1 || !strings.Contains(f[0], "ratio sharded/flat") {
+		t.Fatalf("expected exactly the ratio failure, got %v", f)
+	}
+}
+
+func TestCompareSkipsUnknownCells(t *testing.T) {
+	base := report(hostA, Result{Layout: "sharded", P: 8, N: 1 << 18, ElemsPerSec: 1000})
+	cur := report(hostA, Result{Layout: "sharded", P: 4, N: 1 << 16, ElemsPerSec: 1})
+	if f := compare(base, cur, 0.10); len(f) != 0 {
+		t.Fatalf("cells absent from the baseline must not gate, got %v", f)
+	}
+}
+
+func TestHostComparable(t *testing.T) {
+	if !hostA.comparable(hostA) {
+		t.Fatal("identical hosts must be comparable")
+	}
+	if hostA.comparable(hostB) {
+		t.Fatal("different hosts must not be comparable")
+	}
+	upgraded := hostA
+	upgraded.GoVersion = "go1.99.0"
+	if !hostA.comparable(upgraded) {
+		t.Fatal("a Go version bump alone must not disable the gate")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	in := report(hostA,
+		Result{Layout: "sharded", P: 8, N: 262144, ElemsPerSec: 123456.5, Runs: 3})
+	if err := writeReport(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Host != in.Host || len(out.Results) != 1 || out.Results[0] != in.Results[0] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestMeasureSortsCorrectly(t *testing.T) {
+	r, err := measure(cellSpec{layout: 0, p: 4, n: 4096}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ElemsPerSec <= 0 || r.N != 4096 || r.P != 4 {
+		t.Fatalf("bad result: %+v", r)
+	}
+}
+
+func TestQuickSmokeWithoutBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real sorts")
+	}
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run(&sb, []string{
+		"-quick", "-runs", "1",
+		"-baseline", filepath.Join(dir, "missing.json"),
+		"-out", filepath.Join(dir, "out.json"),
+	})
+	if err != nil {
+		t.Fatalf("quick smoke must not fail without a baseline: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "smoke passed") {
+		t.Fatalf("expected smoke summary, got:\n%s", sb.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "out.json")); err != nil {
+		t.Fatalf("-out report not written: %v", err)
+	}
+}

@@ -9,14 +9,17 @@ import (
 )
 
 // FuzzSort feeds arbitrary byte strings through the full native sort
-// pipeline with fuzzer-chosen worker counts and variants, checking the
-// output is a sorted permutation of the input.
+// pipeline with fuzzer-chosen worker counts, variants, arena layouts
+// and seeds, checking two explicit invariants: the output is sorted,
+// and it is a permutation of the input (equal to the stdlib's sort of
+// the same multiset).
 func FuzzSort(f *testing.F) {
-	f.Add([]byte("hello world"), uint8(4), uint8(0))
-	f.Add([]byte{0, 0, 0, 0}, uint8(1), uint8(1))
-	f.Add([]byte{255, 1, 128, 1, 255, 0}, uint8(9), uint8(2))
-	f.Add([]byte{}, uint8(3), uint8(0))
-	f.Fuzz(func(t *testing.T, raw []byte, workers uint8, variant uint8) {
+	f.Add([]byte("hello world"), uint8(4), uint8(0), uint8(0), uint64(0))
+	f.Add([]byte{0, 0, 0, 0}, uint8(1), uint8(1), uint8(1), uint64(7))
+	f.Add([]byte{255, 1, 128, 1, 255, 0}, uint8(9), uint8(2), uint8(2), uint64(3))
+	f.Add([]byte{}, uint8(3), uint8(0), uint8(2), uint64(1))
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(6), uint8(1), uint8(0), uint64(5))
+	f.Fuzz(func(t *testing.T, raw []byte, workers, variant, layout uint8, seed uint64) {
 		data := make([]int, len(raw))
 		for i, b := range raw {
 			data[i] = int(b)
@@ -27,13 +30,19 @@ func FuzzSort(f *testing.F) {
 
 		p := int(workers)%32 + 1
 		v := wfsort.Variant(variant % 3)
-		if err := wfsort.Sort(data, wfsort.WithWorkers(p), wfsort.WithVariant(v)); err != nil {
-			t.Fatalf("Sort(p=%d v=%v): %v", p, v, err)
+		l := wfsort.Layout(layout % 3)
+		err := wfsort.Sort(data, wfsort.WithWorkers(p), wfsort.WithVariant(v),
+			wfsort.WithLayout(l), wfsort.WithSeed(seed))
+		if err != nil {
+			t.Fatalf("Sort(p=%d v=%v l=%v): %v", p, v, l, err)
+		}
+		if !sort.IntsAreSorted(data) {
+			t.Fatalf("p=%d v=%v l=%v input=%v: output not sorted: %v", p, v, l, raw, data)
 		}
 		for i := range want {
 			if data[i] != want[i] {
-				t.Fatalf("p=%d v=%v input=%v: position %d = %d, want %d",
-					p, v, raw, i, data[i], want[i])
+				t.Fatalf("p=%d v=%v l=%v input=%v: position %d = %d, want %d (not a permutation)",
+					p, v, l, raw, i, data[i], want[i])
 			}
 		}
 	})

@@ -1,0 +1,66 @@
+package core
+
+import "wfsort/internal/model"
+
+// ShardedCounter is a contention-free monotonic counter for the native
+// fast path: each worker adds to its own shard (a plain read-modify-
+// write on a word no other worker updates) and the total is aggregated
+// on read by summing all shards. On a padded arena every shard lives on
+// its own cache line (the "ctr." naming rule in internal/native), so
+// increments never bounce lines between cores.
+//
+// Shards are single-writer as long as shards >= P; with fewer shards
+// two workers may race the read-modify-write and lose increments. Every
+// use in this repository is a heuristic early-exit signal where a lost
+// increment merely delays the exit, never breaks correctness: Sum is a
+// lower bound on the true count, and the surrounding algorithms remain
+// wait-free without the counter firing at all.
+//
+// The zero value is disabled: Add and Sum are no-ops costing zero
+// shared-memory operations, so untuned (simulator) programs are
+// byte-identical with or without counter plumbing.
+type ShardedCounter struct {
+	slots model.Region
+	n     int
+}
+
+// NewShardedCounter reserves shards slots under the "ctr."-prefixed
+// label that padded arenas recognize.
+func NewShardedCounter(a model.Allocator, name string, shards int) ShardedCounter {
+	if shards < 1 {
+		panic("core: sharded counter needs >= 1 shard")
+	}
+	return ShardedCounter{slots: a.Named("ctr."+name, shards), n: shards}
+}
+
+// Enabled reports whether the counter was actually allocated.
+func (c ShardedCounter) Enabled() bool { return c.n > 0 }
+
+// Add adds delta to the calling worker's shard. With shards >= P the
+// shard is single-writer and the plain read+write pair is exact.
+func (c ShardedCounter) Add(p model.Proc, delta model.Word) {
+	if c.n == 0 {
+		return
+	}
+	a := c.slots.At(p.ID() % c.n)
+	p.Write(a, p.Read(a)+delta)
+}
+
+// Sum aggregates the counter by reading every shard. The result is a
+// lower bound on the number of Add-deltas issued before the call.
+func (c ShardedCounter) Sum(p model.Proc) model.Word {
+	var total model.Word
+	for i := 0; i < c.n; i++ {
+		total += p.Read(c.slots.At(i))
+	}
+	return total
+}
+
+// HostSum aggregates the counter host-side after a run (no Proc ops).
+func (c ShardedCounter) HostSum(mem []model.Word) model.Word {
+	var total model.Word
+	for i := 0; i < c.n; i++ {
+		total += mem[c.slots.At(i)]
+	}
+	return total
+}

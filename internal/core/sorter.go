@@ -54,6 +54,43 @@ const (
 	Small = 1
 )
 
+// Tuning configures the native fast path. The zero value is the
+// paper-faithful configuration the simulator runs: per-element work
+// claims, the Fig. 4 key-accounting read, no counters, and the phase-4
+// shuffle — byte-identical operation sequences to the seed
+// implementation, which is what every golden-metric test pins down.
+//
+// Non-zero tunings trade simulator-faithful accounting for hardware
+// throughput; they preserve every correctness property (wait-freedom,
+// crash tolerance, stability of the derived ranks) but not the paper's
+// operation counts, so they are only ever used by the real-goroutine
+// runtime in internal/native.
+type Tuning struct {
+	// Batch is the number of elements claimed per work-assignment-tree
+	// leaf (0 or 1 = one element per leaf). Larger batches amortize the
+	// Θ(log N) next_element traffic — and the root/top-level cache-line
+	// traffic it causes — over Batch elements.
+	Batch int
+	// SkipKeyRead omits the Fig. 4 line 8 key read. The cell only
+	// exists so simulated operation counts and contention match the
+	// paper's accounting (keys never enter shared memory); on hardware
+	// it is one wasted atomic load per descent level.
+	SkipKeyRead bool
+	// Shards > 0 enables sharded counters with that many slots: the
+	// randomized allocation's miss counter and the phase-2/3 completion
+	// counters, each aggregated on read.
+	Shards int
+	// HostShuffle skips phase 4 (the output shuffle). The native driver
+	// already scatters elements from the rank table host-side, so the
+	// shared-memory write-all pass is redundant work there.
+	HostShuffle bool
+}
+
+// enabled reports whether any fast-path deviation is active.
+func (t Tuning) enabled() bool {
+	return t.Batch > 1 || t.SkipKeyRead || t.Shards > 0 || t.HostShuffle
+}
+
 // Alloc selects the phase-1 work-allocation strategy.
 type Alloc int
 
@@ -77,6 +114,15 @@ const (
 type Sorter struct {
 	n     int
 	alloc Alloc
+	tun   Tuning
+
+	// missCtr aggregates randomized-allocation misses across workers;
+	// sumCtr and placeCtr count distinct phase-2 size installs and
+	// phase-3 place installs (see Tuning.Shards). All are zero-valued
+	// (free) unless the sorter was built with NewSorterTuned.
+	missCtr  ShardedCounter
+	sumCtr   ShardedCounter
+	placeCtr ShardedCounter
 
 	// key.At(i) stands in for element i's key field: build_tree reads
 	// it (one shared-memory operation, as in Fig. 4 line 8) before
@@ -104,14 +150,14 @@ type Sorter struct {
 
 // NewSorter reserves the sort's shared state for n >= 1 elements in the
 // arena. Call Seed on the runtime's memory before running.
-func NewSorter(a *model.Arena, n int, alloc Alloc) *Sorter {
+func NewSorter(a model.Allocator, n int, alloc Alloc) *Sorter {
 	return NewSorterNamed(a, n, alloc, "")
 }
 
 // NewSorterNamed is NewSorter with a label prefix for contention
 // profiles (the §3 sort distinguishes group tables from the global
 // one this way).
-func NewSorterNamed(a *model.Arena, n int, alloc Alloc, prefix string) *Sorter {
+func NewSorterNamed(a model.Allocator, n int, alloc Alloc, prefix string) *Sorter {
 	s := NewTableNamed(a, n, prefix)
 	s.alloc = alloc
 	s.shuffle = wat.NewNamed(a, prefix+"wat.shuffle", n)
@@ -121,17 +167,43 @@ func NewSorterNamed(a *model.Arena, n int, alloc Alloc, prefix string) *Sorter {
 	return s
 }
 
+// NewSorterTuned reserves a sorter configured for the native fast path.
+// A zero Tuning reproduces NewSorter exactly; see Tuning for what each
+// knob trades away. The work-assignment trees cover ceil(jobs/Batch)
+// leaves, so with Batch > 1 workers claim blocks of elements and touch
+// the trees' contended top levels Batch times less often.
+func NewSorterTuned(a model.Allocator, n int, alloc Alloc, tun Tuning) *Sorter {
+	if tun.Batch < 1 {
+		tun.Batch = 1
+	}
+	s := NewTableNamed(a, n, "")
+	s.alloc = alloc
+	s.tun = tun
+	if !tun.HostShuffle {
+		s.shuffle = wat.NewNamed(a, "wat.shuffle", ceilDiv(n, tun.Batch))
+	}
+	if n > 1 {
+		s.build = wat.NewNamed(a, "wat.build", ceilDiv(n-1, tun.Batch))
+	}
+	if tun.Shards > 0 {
+		s.missCtr = NewShardedCounter(a, "miss", tun.Shards)
+		s.sumCtr = NewShardedCounter(a, "sum", tun.Shards)
+		s.placeCtr = NewShardedCounter(a, "place", tun.Shards)
+	}
+	return s
+}
+
 // NewTable reserves only the element table (keys, children, sizes,
 // places, output) without the work-assignment trees. The low-contention
 // sort of §3 drives the table with its own allocation machinery; tables
 // support BuildTreeFrom, TreeSumFrom and FindPlaceFrom but not Sort.
-func NewTable(a *model.Arena, n int) *Sorter {
+func NewTable(a model.Allocator, n int) *Sorter {
 	return NewTableNamed(a, n, "")
 }
 
 // NewTableNamed is NewTable with a label prefix for contention
 // profiles.
-func NewTableNamed(a *model.Arena, n int, prefix string) *Sorter {
+func NewTableNamed(a model.Allocator, n int, prefix string) *Sorter {
 	if n < 1 {
 		panic("core: sorter needs n >= 1")
 	}
@@ -156,7 +228,9 @@ func (s *Sorter) Seed(mem []Word) {
 	if s.build != nil {
 		s.build.Seed(mem)
 	}
-	s.shuffle.Seed(mem)
+	if s.shuffle != nil {
+		s.shuffle.Seed(mem)
+	}
 }
 
 // Program returns the full wait-free sort as a model.Program. Every
@@ -172,7 +246,7 @@ func (s *Sorter) Program() model.Program {
 
 // Sort runs all phases on the calling processor.
 func (s *Sorter) Sort(p model.Proc) {
-	if s.shuffle == nil {
+	if s.shuffle == nil && !s.tun.HostShuffle {
 		panic("core: Sort requires a sorter from NewSorter, not NewTable")
 	}
 	if s.n > 1 {
@@ -181,19 +255,42 @@ func (s *Sorter) Sort(p model.Proc) {
 		p.Phase("2:sum")
 		s.treeSum(p, 1, 0)
 		p.Phase("3:place")
-		s.findPlace(p, 1, 0, 0)
+		var st *descentState
+		if s.placeCtr.Enabled() {
+			st = &descentState{}
+		}
+		s.findPlace(p, 1, 0, 0, st)
 	} else {
 		p.Phase("2:sum")
 		p.Write(s.size.At(1), 1)
 		p.Phase("3:place")
 		p.Write(s.place.At(1), 1)
 	}
+	if s.tun.HostShuffle {
+		// The native driver scatters from the rank table itself; by the
+		// time any worker returns from phase 3 every place word is final
+		// (places are installed before the bottom-up placeDone marks
+		// that gate pruning), so there is nothing left to publish.
+		return
+	}
 	p.Phase("4:shuffle")
+	batch := s.batch()
 	s.shuffle.Run(p, func(j int) {
-		elem := j + 1
-		r := p.Read(s.place.At(elem))
-		p.Write(s.out.At(int(r)-1), Word(elem))
+		lo := j*batch + 1
+		hi := min(lo+batch-1, s.n)
+		for elem := lo; elem <= hi; elem++ {
+			r := p.Read(s.place.At(elem))
+			p.Write(s.out.At(int(r)-1), Word(elem))
+		}
 	})
+}
+
+// batch returns the work-claim granularity (>= 1).
+func (s *Sorter) batch() int {
+	if s.tun.Batch < 1 {
+		return 1
+	}
+	return s.tun.Batch
 }
 
 // BuildPhase runs only phase 1 (tree construction) under the sorter's
@@ -248,26 +345,73 @@ func (s *Sorter) TreeIsSortedBSTFrom(mem []Word, root int, less func(i, j int) b
 	return true
 }
 
-// jobElement maps a build-WAT job index to its element id (elements
-// 2..n are inserted; element 1 is the root and needs no insertion).
-func (s *Sorter) jobElement(j int) int { return j + 2 }
+// buildSpan returns the element range [lo, hi] covered by build job j
+// (elements 2..n are inserted; element 1 is the root and needs no
+// insertion). With Batch == 1 job j covers exactly element j+2, the
+// seed mapping.
+func (s *Sorter) buildSpan(j int) (lo, hi int) {
+	b := s.batch()
+	lo = j*b + 2
+	hi = min(lo+b-1, s.n)
+	return lo, hi
+}
+
+// buildJob inserts every element of build job j in ascending order.
+func (s *Sorter) buildJob(p model.Proc, j int) {
+	lo, hi := s.buildSpan(j)
+	for e := lo; e <= hi; e++ {
+		s.BuildTree(p, e)
+	}
+}
+
+// buildJobShuffled inserts build job j's elements in a random order
+// drawn from the worker's private stream. With Batch > 1 a job may span
+// a run of consecutive input positions; inserting the run in input
+// order would grow pivot-tree chains of up to Batch nodes on sorted
+// inputs, so the within-block order is shuffled to keep the randomized
+// allocation's O(log N)-depth argument intact. scratch is worker-local
+// scrap reused across jobs.
+func (s *Sorter) buildJobShuffled(p model.Proc, j int, rng *model.Rng, scratch []int) []int {
+	lo, hi := s.buildSpan(j)
+	if lo == hi {
+		s.BuildTree(p, lo)
+		return scratch
+	}
+	scratch = scratch[:0]
+	for e := lo; e <= hi; e++ {
+		scratch = append(scratch, e)
+	}
+	for i := len(scratch) - 1; i > 0; i-- {
+		k := rng.Intn(i + 1)
+		scratch[i], scratch[k] = scratch[k], scratch[i]
+	}
+	for _, e := range scratch {
+		s.BuildTree(p, e)
+	}
+	return scratch
+}
 
 // buildPhaseWAT is phase 1 under deterministic WAT allocation (Fig. 2
 // with build_tree as func).
 func (s *Sorter) buildPhaseWAT(p model.Proc) {
 	s.build.Run(p, func(j int) {
-		s.BuildTree(p, s.jobElement(j))
+		s.buildJob(p, j)
 	})
 }
 
 // buildPhaseRandomized is phase 1 under the randomized allocation of
-// §2.3: pick uniform random elements and insert them, marking progress
+// §2.3: pick uniform random jobs and insert them, marking progress
 // up the WAT, until log N consecutive picks were already done; then
-// switch to next_element.
+// switch to next_element. When the sharded miss counter is enabled
+// (native fast path), workers also aggregate their misses and bail out
+// to the deterministic completion sweep once the whole fleet's miss
+// count shows the tree is saturated — the sweep is the correctness
+// backstop either way, so any early-exit policy is safe.
 func (s *Sorter) buildPhaseRandomized(p model.Proc) {
 	jobs := s.build.Jobs()
 	logN := bits.Len(uint(jobs)) + 1
 	rng := p.Rand()
+	var scratch []int
 	misses := 0
 	last := s.build.LeafNode(rng.Intn(jobs))
 	for misses < logN {
@@ -276,17 +420,23 @@ func (s *Sorter) buildPhaseRandomized(p model.Proc) {
 		last = leaf
 		if p.Read(leafAddr(s.build, leaf)) == model.Done {
 			misses++
+			if s.missCtr.Enabled() {
+				s.missCtr.Add(p, 1)
+				if misses&3 == 0 && s.missCtr.Sum(p) >= Word(4*logN) {
+					break
+				}
+			}
 			continue
 		}
 		misses = 0
-		s.BuildTree(p, s.jobElement(j))
+		scratch = s.buildJobShuffled(p, j, rng, scratch)
 		s.markClimb(p, leaf)
 	}
 	// Deterministic completion from the last (done) leaf.
 	i := last
 	for i != wat.NoWork {
 		if j := s.build.JobOf(i); j >= 0 {
-			s.BuildTree(p, s.jobElement(j))
+			s.buildJob(p, j)
 		}
 		i = s.build.NextElement(p, i)
 	}
@@ -332,8 +482,13 @@ func (s *Sorter) BuildTree(p model.Proc, i int) {
 // experiment E18 measures as the native contention signal.
 func (s *Sorter) BuildTreeFrom(p model.Proc, i, parent int) {
 	for {
-		// Fig. 4 line 8: read the parent's key, then compare.
-		p.Read(s.key.At(parent))
+		if !s.tun.SkipKeyRead {
+			// Fig. 4 line 8: read the parent's key, then compare. The
+			// cell exists purely so simulated op counts and contention
+			// match the paper's accounting; the native fast path skips
+			// the load (see Tuning.SkipKeyRead).
+			p.Read(s.key.At(parent))
+		}
 		side := Big
 		if p.Less(i, parent) {
 			side = Small
@@ -365,7 +520,7 @@ func (s *Sorter) TreeSumFrom(p model.Proc, root int) Word {
 // FindPlaceFrom runs phase 3 from an arbitrary root element whose
 // subtree spans ranks sub+1..sub+size.
 func (s *Sorter) FindPlaceFrom(p model.Proc, root int, sub Word) {
-	s.findPlace(p, root, sub, 0)
+	s.findPlace(p, root, sub, 0, nil)
 }
 
 // treeSum is tree_sum of Figure 5: return the size of the subtree
@@ -385,19 +540,56 @@ func (s *Sorter) treeSum(p model.Proc, i, d int) Word {
 	}
 	sum := s.treeSum(p, int(p.Read(s.child[first].At(i))), d+1)
 	sum += s.treeSum(p, int(p.Read(s.child[second].At(i))), d+1)
-	p.Write(s.size.At(i), sum+1)
+	if s.sumCtr.Enabled() {
+		// Native fast path: install via CAS so exactly one worker counts
+		// each node, and accumulate the install into this worker's shard.
+		// The aggregate — readable by summing the shards — is the number
+		// of distinct subtree sizes known so far; phase 3 uses its sister
+		// counter to short-circuit, and tests read it host-side to check
+		// that tree_sum accounted for every node exactly once. A lost
+		// race rewrites nothing (the CAS fails on the identical value
+		// already installed).
+		if p.CAS(s.size.At(i), model.Empty, sum+1) {
+			s.sumCtr.Add(p, 1)
+		}
+	} else {
+		p.Write(s.size.At(i), sum+1)
+	}
 	return sum + 1
+}
+
+// descentState carries a worker's phase-3 early-exit bookkeeping: a
+// visit budget between polls of the sharded place counter, and the
+// latched "phase globally complete" verdict.
+type descentState struct {
+	visits int
+	done   bool
 }
 
 // findPlace is find_place of Figure 6 with the bottom-up placeDone
 // completion marker (see the package comment). sub is the number of
 // elements smaller than i's entire subtree.
-func (s *Sorter) findPlace(p model.Proc, i int, sub Word, d int) {
-	if i == 0 {
+//
+// st is nil outside the native fast path. When set, the worker installs
+// places by CAS and counts distinct installs in a sharded counter;
+// every 64 visits it aggregates the counter, and once all n places are
+// installed it abandons the rest of its traversal. Pruning on placeDone
+// alone cannot do this: the bottom-up marks appear long after the place
+// values they summarize, so late workers redundantly re-walk subtrees
+// whose output is already complete.
+func (s *Sorter) findPlace(p model.Proc, i int, sub Word, d int, st *descentState) {
+	if i == 0 || (st != nil && st.done) {
 		return
 	}
 	if p.Read(s.placeDone.At(i)) != model.Empty {
 		return
+	}
+	if st != nil {
+		st.visits++
+		if st.visits&63 == 0 && s.placeCtr.Sum(p) >= Word(s.n) {
+			st.done = true
+			return
+		}
 	}
 	var sm Word
 	small := int(p.Read(s.child[Small].At(i)))
@@ -405,13 +597,26 @@ func (s *Sorter) findPlace(p model.Proc, i int, sub Word, d int) {
 	if small != 0 {
 		sm = p.Read(s.size.At(small))
 	}
-	p.Write(s.place.At(i), sm+sub+1)
-	if pidBit(p.ID(), d) == Small {
-		s.findPlace(p, small, sub, d+1)
-		s.findPlace(p, big, sub+sm+1, d+1)
+	if st != nil {
+		if p.CAS(s.place.At(i), model.Empty, sm+sub+1) {
+			s.placeCtr.Add(p, 1)
+		}
 	} else {
-		s.findPlace(p, big, sub+sm+1, d+1)
-		s.findPlace(p, small, sub, d+1)
+		p.Write(s.place.At(i), sm+sub+1)
+	}
+	if pidBit(p.ID(), d) == Small {
+		s.findPlace(p, small, sub, d+1, st)
+		s.findPlace(p, big, sub+sm+1, d+1, st)
+	} else {
+		s.findPlace(p, big, sub+sm+1, d+1, st)
+		s.findPlace(p, small, sub, d+1, st)
+	}
+	if st != nil && st.done {
+		// Every place word is installed (that is what done means), so
+		// the bottom-up marks only exist to prune other workers — who
+		// short-circuit through their own counter polls anyway. Skip
+		// the write and unwind.
+		return
 	}
 	p.Write(s.placeDone.At(i), model.Done)
 }
@@ -479,6 +684,13 @@ func (s *Sorter) PlaceAddr(i int) int { return s.place.At(i) }
 // mark.
 func (s *Sorter) PlaceDoneAddr(i int) int { return s.placeDone.At(i) }
 
+// PlaceDoneRegion returns the phase-3 completion-mark region itself.
+// Callers that index the marks as a region (the §3.3 probing phases)
+// must use this rather than reconstruct a region from PlaceDoneAddr(0):
+// on padded arenas the region is not contiguous, so a synthesized dense
+// region would disagree with the addresses the sorter itself uses.
+func (s *Sorter) PlaceDoneRegion() model.Region { return s.placeDone }
+
 // OutAddr returns the address of the rank-(r+1) output slot.
 func (s *Sorter) OutAddr(r int) int { return s.out.At(r) }
 
@@ -507,3 +719,19 @@ func pidBit(pid, d int) int {
 
 // leafAddr returns the shared-memory address of a WAT node.
 func leafAddr(w *wat.WAT, node int) int { return w.NodeAddr(node) }
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// CounterTotals reports the sharded counters' host-side aggregates
+// after a run: randomized-allocation misses, distinct phase-2 size
+// installs and distinct phase-3 place installs. All zero unless the
+// sorter was built with Tuning.Shards > 0. After a completed tuned run
+// the install counters must both equal N — the invariant the fast-path
+// tests pin down.
+func (s *Sorter) CounterTotals(mem []Word) (miss, sum, place Word) {
+	return s.missCtr.HostSum(mem), s.sumCtr.HostSum(mem), s.placeCtr.HostSum(mem)
+}
+
+// Tuning returns the sorter's fast-path configuration.
+func (s *Sorter) Tuning() Tuning { return s.tun }

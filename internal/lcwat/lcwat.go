@@ -44,13 +44,15 @@ type Tree struct {
 }
 
 // New lays out an LC-WAT for jobs (>= 1) in the arena. Call Seed on the
-// runtime's memory before use.
-func New(a *model.Arena, jobs int) *Tree {
+// runtime's memory before use. As with wat.New, the allocator decides
+// physical placement (dense for the simulator, cache-line padded tops
+// on the native arenas).
+func New(a model.Allocator, jobs int) *Tree {
 	return NewNamed(a, "lcwat", jobs)
 }
 
 // NewNamed is New with a region label for contention profiles.
-func NewNamed(a *model.Arena, name string, jobs int) *Tree {
+func NewNamed(a model.Allocator, name string, jobs int) *Tree {
 	if jobs < 1 {
 		panic("lcwat: jobs must be >= 1")
 	}

@@ -90,8 +90,12 @@ type Sorter struct {
 	fallbackAfter int
 }
 
-// New lays out the Section 3 sorter in the arena.
-func New(a *model.Arena, n, p int) *Sorter {
+// New lays out the Section 3 sorter in the arena. The allocator decides
+// physical placement: the simulator's dense model.Arena reproduces the
+// paper's accounting, while the native padded arenas keep the winner
+// tree, fat-tree duplicates and LC-WAT tops off each other's cache
+// lines.
+func New(a model.Allocator, n, p int) *Sorter {
 	if p < 4 {
 		panic("lowcont: need at least 4 processors (use core below that)")
 	}
@@ -467,11 +471,12 @@ func (s *Sorter) pushMark(p model.Proc, marks model.Region, i int) {
 
 // --- low-contention phase 3 (§3.3) ---
 
-// placeMarks aliases the table's placeDone region through its address
-// accessor; lcFindPlace needs region-style access for pushMark.
+// placeMarks aliases the table's placeDone region; lcFindPlace needs
+// region-style access for pushMark. The region comes straight from the
+// table (not rebuilt from PlaceDoneAddr(0)) so that the addresses agree
+// with the deterministic fallback even on non-contiguous padded arenas.
 func (s *Sorter) placeMarks() model.Region {
-	base := s.table.PlaceDoneAddr(0)
-	return model.Region{Base: base, Len: s.n + 1}
+	return s.table.PlaceDoneRegion()
 }
 
 // placeChild writes child c's rank if it is still unset, given its

@@ -9,13 +9,27 @@ import (
 // Rng is the deterministic per-processor random stream type.
 type Rng = xrand.Rand
 
-// Region is a contiguous range of shared-memory words, used to give
-// structure (arrays, trees, record fields) to the flat address space.
-// The zero value is an empty region.
+// Region is a range of shared-memory words, used to give structure
+// (arrays, trees, record fields) to the flat address space. The zero
+// value is an empty region.
+//
+// A region is normally contiguous. Allocators that lay memory out for
+// real hardware (internal/native) may set Hot > 0: the first Hot words
+// are then spread LineWords apart so that each lives on its own cache
+// line, and the remaining Len-Hot words follow contiguously. Hot is a
+// physical-layout concern only; logical indices are unchanged. The
+// simulator's Arena always produces Hot = 0, so simulated addresses
+// (and therefore step counts and contention) never depend on layout.
 type Region struct {
 	Base int // first word
-	Len  int // number of words
+	Len  int // number of logical words
+	Hot  int // words of cache-line-padded prefix (0 = fully contiguous)
 }
+
+// LineWords is the number of words assumed per hardware cache line
+// (64 bytes / 8-byte words). Padded layouts space hot words this far
+// apart.
+const LineWords = 8
 
 // At returns the address of the i-th word of the region. It panics on
 // out-of-range access: on a PRAM a stray address silently corrupts some
@@ -25,7 +39,19 @@ func (r Region) At(i int) int {
 	if i < 0 || i >= r.Len {
 		panic(fmt.Sprintf("model: region access %d out of [0,%d)", i, r.Len))
 	}
-	return r.Base + i
+	if i < r.Hot {
+		return r.Base + i*LineWords
+	}
+	return r.Base + r.Hot*LineWords + (i - r.Hot)
+}
+
+// Extent returns the number of physical words the region occupies,
+// including padding introduced by a hot prefix.
+func (r Region) Extent() int {
+	if r.Hot == 0 {
+		return r.Len
+	}
+	return r.Len + (LineWords-1)*r.Hot
 }
 
 // NamedRegion is a region annotated with the structure it implements,
@@ -35,6 +61,30 @@ type NamedRegion struct {
 	Region
 }
 
+// Allocator is the layout-time interface shared by every shared-memory
+// arena. Algorithm constructors take an Allocator so the same layout
+// code can target either the simulator's dense Arena (addresses are a
+// pure function of allocation order — the basis of every golden-metric
+// test) or a hardware-aware arena such as internal/native's padded
+// layouts, which align structures to cache lines and give hot words a
+// padded prefix. *Arena implements Allocator.
+type Allocator interface {
+	// Array reserves n words and returns the region.
+	Array(n int) Region
+	// Named reserves n words under a label; the label shows up in
+	// per-region contention profiles and drives hardware layout rules.
+	Named(name string, n int) Region
+	// Word reserves a single word and returns its address.
+	Word() int
+	// NamedWord reserves a single labelled word and returns its address.
+	NamedWord(name string) int
+	// Regions returns every labelled region, in allocation order.
+	Regions() []NamedRegion
+	// Size returns the number of physical words reserved so far; pass it
+	// to the runtime as the memory size.
+	Size() int
+}
+
 // Arena hands out non-overlapping regions of shared memory. Lay out all
 // structures with a single Arena before a run, then size the machine
 // with Size. The zero value allocates from address 0.
@@ -42,6 +92,8 @@ type Arena struct {
 	next  int
 	named []NamedRegion
 }
+
+var _ Allocator = (*Arena)(nil)
 
 // Array reserves n words and returns the region.
 func (a *Arena) Array(n int) Region {

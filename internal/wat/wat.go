@@ -39,13 +39,15 @@ type WAT struct {
 
 // New lays out a WAT for the given number of jobs (>= 1) in the arena.
 // Call Seed on the runtime's memory before running programs that use
-// the tree.
-func New(a *model.Arena, jobs int) *WAT {
+// the tree. The allocator decides physical placement: the simulator's
+// dense model.Arena keeps the heap contiguous, while the padded native
+// arenas give the contended top nodes their own cache lines.
+func New(a model.Allocator, jobs int) *WAT {
 	return NewNamed(a, "wat", jobs)
 }
 
 // NewNamed is New with a region label for contention profiles.
-func NewNamed(a *model.Arena, name string, jobs int) *WAT {
+func NewNamed(a model.Allocator, name string, jobs int) *WAT {
 	if jobs < 1 {
 		panic("wat: jobs must be >= 1")
 	}

@@ -73,12 +73,55 @@ func (v Variant) String() string {
 	}
 }
 
+// Layout selects how Sort and SortFunc place shared state in memory
+// and hand out work on the native (real-goroutine) runtime. The
+// simulator ignores it: Simulate always runs the paper-faithful dense
+// layout, so simulated step counts and contention never depend on this
+// option.
+type Layout int
+
+// Native arena layouts.
+const (
+	// LayoutSharded is the contention-sharded fast path and the
+	// default: cache-line padded hot words, work claimed in blocks so
+	// the work-assignment trees' root traffic is amortized, sharded
+	// miss/completion counters that aggregate on read, no accounting
+	// key reads, and the output scatter done host-side. Fastest; same
+	// wait-freedom and crash tolerance as the paper's algorithm.
+	LayoutSharded Layout = iota
+	// LayoutPadded keeps the paper's per-element claims and operation
+	// sequence but aligns structures to cache lines and pads hot words
+	// (work-tree tops, the pivot root, counter shards).
+	LayoutPadded
+	// LayoutFlat is the dense simulator layout run as-is on hardware —
+	// the seed behavior, kept as the benchmark baseline.
+	LayoutFlat
+)
+
+// String returns the layout's mnemonic.
+func (l Layout) String() string {
+	switch l {
+	case LayoutSharded:
+		return "sharded"
+	case LayoutPadded:
+		return "padded"
+	case LayoutFlat:
+		return "flat"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
+// Layouts lists every native arena layout, fastest first.
+func Layouts() []Layout { return []Layout{LayoutSharded, LayoutPadded, LayoutFlat} }
+
 // Metrics re-exports the run cost report shared by both runtimes.
 type Metrics = model.Metrics
 
 type config struct {
 	workers int
 	variant Variant
+	layout  Layout
 	seed    uint64
 	sched   pram.Scheduler // simulation only
 }
@@ -96,6 +139,13 @@ func WithWorkers(p int) Option {
 // WithVariant selects the algorithm variant. Defaults to Randomized.
 func WithVariant(v Variant) Option {
 	return func(c *config) { c.variant = v }
+}
+
+// WithLayout selects the native arena layout (see Layout). Defaults to
+// LayoutSharded. Simulation only ever uses the dense paper layout;
+// Simulate ignores this option.
+func WithLayout(l Layout) Option {
+	return func(c *config) { c.layout = l }
 }
 
 // WithSeed fixes the seed behind all randomized choices, making
@@ -123,7 +173,45 @@ func buildConfig(n int, opts []Option) (config, error) {
 	if c.workers > n {
 		c.workers = n // P <= N is the paper's regime; extra workers idle anyway
 	}
+	if c.layout < LayoutSharded || c.layout > LayoutFlat {
+		return c, fmt.Errorf("wfsort: unknown layout %v", c.layout)
+	}
 	return c, nil
+}
+
+// nativeArena builds the allocator and fast-path tuning for one native
+// sort. Only SortFunc calls it; Simulate always lays out on the dense
+// model.Arena with zero tuning, which is what keeps simulated metrics
+// independent of this whole mechanism.
+func nativeArena(n int, c config) (model.Allocator, core.Tuning) {
+	switch c.layout {
+	case LayoutFlat:
+		return &model.Arena{}, core.Tuning{}
+	case LayoutPadded:
+		return native.NewArena(native.Padded), core.Tuning{}
+	default: // LayoutSharded
+		return native.NewArena(native.Padded), core.Tuning{
+			Batch:       batchFor(n, c.workers),
+			SkipKeyRead: true,
+			Shards:      min(c.workers, 8),
+			HostShuffle: true,
+		}
+	}
+}
+
+// batchFor picks the work-claim granularity: large enough to amortize
+// next_element traffic, small enough that every worker still sees at
+// least a few blocks to claim (wait-freedom never depends on the
+// choice — a block is just a bigger idempotent job).
+func batchFor(n, workers int) int {
+	b := n / (4 * workers)
+	if b > 128 {
+		b = 128
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
 }
 
 // Sort sorts data in place using wait-free parallel workers. It is
@@ -158,8 +246,8 @@ func SortFunc[E any](data []E, less func(a, b E) bool, opts ...Option) error {
 		return i < j
 	}
 
-	var a model.Arena
-	runner, err := newRunner(&a, n, c)
+	a, tun := nativeArena(n, c)
+	runner, err := newRunner(a, n, c, tun)
 	if err != nil {
 		return err
 	}
@@ -229,7 +317,7 @@ func Simulate(keys []int, opts ...Option) (*SimResult, error) {
 		return i < j
 	}
 	var a model.Arena
-	runner, err := newRunner(&a, n, c)
+	runner, err := newRunner(&a, n, c, core.Tuning{})
 	if err != nil {
 		return nil, err
 	}
@@ -252,18 +340,21 @@ type runner struct {
 	lc   *lowcont.Sorter
 }
 
-func newRunner(a *model.Arena, n int, c config) (runner, error) {
+func newRunner(a model.Allocator, n int, c config, tun core.Tuning) (runner, error) {
 	switch c.variant {
 	case Deterministic:
-		return runner{core: core.NewSorter(a, n, core.AllocWAT)}, nil
+		return runner{core: core.NewSorterTuned(a, n, core.AllocWAT, tun)}, nil
 	case Randomized:
-		return runner{core: core.NewSorter(a, n, core.AllocRandomized)}, nil
+		return runner{core: core.NewSorterTuned(a, n, core.AllocRandomized, tun)}, nil
 	case LowContention:
 		if c.workers < 4 || n < c.workers {
 			// Below the §3 regime the deterministic contention bound
 			// O(P) is small anyway; fall back to the Section 2 sort.
-			return runner{core: core.NewSorter(a, n, core.AllocRandomized)}, nil
+			return runner{core: core.NewSorterTuned(a, n, core.AllocRandomized, tun)}, nil
 		}
+		// The §3 research variant keeps the paper's own contention
+		// machinery; it benefits from the padded arena but not from the
+		// Section 2 fast-path tuning.
 		return runner{lc: lowcont.New(a, n, c.workers)}, nil
 	default:
 		return runner{}, fmt.Errorf("wfsort: unknown variant %v", c.variant)

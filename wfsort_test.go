@@ -259,6 +259,48 @@ func TestSortLargeUsesParallelPermute(t *testing.T) {
 	}
 }
 
+// TestSortLayoutsProperty is the cross-layout property test: for every
+// native arena layout × algorithm variant × input shape, SortFunc must
+// produce exactly what sort.SliceStable produces. Records carry unique
+// tags, so element-wise equality simultaneously proves sortedness,
+// stability and that the output is a permutation of the input.
+func TestSortLayoutsProperty(t *testing.T) {
+	type rec struct{ key, tag int }
+	const n = 2500
+	inputs := map[string]func(i int, rng *rand.Rand) int{
+		"random":   func(_ int, rng *rand.Rand) int { return rng.Intn(n) },
+		"dupheavy": func(_ int, rng *rand.Rand) int { return rng.Intn(7) },
+		"sorted":   func(i int, _ *rand.Rand) int { return i },
+		"reverse":  func(i int, _ *rand.Rand) int { return n - i },
+	}
+	for _, layout := range Layouts() {
+		for _, v := range []Variant{Deterministic, Randomized, LowContention} {
+			for name, gen := range inputs {
+				t.Run(layout.String()+"/"+v.String()+"/"+name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(v)<<8 + int64(layout)))
+					data := make([]rec, n)
+					for i := range data {
+						data[i] = rec{key: gen(i, rng), tag: i}
+					}
+					want := make([]rec, n)
+					copy(want, data)
+					sort.SliceStable(want, func(i, j int) bool { return want[i].key < want[j].key })
+					err := SortFunc(data, func(a, b rec) bool { return a.key < b.key },
+						WithLayout(layout), WithVariant(v), WithWorkers(6), WithSeed(uint64(layout)+1))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range want {
+						if data[i] != want[i] {
+							t.Fatalf("position %d: got %+v, want %+v", i, data[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 func TestSortPreservesMultisets(t *testing.T) {
 	// The output must be a permutation of the input, not just sorted —
 	// catches any lost or duplicated element in the scatter.
