@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench benchgate benchgate-baseline experiments experiments-quick stress fmt vet cover
+.PHONY: all test race bench benchgate benchgate-baseline chaos chaos-quick experiments experiments-quick stress fmt vet cover
 
 all: vet test
 
@@ -20,6 +20,14 @@ benchgate:
 # Re-measure and overwrite the baseline (run on the reference machine).
 benchgate-baseline:
 	go run ./cmd/benchgate -write
+
+# Fault-injection sweep: adversary policies x P x layouts, certified
+# against the wait-freedom op ceiling, with pram/native differentials.
+chaos:
+	go run ./cmd/chaos
+
+chaos-quick:
+	go run ./cmd/chaos -quick
 
 experiments:
 	go run ./cmd/experiments

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wfsort/internal/chaos"
+)
+
+// TestRunQuickSweep drives the CLI end to end on a tiny matrix and
+// checks the JSON report parses and is clean.
+func TestRunQuickSweep(t *testing.T) {
+	var out, log bytes.Buffer
+	err := run(&out, &log, []string{"-n", "256", "-p", "2,4", "-seed", "3"})
+	if err != nil {
+		t.Fatalf("run: %v\nlog:\n%s", err, log.String())
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v", err)
+	}
+	if !rep.OK {
+		t.Fatalf("report not OK: %v", rep.Failures)
+	}
+	if len(rep.Runs) == 0 || len(rep.Differential) != 2 {
+		t.Errorf("report shape: %d runs, %d differentials (want >0, 2)", len(rep.Runs), len(rep.Differential))
+	}
+	if !strings.Contains(log.String(), "chaos sweep ok") {
+		t.Errorf("log missing success line:\n%s", log.String())
+	}
+}
+
+// TestRunWritesReportFile checks -out writes the report instead of
+// printing it.
+func TestRunWritesReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	var out, log bytes.Buffer
+	if err := run(&out, &log, []string{"-n", "256", "-p", "2", "-out", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty with -out: %q", out.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report file: %v", err)
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report file is not JSON: %v", err)
+	}
+}
+
+func TestParsePs(t *testing.T) {
+	ps, err := parsePs("2, 4,8")
+	if err != nil {
+		t.Fatalf("parsePs: %v", err)
+	}
+	if len(ps) != 3 || ps[0] != 2 || ps[1] != 4 || ps[2] != 8 {
+		t.Errorf("ps = %v, want [2 4 8]", ps)
+	}
+	for _, bad := range []string{"", "x", "0", "-1", "2,,4"} {
+		if _, err := parsePs(bad); err == nil {
+			t.Errorf("parsePs(%q) accepted, want error", bad)
+		}
+	}
+}

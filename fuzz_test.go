@@ -6,20 +6,26 @@ import (
 	"testing"
 
 	"wfsort"
+	"wfsort/internal/chaos"
 )
 
 // FuzzSort feeds arbitrary byte strings through the full native sort
 // pipeline with fuzzer-chosen worker counts, variants, arena layouts
 // and seeds, checking two explicit invariants: the output is sorted,
 // and it is a permutation of the input (equal to the stdlib's sort of
-// the same multiset).
+// the same multiset). When the fuzzer picks a nonzero kill fraction,
+// the same keys additionally run through the chaos harness under a
+// seeded crash quorum: the survivors' output must still match the
+// stable-sorted reference and certify under the wait-freedom op
+// ceiling.
 func FuzzSort(f *testing.F) {
-	f.Add([]byte("hello world"), uint8(4), uint8(0), uint8(0), uint64(0))
-	f.Add([]byte{0, 0, 0, 0}, uint8(1), uint8(1), uint8(1), uint64(7))
-	f.Add([]byte{255, 1, 128, 1, 255, 0}, uint8(9), uint8(2), uint8(2), uint64(3))
-	f.Add([]byte{}, uint8(3), uint8(0), uint8(2), uint64(1))
-	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(6), uint8(1), uint8(0), uint64(5))
-	f.Fuzz(func(t *testing.T, raw []byte, workers, variant, layout uint8, seed uint64) {
+	f.Add([]byte("hello world"), uint8(4), uint8(0), uint8(0), uint64(0), uint8(0), uint64(0))
+	f.Add([]byte{0, 0, 0, 0}, uint8(1), uint8(1), uint8(1), uint64(7), uint8(0), uint64(2))
+	f.Add([]byte{255, 1, 128, 1, 255, 0}, uint8(9), uint8(2), uint8(2), uint64(3), uint8(3), uint64(5))
+	f.Add([]byte{}, uint8(3), uint8(0), uint8(2), uint64(1), uint8(1), uint64(9))
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(6), uint8(1), uint8(0), uint64(5), uint8(4), uint64(11))
+	f.Add(bytes.Repeat([]byte{42}, 64), uint8(8), uint8(1), uint8(0), uint64(6), uint8(7), uint64(13))
+	f.Fuzz(func(t *testing.T, raw []byte, workers, variant, layout uint8, seed uint64, killFrac uint8, faultSeed uint64) {
 		data := make([]int, len(raw))
 		for i, b := range raw {
 			data[i] = int(b)
@@ -43,6 +49,37 @@ func FuzzSort(f *testing.F) {
 			if data[i] != want[i] {
 				t.Fatalf("p=%d v=%v l=%v input=%v: position %d = %d, want %d (not a permutation)",
 					p, v, l, raw, i, data[i], want[i])
+			}
+		}
+
+		// Fault-injected replay: crash roughly killFrac/8 of the workers
+		// (sparing processor 0) at seeded op ordinals and re-sort the
+		// same keys on the native runtime via the chaos certifier.
+		if frac := float64(killFrac%8) / 8; frac > 0 && len(raw) > 0 {
+			keys := make([]int, len(raw))
+			if len(keys) > 512 {
+				keys = keys[:512] // keep the crash replay cheap
+			}
+			for i := range keys {
+				keys[i] = int(raw[i])
+			}
+			cp := int(workers)%8 + 2
+			window := int64(len(keys) + 1)
+			spec := chaos.Spec{
+				Keys: keys, P: cp, Layout: chaos.Layout(layout % 3), Seed: seed,
+				Crashes: chaos.CrashQuorum(cp, frac, window, faultSeed),
+			}
+			res, err := chaos.RunNative(spec)
+			if err != nil {
+				t.Fatalf("chaos replay(p=%d l=%v frac=%.2f): %v", cp, spec.Layout, frac, err)
+			}
+			if !res.Sorted {
+				t.Fatalf("chaos replay(p=%d l=%v frac=%.2f keys=%v): output not sorted (%s)",
+					cp, spec.Layout, frac, keys, res.Error)
+			}
+			if !res.Certified {
+				t.Fatalf("chaos replay(p=%d l=%v frac=%.2f): max ops %d over ceiling %d",
+					cp, spec.Layout, frac, res.MaxOps, res.Bound)
 			}
 		}
 	})

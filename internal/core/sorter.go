@@ -631,6 +631,24 @@ func (s *Sorter) Places(mem []Word) []int {
 	return ranks
 }
 
+// Progress reports, host-side, how far a run got through phases 2 and
+// 3: the number of elements whose subtree size is installed and the
+// number whose rank is installed. After any completed run — faultless
+// or not — both equal N; a partial count is the forensic trail of a run
+// that lost every worker, which is what the chaos certifier reports
+// when a fault schedule proves too aggressive.
+func (s *Sorter) Progress(mem []Word) (sized, placed int) {
+	for i := 1; i <= s.n; i++ {
+		if mem[s.size.At(i)] != model.Empty {
+			sized++
+		}
+		if mem[s.place.At(i)] != model.Empty {
+			placed++
+		}
+	}
+	return sized, placed
+}
+
 // Output extracts the shuffled result: Output(mem)[r] is the element id
 // with rank r+1.
 func (s *Sorter) Output(mem []Word) []int {

@@ -166,6 +166,48 @@ func TestSortSurvivesCrashes(t *testing.T) {
 	}
 }
 
+func TestSortDegenerateInputsBothAllocators(t *testing.T) {
+	// Degenerate shapes exercised under BOTH allocation strategies: the
+	// all-equal input collapses every comparison to the index tie-break,
+	// and the constant-run shapes stress the subtree-size accounting.
+	n := 48
+	allEqual := make([]int, n)
+	twoVals := make([]int, n)
+	runs := make([]int, n)
+	for i := range twoVals {
+		twoVals[i] = i & 1
+		runs[i] = i / 8
+	}
+	for _, alloc := range []Alloc{AllocWAT, AllocRandomized} {
+		for name, keys := range map[string][]int{
+			"allequal": allEqual, "twovalues": twoVals, "runs": runs,
+		} {
+			t.Run(name, func(t *testing.T) {
+				runSort(t, keys, 8, alloc, uint64(len(name)), nil)
+			})
+		}
+	}
+}
+
+func TestProgressCountsCompletedRun(t *testing.T) {
+	// Progress reports (sized, placed) marks — the certifier's view of
+	// how far a run got. A completed run must report full marks, and a
+	// never-started memory image zero.
+	keys := randKeys(64, 21)
+	s, m, _ := runSort(t, keys, 8, AllocRandomized, 21, nil)
+	sized, placed := s.Progress(m.Memory())
+	if sized != len(keys) || placed != len(keys) {
+		t.Errorf("completed run: sized=%d placed=%d, want %d/%d", sized, placed, len(keys), len(keys))
+	}
+	var a model.Arena
+	fresh := NewSorter(&a, len(keys), AllocRandomized)
+	mem := make([]model.Word, a.Size())
+	fresh.Seed(mem)
+	if sized, placed := fresh.Progress(mem); sized != 0 || placed != 0 {
+		t.Errorf("fresh memory: sized=%d placed=%d, want 0/0", sized, placed)
+	}
+}
+
 func TestBSTInvariant(t *testing.T) {
 	keys := randKeys(200, 42)
 	s, m, _ := runSort(t, keys, 20, AllocWAT, 8, nil)

@@ -231,6 +231,11 @@ func (s *Sorter) Sort(p model.Proc) {
 // Places extracts every element's final 1-based rank after a run.
 func (s *Sorter) Places(mem []Word) []int { return s.table.Places(mem) }
 
+// Progress reports, host-side, how many elements have an installed
+// subtree size and rank — the same certifier-facing counters the §2
+// sorter surfaces (see core.Sorter.Progress).
+func (s *Sorter) Progress(mem []Word) (sized, placed int) { return s.table.Progress(mem) }
+
 // Output extracts the element ids in sorted order after a run.
 func (s *Sorter) Output(mem []Word) []int { return s.table.Output(mem) }
 

@@ -52,8 +52,15 @@ type Metrics struct {
 	// Ramachandran that §3 of the paper refers to. Equal to Steps when
 	// no word is ever accessed twice in a step.
 	QRQWTime int64
-	// Killed is the number of processors crashed by the scheduler.
+	// Killed is the number of processors crashed by the scheduler (both
+	// runtimes) or by an injected fault plan (native).
 	Killed int
+	// Respawns is the number of killed processors revived with a fresh
+	// incarnation (native runtime only).
+	Respawns int
+	// InjectedStalls counts adversary-injected stalls (native runtime
+	// only; the simulator models delay through its schedulers instead).
+	InjectedStalls int64
 	// ByPhase attributes cost to Phase labels, in first-seen order.
 	ByPhase map[string]*PhaseMetrics
 
@@ -93,6 +100,9 @@ func (m *Metrics) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "P=%d steps=%d qrqw=%d ops=%d (r=%d w=%d cas=%d idle=%d) maxcont=%d stalls=%d killed=%d",
 		m.P, m.Steps, m.QRQWTime, m.Ops, m.Reads, m.Writes, m.CASes, m.Idles, m.MaxContention, m.Stalls, m.Killed)
+	if m.Respawns > 0 || m.InjectedStalls > 0 {
+		fmt.Fprintf(&b, " respawns=%d injstalls=%d", m.Respawns, m.InjectedStalls)
+	}
 	for _, name := range m.PhaseNames() {
 		pm := m.ByPhase[name]
 		fmt.Fprintf(&b, "\n  phase %-12s ops=%-10d steps=%-8d maxcont=%-6d stalls=%d",

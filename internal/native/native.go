@@ -14,6 +14,7 @@ package native
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,13 @@ type Config struct {
 	Less func(i, j int) bool
 	// CountOps enables per-processor operation counters (small cost).
 	CountOps bool
+	// Adversary, when non-nil, is the fault-injection plane: it is
+	// consulted before every shared-memory operation with the
+	// processor's cumulative op ordinal and may kill or stall it at
+	// exact points in its execution (see model.Adversary and Plan). If
+	// the adversary also implements Respawner, killed processors may be
+	// revived with fresh incarnations once their death has landed.
+	Adversary model.Adversary
 }
 
 // Runtime executes one Program on P goroutines. Create with New; a
@@ -56,6 +64,9 @@ type Runtime struct {
 	wg      sync.WaitGroup
 	root    *xrand.Rand
 	respawn int
+	deaths  []int   // kills landed per pid (mu)
+	opsAt   []int64 // op ordinal each pid's last incarnation died at (mu)
+	stalls  atomic.Int64
 	onPanic func(pid int, rec any)
 
 	// Elapsed is the wall-clock duration of Run, valid after Run.
@@ -79,10 +90,12 @@ func New(cfg Config) *Runtime {
 		cfg.Less = func(i, j int) bool { return i < j }
 	}
 	return &Runtime{
-		cfg:  cfg,
-		mem:  make([]Word, cfg.Mem),
-		kill: make([]atomic.Bool, cfg.P),
-		ops:  make([]paddedCounter, cfg.P),
+		cfg:    cfg,
+		mem:    make([]Word, cfg.Mem),
+		kill:   make([]atomic.Bool, cfg.P),
+		ops:    make([]paddedCounter, cfg.P),
+		deaths: make([]int, cfg.P),
+		opsAt:  make([]int64, cfg.P),
 	}
 }
 
@@ -126,13 +139,18 @@ func (r *Runtime) Run(prog model.Program) (*model.Metrics, error) {
 	r.start = time.Now()
 	r.mu.Lock()
 	for pid := 0; pid < r.cfg.P; pid++ {
-		r.spawnLocked(pid)
+		r.spawnLocked(pid, 0)
 	}
 	r.mu.Unlock()
 	r.wg.Wait()
 	r.Elapsed = time.Since(r.start)
 
-	met := &model.Metrics{P: r.cfg.P, Killed: int(killed.Load())}
+	met := &model.Metrics{
+		P:              r.cfg.P,
+		Killed:         int(killed.Load()),
+		Respawns:       r.respawn,
+		InjectedStalls: r.stalls.Load(),
+	}
 	if r.cfg.CountOps {
 		for i := range r.ops {
 			met.Ops += atomic.LoadInt64(&r.ops[i].n)
@@ -145,23 +163,36 @@ func (r *Runtime) Run(prog model.Program) (*model.Metrics, error) {
 	return met, panicked
 }
 
-// spawnLocked starts a goroutine for pid; r.mu must be held.
-func (r *Runtime) spawnLocked(pid int) {
+// spawnLocked starts a goroutine for pid; r.mu must be held. startOps
+// is the op ordinal the incarnation resumes counting from — 0 for the
+// initial fleet, the predecessor's death ordinal for respawns, so
+// adversary strikes target cumulative per-processor op counts.
+func (r *Runtime) spawnLocked(pid int, startOps int64) {
 	r.live++
 	r.wg.Add(1)
 	rng := r.root.Fork(uint64(pid) | uint64(r.respawn)<<32)
+	pr := &proc{rt: r, id: pid, rng: rng, n: startOps}
 	go func() {
 		defer func() {
 			rec := recover()
 			r.mu.Lock()
 			r.live--
+			r.opsAt[pid] = pr.n
+			if _, wasKill := rec.(model.Killed); wasKill {
+				r.deaths[pid]++
+				if rs, ok := r.cfg.Adversary.(Respawner); ok && rs.Respawn(pid, r.deaths[pid]) {
+					r.kill[pid].Store(false)
+					r.respawn++
+					r.spawnLocked(pid, pr.n)
+				}
+			}
 			r.mu.Unlock()
 			if rec != nil {
 				r.onPanic(pid, rec)
 			}
 			r.wg.Done()
 		}()
-		r.prog(&proc{rt: r, id: pid, rng: rng})
+		r.prog(pr)
 	}()
 }
 
@@ -186,8 +217,21 @@ func (r *Runtime) Respawn(pid int) error {
 	}
 	r.kill[pid].Store(false)
 	r.respawn++
-	r.spawnLocked(pid)
+	r.spawnLocked(pid, r.opsAt[pid])
 	return nil
+}
+
+// OpsPerProc returns, after a Run with CountOps enabled, the number of
+// shared-memory operations each processor executed, summed across
+// incarnations — the per-processor quantity the paper's wait-freedom
+// lemmas bound, and what the chaos certifier checks against its op
+// ceiling.
+func (r *Runtime) OpsPerProc() []int64 {
+	out := make([]int64, r.cfg.P)
+	for i := range out {
+		out[i] = atomic.LoadInt64(&r.ops[i].n)
+	}
+	return out
 }
 
 // proc implements model.Proc over atomic operations.
@@ -195,7 +239,7 @@ type proc struct {
 	rt  *Runtime
 	id  int
 	rng *xrand.Rand
-	n   int64 // local op count, flushed lazily
+	n   int64 // cumulative op ordinal, the adversary's per-processor clock
 }
 
 var _ model.Proc = (*proc)(nil)
@@ -206,6 +250,21 @@ func (p *proc) NumProcs() int { return p.rt.cfg.P }
 func (p *proc) pre() {
 	if p.rt.kill[p.id].Load() {
 		panic(model.Killed{PID: p.id})
+	}
+	p.n++
+	if ad := p.rt.cfg.Adversary; ad != nil {
+		f := ad.Strike(p.id, p.n)
+		switch f.Action {
+		case model.FaultKill:
+			// Die in place of this operation, exactly as a simulator
+			// crash replaces the victim's pending op.
+			panic(model.Killed{PID: p.id})
+		case model.FaultStall:
+			p.rt.stalls.Add(1)
+			for i := 0; i < f.StallOps; i++ {
+				runtime.Gosched()
+			}
+		}
 	}
 	if p.rt.cfg.CountOps {
 		atomic.AddInt64(&p.rt.ops[p.id].n, 1)

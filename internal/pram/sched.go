@@ -1,6 +1,7 @@
 package pram
 
 import (
+	"wfsort/internal/model"
 	"wfsort/internal/xrand"
 )
 
@@ -266,11 +267,11 @@ func (s *holdAddress) NextOps(_ int64, pending []PendingOp, _ *xrand.Rand) Decis
 	return Decision{Run: s.buf}
 }
 
-// Crash describes one scheduled processor crash.
-type Crash struct {
-	Step int64 // machine step at (or after) which the crash fires
-	PID  int
-}
+// Crash describes one scheduled processor crash. The spec type lives in
+// model so the same crash schedules drive both runtimes: here Step is a
+// machine step; internal/native reads it as the processor's operation
+// ordinal (see model.Crash).
+type Crash = model.Crash
 
 type withCrashes struct {
 	inner   Scheduler
@@ -294,18 +295,7 @@ func WithCrashes(inner Scheduler, crashes []Crash) Scheduler {
 // with probability frac, at a uniform step in [0, window). The run seed
 // is deliberately not reused: pass any fixed seed for reproducibility.
 func RandomCrashes(p int, frac float64, window int64, seed uint64) []Crash {
-	rng := xrand.New(seed)
-	var out []Crash
-	for pid := 0; pid < p; pid++ {
-		if rng.Float64() < frac {
-			step := int64(0)
-			if window > 0 {
-				step = rng.Int63() % window
-			}
-			out = append(out, Crash{Step: step, PID: pid})
-		}
-	}
-	return out
+	return model.RandomCrashes(p, frac, window, seed)
 }
 
 func (s *withCrashes) Next(step int64, ready []int, rng *xrand.Rand) Decision {

@@ -301,6 +301,48 @@ func TestSortLayoutsProperty(t *testing.T) {
 	}
 }
 
+// TestSortDegenerateInputsAllLayouts pins the edge cases the pivot
+// tree and scatter paths can mishandle — empty, singleton, pair and
+// all-equal inputs — on every layout × variant, against the
+// sort.SliceStable reference. Unique tags make element-wise equality
+// prove stability too (an all-equal input is the pure stability test:
+// the "sorted" output must be the input, untouched).
+func TestSortDegenerateInputsAllLayouts(t *testing.T) {
+	type rec struct{ key, tag int }
+	inputs := map[string][]int{
+		"empty":     {},
+		"single":    {7},
+		"pair":      {9, 2},
+		"pairequal": {4, 4},
+		"allequal":  {5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5},
+	}
+	for _, layout := range Layouts() {
+		for _, v := range []Variant{Deterministic, Randomized, LowContention} {
+			for name, keys := range inputs {
+				t.Run(layout.String()+"/"+v.String()+"/"+name, func(t *testing.T) {
+					data := make([]rec, len(keys))
+					for i, k := range keys {
+						data[i] = rec{key: k, tag: i}
+					}
+					want := make([]rec, len(data))
+					copy(want, data)
+					sort.SliceStable(want, func(i, j int) bool { return want[i].key < want[j].key })
+					err := SortFunc(data, func(a, b rec) bool { return a.key < b.key },
+						WithLayout(layout), WithVariant(v), WithWorkers(4))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range want {
+						if data[i] != want[i] {
+							t.Fatalf("position %d: got %+v, want %+v", i, data[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 func TestSortPreservesMultisets(t *testing.T) {
 	// The output must be a permutation of the input, not just sorted —
 	// catches any lost or duplicated element in the scatter.
