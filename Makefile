@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench benchgate benchgate-baseline chaos chaos-quick experiments experiments-quick stress fmt vet cover
+.PHONY: all test race bench benchgate benchgate-baseline chaos chaos-quick experiments experiments-quick stress obs fmt vet cover
 
 all: vet test
 
@@ -37,6 +37,14 @@ experiments-quick:
 
 stress:
 	go run ./cmd/stress -duration 1m
+
+# Observability demo: a stress campaign with the live endpoint up
+# (/metrics, /debug/vars, /debug/pprof/ on :6060) plus a native
+# Perfetto trace written to obs-trace.json — open it at
+# https://ui.perfetto.dev.
+obs:
+	go run ./cmd/trace -runtime native -n 100000 -variant rand -out obs-trace.json
+	go run ./cmd/stress -duration 30s -listen :6060
 
 fmt:
 	gofmt -w .

@@ -429,6 +429,45 @@ func BenchmarkNativeArena(b *testing.B) {
 	}
 }
 
+// BenchmarkNativeObserved measures the cost of the wait-free
+// observability plane on the default sharded sort: "off" is the
+// nil-observer baseline (one pointer compare per op), "on" installs a
+// full Observer (event rings, phase spans, snapshots). cmd/benchgate
+// gates the off/on ratio so the hook can never silently grow a real
+// hot-path cost.
+//
+//	go test -bench 'NativeObserved' -benchmem .
+func BenchmarkNativeObserved(b *testing.B) {
+	const n = 262_144
+	const p = 8
+	base := benchKeys(n, 19)
+	for _, observed := range []bool{false, true} {
+		name := "off"
+		if observed {
+			name = "on"
+		}
+		b.Run(name+"/p"+itoa(p)+"/"+sizeName(n), func(b *testing.B) {
+			data := make([]int, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(data, base)
+				opts := []wfsort.Option{wfsort.WithWorkers(p)}
+				if observed {
+					opts = append(opts, wfsort.WithObserver(wfsort.NewObserver()))
+				}
+				if err := wfsort.Sort(data, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if !sort.IntsAreSorted(data) {
+				b.Fatal("not sorted")
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+		})
+	}
+}
+
 // BenchmarkNativeSortSizes tracks the native sort's wall-time scaling
 // with input size at GOMAXPROCS workers.
 func BenchmarkNativeSortSizes(b *testing.B) {

@@ -7,9 +7,9 @@
 // Usage:
 //
 //	benchgate [-baseline BENCH_native.json] [-out FILE] [-write]
-//	          [-quick] [-runs 3] [-tolerance 0.10]
+//	          [-quick] [-observed] [-runs 3] [-tolerance 0.10]
 //
-// Two gates run, strongest applicable first; both act on geometric
+// Three gates run, strongest applicable first; all act on geometric
 // means over the whole matrix because individual wall-time cells are
 // too noisy to gate at any useful tolerance (see compare):
 //
@@ -20,6 +20,12 @@
 //     speedup the contention-sharded layout exists to deliver, which
 //     is machine-relative by construction — must be within tolerance
 //     of the baseline's.
+//   - With -observed, extra sharded cells run with the internal/obs
+//     observability plane installed, and the geomean observed/
+//     unobserved ratio must stay within tolerance of 1 — the observer
+//     hook is sold as near-free, and this gate keeps it honest. The
+//     ratio is measured within the current run, so it needs no
+//     baseline cells and works on any host.
 //
 // -quick runs a reduced matrix as a correctness smoke (sortedness is
 // always verified) and reports, but never fails on, performance.
@@ -76,11 +82,18 @@ type Result struct {
 	Layout      string  `json:"layout"`
 	P           int     `json:"p"`
 	N           int     `json:"n"`
+	Observed    bool    `json:"observed,omitempty"`
 	ElemsPerSec float64 `json:"elems_per_sec"`
 	Runs        int     `json:"runs"`
 }
 
-func (r Result) cell() string { return fmt.Sprintf("%s/p%d/n%d", r.Layout, r.P, r.N) }
+func (r Result) cell() string {
+	obs := ""
+	if r.Observed {
+		obs = "+obs"
+	}
+	return fmt.Sprintf("%s%s/p%d/n%d", r.Layout, obs, r.P, r.N)
+}
 
 // Report is the BENCH_native.json schema.
 type Report struct {
@@ -110,6 +123,7 @@ func run(w io.Writer, args []string) error {
 	out := fs.String("out", "", "also write the fresh report to this file")
 	write := fs.Bool("write", false, "regenerate the baseline file instead of gating")
 	quick := fs.Bool("quick", false, "reduced matrix; verify sortedness but never fail on perf")
+	observed := fs.Bool("observed", false, "add observer-installed cells and gate the observer overhead")
 	runs := fs.Int("runs", 3, "timed runs per cell (best is kept)")
 	tol := fs.Float64("tolerance", 0.10, "allowed fractional throughput regression")
 	if err := fs.Parse(args); err != nil {
@@ -130,7 +144,7 @@ func run(w io.Writer, args []string) error {
 		}
 	}
 
-	rep, err := measureMatrix(w, matrix(*quick), *runs)
+	rep, err := measureMatrix(w, matrix(*quick, *observed), *runs)
 	if err != nil {
 		return err
 	}
@@ -168,15 +182,17 @@ func run(w io.Writer, args []string) error {
 
 // cellSpec names one measurement to take.
 type cellSpec struct {
-	layout wfsort.Layout
-	p, n   int
+	layout   wfsort.Layout
+	p, n     int
+	observed bool
 }
 
 // matrix lists the cells to measure. The full matrix is every layout
 // at P ∈ {1, 4, 8, GOMAXPROCS} and N ∈ {64Ki, 256Ki, 1Mi}; quick mode
 // keeps one small and one medium size at two worker counts for the
-// sharded and flat layouts only.
-func matrix(quick bool) []cellSpec {
+// sharded and flat layouts only. With observed, every sharded cell is
+// doubled with an observer-installed twin for the overhead gate.
+func matrix(quick, observed bool) []cellSpec {
 	workers := []int{1, 4, 8}
 	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 && g != 8 {
 		workers = append(workers, g)
@@ -195,7 +211,10 @@ func matrix(quick bool) []cellSpec {
 	for _, l := range layouts {
 		for _, p := range workers {
 			for _, n := range sizes {
-				cells = append(cells, cellSpec{l, p, n})
+				cells = append(cells, cellSpec{l, p, n, false})
+				if observed && l == wfsort.LayoutSharded {
+					cells = append(cells, cellSpec{l, p, n, true})
+				}
 			}
 		}
 	}
@@ -234,8 +253,14 @@ func measure(c cellSpec, runs int) (Result, error) {
 	for r := 0; r <= runs; r++ {
 		copy(data, base)
 		runtime.GC()
+		opts := []wfsort.Option{wfsort.WithWorkers(c.p), wfsort.WithLayout(c.layout)}
+		if c.observed {
+			// One observer per run: like the runtime, an Observer
+			// drives at most one sort.
+			opts = append(opts, wfsort.WithObserver(wfsort.NewObserver()))
+		}
 		start := time.Now()
-		err := wfsort.Sort(data, wfsort.WithWorkers(c.p), wfsort.WithLayout(c.layout))
+		err := wfsort.Sort(data, opts...)
 		elapsed := time.Since(start)
 		if err != nil {
 			return Result{}, fmt.Errorf("%s/p%d/n%d: %w", c.layout, c.p, c.n, err)
@@ -251,6 +276,7 @@ func measure(c cellSpec, runs int) (Result, error) {
 		Layout:      c.layout.String(),
 		P:           c.p,
 		N:           c.n,
+		Observed:    c.observed,
 		ElemsPerSec: float64(c.n) / median(times).Seconds(),
 		Runs:        runs,
 	}, nil
@@ -274,7 +300,10 @@ func median(d []time.Duration) time.Duration {
 //     geomean of cur/base across matching cells must not fall below
 //     1 − tol;
 //   - the sharded/flat speedup (any host): the geomean of the
-//     per-(P, N) ratio change must not fall below 1 − tol.
+//     per-(P, N) ratio change must not fall below 1 − tol;
+//   - the observer overhead (any host, only when observed cells were
+//     measured): the geomean observed/unobserved throughput ratio,
+//     taken within cur alone, must not fall below 1 − tol.
 //
 // Failure messages name the worst cell as the place to start looking.
 func compare(base, cur *Report, tol float64) []string {
@@ -310,7 +339,7 @@ func compare(base, cur *Report, tol float64) []string {
 	cells := 0
 	worst, worstCell := 1.0, ""
 	for _, c := range cur.Results {
-		if c.Layout != wfsort.LayoutSharded.String() {
+		if c.Layout != wfsort.LayoutSharded.String() || c.Observed {
 			continue
 		}
 		flatCell := Result{Layout: wfsort.LayoutFlat.String(), P: c.P, N: c.N}.cell()
@@ -333,6 +362,32 @@ func compare(base, cur *Report, tol float64) []string {
 		if g := math.Exp(logSum / float64(cells)); g < 1-tol {
 			failures = append(failures, fmt.Sprintf(
 				"ratio sharded/flat: geomean %.1f%% below baseline over %d cells (worst %s)",
+				100*(1-g), cells, worstCell))
+		}
+	}
+
+	logSum, cells = 0, 0
+	worst, worstCell = 1.0, ""
+	for _, c := range cur.Results {
+		if !c.Observed {
+			continue
+		}
+		plain := Result{Layout: c.Layout, P: c.P, N: c.N}.cell()
+		cp, ok := ci[plain]
+		if !ok || cp.ElemsPerSec <= 0 {
+			continue
+		}
+		change := c.ElemsPerSec / cp.ElemsPerSec
+		logSum += math.Log(change)
+		cells++
+		if change < worst {
+			worst, worstCell = change, fmt.Sprintf("p%d/n%d (%.1f%% overhead)", c.P, c.N, 100*(1-change))
+		}
+	}
+	if cells > 0 {
+		if g := math.Exp(logSum / float64(cells)); g < 1-tol {
+			failures = append(failures, fmt.Sprintf(
+				"observer overhead: geomean %.1f%% throughput loss with the observer installed over %d cells (worst %s)",
 				100*(1-g), cells, worstCell))
 		}
 	}

@@ -63,6 +63,28 @@ func TestCompareRatioGateIsHostIndependent(t *testing.T) {
 	}
 }
 
+func TestCompareObserverOverheadGate(t *testing.T) {
+	base := report(hostA,
+		Result{Layout: "sharded", P: 8, N: 1 << 18, ElemsPerSec: 1000})
+
+	// 5% overhead with the observer installed: within a 10% tolerance.
+	cur := report(hostB,
+		Result{Layout: "sharded", P: 8, N: 1 << 18, ElemsPerSec: 1000},
+		Result{Layout: "sharded", P: 8, N: 1 << 18, Observed: true, ElemsPerSec: 950})
+	if f := compare(base, cur, 0.10); len(f) != 0 {
+		t.Fatalf("5%% observer overhead should pass, got %v", f)
+	}
+
+	// 25% overhead must fail, on any host, with no baseline cells.
+	cur = report(hostB,
+		Result{Layout: "sharded", P: 8, N: 1 << 18, ElemsPerSec: 1000},
+		Result{Layout: "sharded", P: 8, N: 1 << 18, Observed: true, ElemsPerSec: 750})
+	f := compare(base, cur, 0.10)
+	if len(f) != 1 || !strings.Contains(f[0], "observer overhead") {
+		t.Fatalf("expected exactly the observer-overhead failure, got %v", f)
+	}
+}
+
 func TestCompareSkipsUnknownCells(t *testing.T) {
 	base := report(hostA, Result{Layout: "sharded", P: 8, N: 1 << 18, ElemsPerSec: 1000})
 	cur := report(hostA, Result{Layout: "sharded", P: 4, N: 1 << 16, ElemsPerSec: 1})

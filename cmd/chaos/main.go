@@ -8,7 +8,13 @@
 //
 // Usage:
 //
-//	chaos [-n 4096] [-p 2,4,8] [-seed 1] [-quick] [-out FILE]
+//	chaos [-n 4096] [-p 2,4,8] [-seed 1] [-quick] [-out FILE] [-trace-out FILE]
+//
+// -trace-out arms the observability plane on the native runs: if a run
+// fails certification, its Chrome/Perfetto trace (per-incarnation
+// tracks, phase spans, kill/stall instants) is written to FILE for
+// post-mortem in ui.perfetto.dev. Nothing is written when the sweep is
+// clean.
 package main
 
 import (
@@ -38,11 +44,12 @@ func run(out, log io.Writer, args []string) error {
 	seed := fs.Uint64("seed", 1, "seed for keys, algorithm randomness and crash schedules")
 	quick := fs.Bool("quick", false, "reduced sweep for CI smoke")
 	outPath := fs.String("out", "", "write the JSON report to this file instead of stdout")
+	traceOut := fs.String("trace-out", "", "write a Perfetto trace of the first failing native run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := chaos.SweepOptions{N: *n, Seed: *seed, Quick: *quick}
+	opts := chaos.SweepOptions{N: *n, Seed: *seed, Quick: *quick, TraceOut: *traceOut}
 	if *ps != "" {
 		parsed, err := parsePs(*ps)
 		if err != nil {
@@ -70,6 +77,9 @@ func run(out, log io.Writer, args []string) error {
 	}
 
 	if !rep.OK {
+		if rep.TracePath != "" {
+			fmt.Fprintf(log, "perfetto trace of first failure written to %s\n", rep.TracePath)
+		}
 		return fmt.Errorf("%d run(s) failed certification", len(rep.Failures))
 	}
 	fmt.Fprintf(log, "chaos sweep ok: %d runs certified, %d differentials identical (n=%d seed=%d)\n",

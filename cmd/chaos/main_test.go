@@ -55,6 +55,27 @@ func TestRunWritesReportFile(t *testing.T) {
 	}
 }
 
+// TestRunTraceOutCleanSweep passes -trace-out through a clean sweep:
+// the flag must parse and no trace may be written (it is a failure
+// postmortem; internal/chaos tests cover the failing case).
+func TestRunTraceOutCleanSweep(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "fail-trace.json")
+	var out, log bytes.Buffer
+	if err := run(&out, &log, []string{"-n", "256", "-p", "2", "-trace-out", tracePath}); err != nil {
+		t.Fatalf("run: %v\nlog:\n%s", err, log.String())
+	}
+	if _, err := os.Stat(tracePath); !os.IsNotExist(err) {
+		t.Errorf("clean sweep wrote a failure trace (stat err = %v)", err)
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v", err)
+	}
+	if rep.TracePath != "" {
+		t.Errorf("report TracePath = %q on a clean sweep", rep.TracePath)
+	}
+}
+
 func TestParsePs(t *testing.T) {
 	ps, err := parsePs("2, 4,8")
 	if err != nil {

@@ -1,11 +1,19 @@
 // Command stress runs a randomized correctness campaign: random input
 // sizes, worker counts, input orders, algorithm variants, schedules and
-// crash patterns, each run verified against the true ranking. It is the
-// long-running confidence builder behind the test suite's fixed cases.
+// crash patterns, each run verified against the true ranking. Runs are
+// split between the deterministic simulator and the native goroutine
+// runtime, so the campaign covers both the proof-level machine and the
+// real-scheduler implementation. It is the long-running confidence
+// builder behind the test suite's fixed cases.
 //
 // Usage:
 //
-//	stress [-duration 30s] [-seed 1] [-maxn 512] [-v]
+//	stress [-duration 30s] [-seed 1] [-maxn 512] [-v] [-listen ADDR]
+//
+// -listen serves the wait-free observability plane while the campaign
+// runs: /metrics is the current native run's live snapshot (per-
+// processor op ordinals, sized/placed progress, watchdog violations),
+// /debug/vars is expvar and /debug/pprof/ the usual profiles.
 //
 // The campaign prints one line per failure (inputs and configuration,
 // enough to reproduce) and a summary at the end; the exit status is
@@ -16,28 +24,42 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"time"
 
+	"wfsort/internal/chaos"
 	"wfsort/internal/core"
 	"wfsort/internal/harness"
 	"wfsort/internal/lowcont"
 	"wfsort/internal/model"
+	"wfsort/internal/native"
+	"wfsort/internal/obs"
 	"wfsort/internal/pram"
 	"wfsort/internal/xrand"
 )
 
 func main() {
-	duration := flag.Duration("duration", 30*time.Second, "how long to run")
-	seed := flag.Uint64("seed", 1, "campaign seed")
-	maxN := flag.Int("maxn", 512, "largest input size")
-	verbose := flag.Bool("v", false, "print every run")
+	o := options{}
+	flag.DurationVar(&o.duration, "duration", 30*time.Second, "how long to run")
+	flag.Uint64Var(&o.seed, "seed", 1, "campaign seed")
+	flag.IntVar(&o.maxN, "maxn", 512, "largest input size")
+	flag.BoolVar(&o.verbose, "v", false, "print every run")
+	flag.StringVar(&o.listen, "listen", "", "serve live metrics/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
-	failures := run(os.Stdout, *duration, *seed, *maxN, *verbose)
+	failures := run(os.Stdout, o)
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+type options struct {
+	duration time.Duration
+	seed     uint64
+	maxN     int
+	verbose  bool
+	listen   string
 }
 
 type campaign struct {
@@ -47,9 +69,19 @@ type campaign struct {
 	byLabel map[string]int
 }
 
-func run(w io.Writer, duration time.Duration, seed uint64, maxN int, verbose bool) int {
-	c := &campaign{rng: xrand.New(seed), maxN: maxN, byLabel: map[string]int{}}
-	deadline := time.Now().Add(duration)
+func run(w io.Writer, o options) int {
+	if o.listen != "" {
+		ln, err := net.Listen("tcp", o.listen)
+		if err != nil {
+			fmt.Fprintf(w, "stress: listen: %v\n", err)
+			return 1
+		}
+		defer ln.Close()
+		fmt.Fprintf(w, "stress: live metrics on http://%s/metrics\n", ln.Addr())
+		go obs.Serve(ln)
+	}
+	c := &campaign{rng: xrand.New(o.seed), maxN: o.maxN, byLabel: map[string]int{}}
+	deadline := time.Now().Add(o.duration)
 	failures := 0
 	for time.Now().Before(deadline) {
 		label, err := c.one()
@@ -58,7 +90,7 @@ func run(w io.Writer, duration time.Duration, seed uint64, maxN int, verbose boo
 		if err != nil {
 			failures++
 			fmt.Fprintf(w, "FAIL %s: %v\n", label, err)
-		} else if verbose {
+		} else if o.verbose {
 			fmt.Fprintf(w, "ok   %s\n", label)
 		}
 	}
@@ -69,8 +101,17 @@ func run(w io.Writer, duration time.Duration, seed uint64, maxN int, verbose boo
 	return failures
 }
 
-// one executes a single random configuration and verifies it.
+// one executes a single random configuration and verifies it. Roughly a
+// quarter of the runs go to the native runtime, the rest to the
+// simulator with its hostile schedules.
 func (c *campaign) one() (string, error) {
+	if c.rng.Intn(4) == 0 {
+		return c.oneNative()
+	}
+	return c.oneSim()
+}
+
+func (c *campaign) oneSim() (string, error) {
 	n := 1 + c.rng.Intn(c.maxN)
 	p := 1 + c.rng.Intn(n)
 	input := harness.InputKind(c.rng.Intn(4))
@@ -84,7 +125,7 @@ func (c *campaign) one() (string, error) {
 	}
 
 	sched, schedName := c.randomSchedule(p, seed)
-	label := fmt.Sprintf("variant=%s n=%d p=%d input=%s sched=%s seed=%d",
+	label := fmt.Sprintf("sim variant=%s n=%d p=%d input=%s sched=%s seed=%d",
 		variant, n, p, input, schedName, seed)
 
 	var a model.Arena
@@ -110,14 +151,72 @@ func (c *campaign) one() (string, error) {
 	if _, err := m.Run(prog); err != nil {
 		return label, err
 	}
+	return label, verifyRanks(keys, places(m.Memory()))
+}
+
+// oneNative runs one configuration on real goroutines with the
+// observability plane installed and published, so a -listen endpoint
+// always reports the most recent native run.
+func (c *campaign) oneNative() (string, error) {
+	n := 8 + c.rng.Intn(c.maxN-7)
+	p := 1 + c.rng.Intn(min(16, n))
+	input := harness.InputKind(c.rng.Intn(4))
+	seed := c.rng.Uint64()
+	keys := harness.MakeKeys(input, n, seed)
+
+	variants := []string{"det", "rand", "lowcont"}
+	variant := variants[c.rng.Intn(len(variants))]
+	if variant == "lowcont" && (p < 4 || n < p) {
+		variant = "rand"
+	}
+	layout := chaos.Layouts()[c.rng.Intn(len(chaos.Layouts()))]
+
+	label := fmt.Sprintf("native variant=%s n=%d p=%d input=%s layout=%s seed=%d",
+		variant, n, p, input, layout, seed)
+
+	var alloc model.Allocator
+	var prog model.Program
+	var seedFn func([]model.Word)
+	var places func([]model.Word) []int
+	var live func(mem []model.Word) (sized, placed int)
+	switch variant {
+	case "det", "rand":
+		a, tun := chaos.ArenaFor(n, p, layout)
+		allocKind := core.AllocRandomized
+		if variant == "det" {
+			allocKind = core.AllocWAT
+		}
+		s := core.NewSorterTuned(a, n, allocKind, tun)
+		alloc, prog, seedFn, places, live = a, s.Program(), s.Seed, s.Places, s.LiveProgress
+	default:
+		a := native.NewArena(native.Padded)
+		s := lowcont.New(a, n, p)
+		alloc, prog, seedFn, places, live = a, s.Program(), s.Seed, s.Places, s.LiveProgress
+	}
+
+	ob := obs.New(obs.Config{RingCap: 1024, SnapshotEvery: 256})
+	rt := native.New(native.Config{
+		P: p, Mem: alloc.Size(), Seed: seed,
+		Less: harness.LessFor(keys), Observer: ob,
+	})
+	ob.SetProgress(func() (int, int) { return live(rt.Memory()) })
+	obs.Publish(ob)
+	seedFn(rt.Memory())
+	if _, err := rt.Run(prog); err != nil {
+		return label, err
+	}
+	return label, verifyRanks(keys, places(rt.Memory()))
+}
+
+// verifyRanks checks the claimed 1-based ranks against the true ones.
+func verifyRanks(keys []int, got []int) error {
 	want := harness.WantRanks(keys)
-	got := places(m.Memory())
 	for i := range want {
 		if got[i] != want[i] {
-			return label, fmt.Errorf("element %d placed %d, want %d", i+1, got[i], want[i])
+			return fmt.Errorf("element %d placed %d, want %d", i+1, got[i], want[i])
 		}
 	}
-	return label, nil
+	return nil
 }
 
 // randomSchedule picks one of the hostile schedules (or none).

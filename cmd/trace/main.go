@@ -1,15 +1,23 @@
-// Command trace runs one simulated sort and renders its
-// contention-over-time profile as an ASCII chart (or CSV) — the
-// clearest visualization of the paper's §3 headline: the deterministic
-// variant opens with a spike of height P while the randomized variant
-// stays flat around sqrt(P).
+// Command trace visualizes one sort. On the simulator (the default
+// runtime) it renders the contention-over-time profile as an ASCII
+// chart or CSV — the clearest view of the paper's §3 headline: the
+// deterministic variant opens with a spike of height P while the
+// randomized variant stays flat around sqrt(P). With -runtime native
+// it runs real goroutines under the internal/obs observability plane
+// and emits a Chrome/Perfetto trace (one track per processor
+// incarnation, phase spans, CAS-failure and fault instants) that loads
+// directly in ui.perfetto.dev; -perfetto exports the simulator series
+// in the same format, so both runtimes render in the same viewer.
 //
 // Usage:
 //
 //	trace [-n 1024] [-p 0] [-variant det|rand|lowcont] [-seed 1]
-//	      [-metric contention|active] [-width 100] [-height 12] [-csv]
+//	      [-runtime sim|native] [-layout sharded|padded|flat]
+//	      [-metric contention|active] [-width 100] [-height 12]
+//	      [-csv] [-perfetto] [-out FILE]
 //
-// -p 0 means P = N (the contention-critical regime).
+// -p 0 means P = N on the simulator (the contention-critical regime)
+// and P = GOMAXPROCS on the native runtime.
 package main
 
 import (
@@ -17,11 +25,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sort"
 
+	"wfsort/internal/chaos"
 	"wfsort/internal/core"
 	"wfsort/internal/harness"
 	"wfsort/internal/lowcont"
 	"wfsort/internal/model"
+	"wfsort/internal/native"
+	"wfsort/internal/obs"
 	"wfsort/internal/pram"
 	"wfsort/internal/trace"
 )
@@ -36,43 +49,58 @@ func main() {
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	n := fs.Int("n", 1024, "input size")
-	p := fs.Int("p", 0, "processors (0 = N)")
+	p := fs.Int("p", 0, "processors (0 = N on sim, GOMAXPROCS on native)")
 	variant := fs.String("variant", "lowcont", "det, rand or lowcont")
 	seed := fs.Uint64("seed", 1, "seed")
-	metric := fs.String("metric", "contention", "contention or active")
+	rt := fs.String("runtime", "sim", "sim or native")
+	layout := fs.String("layout", "sharded", "native arena layout: sharded, padded or flat")
+	metric := fs.String("metric", "contention", "chart metric: contention or active")
 	width := fs.Int("width", 100, "chart width")
 	height := fs.Int("height", 12, "chart height")
-	csv := fs.Bool("csv", false, "emit CSV instead of a chart")
-	regions := fs.Bool("regions", false, "append a per-region contention profile")
+	csv := fs.Bool("csv", false, "emit CSV instead of a chart (sim only)")
+	perfetto := fs.Bool("perfetto", false, "emit Perfetto JSON instead of a chart (sim only)")
+	regions := fs.Bool("regions", false, "append a per-region contention profile (sim only)")
+	out := fs.String("out", "", "write Perfetto JSON to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *p <= 0 {
-		*p = *n
+	switch *rt {
+	case "sim":
+		return runSim(w, *n, *p, *variant, *seed, *metric, *width, *height, *csv, *perfetto, *regions, *out)
+	case "native":
+		return runNative(w, *n, *p, *variant, *layout, *seed, *out)
+	default:
+		return fmt.Errorf("unknown runtime %q (valid: sim, native)", *rt)
 	}
-	keys := harness.MakeKeys(harness.InputRandom, *n, *seed)
+}
+
+func runSim(w io.Writer, n, p int, variant string, seed uint64, metric string, width, height int, csv, perfetto, regions bool, out string) error {
+	if p <= 0 {
+		p = n
+	}
+	keys := harness.MakeKeys(harness.InputRandom, n, seed)
 
 	var a model.Arena
 	var prog model.Program
 	var seedFn func([]model.Word)
-	switch *variant {
+	switch variant {
 	case "det":
-		s := core.NewSorter(&a, *n, core.AllocWAT)
+		s := core.NewSorter(&a, n, core.AllocWAT)
 		prog, seedFn = s.Program(), s.Seed
 	case "rand":
-		s := core.NewSorter(&a, *n, core.AllocRandomized)
+		s := core.NewSorter(&a, n, core.AllocRandomized)
 		prog, seedFn = s.Program(), s.Seed
 	case "lowcont":
-		s := lowcont.New(&a, *n, *p)
+		s := lowcont.New(&a, n, p)
 		prog, seedFn = s.Program(), s.Seed
 	default:
-		return fmt.Errorf("unknown variant %q", *variant)
+		return fmt.Errorf("unknown variant %q", variant)
 	}
 
 	rec := trace.NewRecorder()
 	profile := trace.NewRegionProfile(a.Regions())
 	m := pram.New(pram.Config{
-		P: *p, Mem: a.Size(), Seed: *seed,
+		P: p, Mem: a.Size(), Seed: seed,
 		Less:     harness.LessFor(keys),
 		Observer: trace.Multi(rec.Observer(), profile.Observer()),
 	})
@@ -81,17 +109,118 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	if *csv {
+	if csv {
 		return rec.WriteCSV(w)
 	}
+	if perfetto {
+		return writeTrace(w, out, obs.NewTrace().AddSimSamples(rec.Samples()), func() {
+			fmt.Fprintf(w, "%s sort (sim), N=%d P=%d: steps=%d maxcontention=%d\n",
+				variant, n, p, met.Steps, met.MaxContention)
+		})
+	}
 	fmt.Fprintf(w, "%s sort, N=%d P=%d: steps=%d maxcontention=%d\n\n",
-		*variant, *n, *p, met.Steps, met.MaxContention)
-	if err := rec.Chart(w, *metric, *width, *height); err != nil {
+		variant, n, p, met.Steps, met.MaxContention)
+	if err := rec.Chart(w, metric, width, height); err != nil {
 		return err
 	}
-	if *regions {
+	if regions {
 		fmt.Fprintln(w)
 		return profile.WriteTable(w)
 	}
 	return nil
+}
+
+// runNative executes the sort on real goroutines under the
+// observability plane and exports the Perfetto trace.
+func runNative(w io.Writer, n, p int, variant, layoutName string, seed uint64, out string) error {
+	if p <= 0 {
+		p = min(runtime.GOMAXPROCS(0), n)
+	}
+	var layout chaos.Layout
+	switch layoutName {
+	case "sharded":
+		layout = chaos.LayoutSharded
+	case "padded":
+		layout = chaos.LayoutPadded
+	case "flat":
+		layout = chaos.LayoutFlat
+	default:
+		return fmt.Errorf("unknown layout %q (valid: sharded, padded, flat)", layoutName)
+	}
+	keys := harness.MakeKeys(harness.InputRandom, n, seed)
+
+	var alloc model.Allocator
+	var prog model.Program
+	var seedFn func([]model.Word)
+	var places func([]model.Word) []int
+	switch variant {
+	case "det", "rand":
+		a, tun := chaos.ArenaFor(n, p, layout)
+		allocKind := core.AllocRandomized
+		if variant == "det" {
+			allocKind = core.AllocWAT
+		}
+		s := core.NewSorterTuned(a, n, allocKind, tun)
+		alloc, prog, seedFn, places = a, s.Program(), s.Seed, s.Places
+	case "lowcont":
+		if p < 4 || n < p {
+			return fmt.Errorf("lowcont needs p >= 4 and n >= p, got n=%d p=%d", n, p)
+		}
+		a := native.NewArena(native.Padded)
+		s := lowcont.New(a, n, p)
+		alloc, prog, seedFn, places = a, s.Program(), s.Seed, s.Places
+	default:
+		return fmt.Errorf("unknown variant %q", variant)
+	}
+
+	ob := obs.New(obs.Config{})
+	rt := native.New(native.Config{
+		P: p, Mem: alloc.Size(), Seed: seed,
+		Less: harness.LessFor(keys), CountOps: true, Observer: ob,
+	})
+	seedFn(rt.Memory())
+	met, err := rt.Run(prog)
+	if err != nil {
+		return err
+	}
+	if !ranksSorted(keys, places(rt.Memory())) {
+		return fmt.Errorf("native run output is not sorted")
+	}
+	return writeTrace(w, out, obs.NewTrace().AddObserver(ob), func() {
+		fmt.Fprintf(w, "%s sort (native %s), N=%d P=%d: elapsed=%v\n%s\n",
+			variant, layoutName, n, p, rt.Elapsed, met)
+	})
+}
+
+// writeTrace emits the Perfetto JSON to out (printing the summary to w)
+// or, with no -out, emits only the JSON on w so it can be piped.
+func writeTrace(w io.Writer, out string, t *obs.Trace, summary func()) error {
+	if out == "" {
+		return t.Write(w)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.Write(f); err != nil {
+		return err
+	}
+	summary()
+	fmt.Fprintf(w, "perfetto trace written to %s — open it at https://ui.perfetto.dev\n", out)
+	return nil
+}
+
+// ranksSorted verifies the places form a permutation that sorts keys.
+func ranksSorted(keys []int, places []int) bool {
+	out := make([]int, len(keys))
+	seen := make([]bool, len(keys))
+	for i, r := range places {
+		if r < 1 || r > len(keys) || seen[r-1] {
+			return false
+		}
+		seen[r-1] = true
+		out[r-1] = keys[i]
+	}
+	return sort.IntsAreSorted(out)
 }

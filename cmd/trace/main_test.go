@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -45,5 +48,73 @@ func TestTraceUnknownVariant(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, []string{"-variant", "zzz"}); err == nil {
 		t.Fatal("unknown variant accepted")
+	}
+}
+
+// TestTraceUnknownMetric pins the fixed -metric behavior: an
+// unrecognized metric must be a hard error naming the valid choices,
+// not a silent contention chart.
+func TestTraceUnknownMetric(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-n", "32", "-metric", "steps"})
+	if err == nil {
+		t.Fatal("unknown -metric accepted")
+	}
+	for _, want := range []string{"steps", "contention", "active"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %q", err, want)
+		}
+	}
+}
+
+func TestTraceUnknownRuntimeAndLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-runtime", "jvm"}); err == nil {
+		t.Fatal("unknown -runtime accepted")
+	}
+	if err := run(&buf, []string{"-runtime", "native", "-layout", "zzz"}); err == nil {
+		t.Fatal("unknown -layout accepted")
+	}
+}
+
+func TestTraceNativePerfetto(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "native.json")
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-runtime", "native", "-n", "256", "-p", "4", "-variant", "rand", "-out", path})
+	if err != nil {
+		t.Fatalf("native trace: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "perfetto trace written") {
+		t.Errorf("summary missing:\n%s", buf.String())
+	}
+	assertTraceFile(t, path)
+}
+
+func TestTraceSimPerfetto(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sim.json")
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-n", "64", "-variant", "det", "-perfetto", "-out", path})
+	if err != nil {
+		t.Fatalf("sim perfetto: %v", err)
+	}
+	assertTraceFile(t, path)
+}
+
+// assertTraceFile checks the file parses as a Chrome trace-event JSON
+// with at least one event.
+func assertTraceFile(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Error("trace has no events")
 	}
 }

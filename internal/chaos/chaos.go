@@ -20,8 +20,10 @@
 package chaos
 
 import (
+	"cmp"
 	"fmt"
 	"math/bits"
+	"os"
 	"sort"
 	"time"
 
@@ -29,6 +31,7 @@ import (
 	"wfsort/internal/lowcont"
 	"wfsort/internal/model"
 	"wfsort/internal/native"
+	"wfsort/internal/obs"
 	"wfsort/internal/pram"
 	"wfsort/internal/xrand"
 )
@@ -61,9 +64,11 @@ func (l Layout) String() string {
 // Layouts lists every native arena layout.
 func Layouts() []Layout { return []Layout{LayoutSharded, LayoutPadded, LayoutFlat} }
 
-// arenaFor mirrors the root package's layout -> (allocator, tuning)
-// mapping (wfsort.nativeArena); keep the two in sync.
-func arenaFor(n, workers int, l Layout) (model.Allocator, core.Tuning) {
+// ArenaFor mirrors the root package's layout -> (allocator, tuning)
+// mapping (wfsort.nativeArena); keep the two in sync. Exported so the
+// native-runtime CLIs (cmd/trace, cmd/stress) build the same arenas
+// the sweep certifies.
+func ArenaFor(n, workers int, l Layout) (model.Allocator, core.Tuning) {
 	switch l {
 	case LayoutFlat:
 		return &model.Arena{}, core.Tuning{}
@@ -117,6 +122,11 @@ type Spec struct {
 	// randomized sort (needs P >= 4 and N >= P; layout tuning does not
 	// apply — the §3 machinery has its own contention story).
 	LowCont bool
+	// TraceOut, when non-empty, attaches an internal/obs observer to
+	// the native run and, if the run fails to sort or certify, writes a
+	// Perfetto JSON postmortem trace to this path (Result.TracePath
+	// reports where).
+	TraceOut string
 }
 
 // CrashQuorum builds a seeded crash schedule killing roughly frac of p
@@ -210,6 +220,7 @@ type Result struct {
 	Placed    int     `json:"placed"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	Error     string  `json:"error,omitempty"`
+	TracePath string  `json:"trace,omitempty"`
 }
 
 // OK reports whether the run sorted correctly and certified within the
@@ -284,10 +295,11 @@ func equalInts(a, b []int) bool {
 // RunNative executes one spec on the native runtime and certifies it.
 // The returned error covers harness-level failures (a panic escaping
 // the program); sort or certification failures are reported in the
-// Result so sweeps keep going.
-func RunNative(spec Spec) (Result, error) {
+// Result so sweeps keep going. With Spec.TraceOut set, a failing run
+// additionally leaves a Perfetto postmortem trace behind.
+func RunNative(spec Spec) (res Result, err error) {
 	n := len(spec.Keys)
-	res := Result{
+	res = Result{
 		Layout: spec.Layout.String(), Variant: "randomized",
 		N: n, P: spec.P, Seed: spec.Seed,
 	}
@@ -308,20 +320,42 @@ func RunNative(spec Spec) (Result, error) {
 		s := lowcont.New(a, n, spec.P)
 		alloc, prog, seedFn, places, progress = a, s.Program(), s.Seed, s.Places, s.Progress
 	} else {
-		a, tun := arenaFor(n, spec.P, spec.Layout)
+		a, tun := ArenaFor(n, spec.P, spec.Layout)
 		s := core.NewSorterTuned(a, n, core.AllocRandomized, tun)
 		alloc, prog, seedFn, places, progress = a, s.Program(), s.Seed, s.Places, s.Progress
 	}
 
+	var observer *obs.Observer
+	if spec.TraceOut != "" {
+		observer = obs.New(obs.Config{})
+	}
 	rt := native.New(native.Config{
 		P: spec.P, Mem: alloc.Size(), Seed: spec.Seed,
 		Less: lessFor(spec.Keys), CountOps: true,
 		Adversary: adversaryOrNil(spec.plan()),
+		Observer:  observer,
 	})
 	seedFn(rt.Memory())
 	t0 := time.Now()
 	met, err := rt.Run(prog)
 	res.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+	defer func() {
+		// Postmortem: a run that failed to sort or certify dumps its
+		// per-incarnation event rings as a Perfetto trace, so the exact
+		// schedule that broke certification can be inspected in a
+		// viewer rather than reconstructed from counters.
+		if observer == nil || res.OK() {
+			return
+		}
+		f, ferr := os.Create(spec.TraceOut)
+		if ferr != nil {
+			return
+		}
+		defer f.Close()
+		if observer.WriteTrace(f) == nil {
+			res.TracePath = spec.TraceOut
+		}
+	}()
 	if err != nil {
 		res.Error = err.Error()
 		return res, err
@@ -481,6 +515,9 @@ type SweepOptions struct {
 	Ps    []int
 	Seed  uint64
 	Quick bool
+	// TraceOut, when non-empty, captures the first failing run's
+	// Perfetto postmortem trace at this path (Report.TracePath).
+	TraceOut string
 }
 
 // Report is the sweep's JSON-serializable outcome.
@@ -491,6 +528,7 @@ type Report struct {
 	Differential []string `json:"differential"`
 	Failures     []string `json:"failures"`
 	OK           bool     `json:"ok"`
+	TracePath    string   `json:"trace,omitempty"`
 }
 
 // Sweep runs every adversary policy x P x layout cell plus one
@@ -515,12 +553,19 @@ func Sweep(o SweepOptions) (*Report, error) {
 	for _, pol := range Policies() {
 		for _, p := range o.Ps {
 			for _, l := range Layouts() {
-				res, err := RunNative(BuildSpec(keys, p, l, o.Seed, pol))
+				spec := BuildSpec(keys, p, l, o.Seed, pol)
+				if rep.TracePath == "" {
+					// Until a failure is captured, observe every run so
+					// the first one to fail leaves its postmortem.
+					spec.TraceOut = o.TraceOut
+				}
+				res, err := RunNative(spec)
 				if err != nil {
 					return rep, fmt.Errorf("policy %s p=%d layout=%v: %w", pol.Name, p, l, err)
 				}
 				res.Policy = pol.Name
 				rep.Runs = append(rep.Runs, res)
+				rep.TracePath = cmp.Or(rep.TracePath, res.TracePath)
 				if !res.OK() {
 					rep.Failures = append(rep.Failures, fmt.Sprintf(
 						"policy %s p=%d layout=%v: sorted=%v certified=%v (max ops %d / bound %d) %s",

@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wfsort/internal/model"
+	"wfsort/internal/xrand"
+)
+
+func traceKeys(n int) []int {
+	rng := xrand.New(11)
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = rng.Intn(4 * n)
+	}
+	return keys
+}
+
+// TestRunNativeWritesFailureTrace kills every processor — including
+// pid 0, so the sort cannot complete — and checks the postmortem
+// Perfetto trace lands at Spec.TraceOut and parses as JSON.
+func TestRunNativeWritesFailureTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fail.json")
+	const p = 4
+	var crashes []model.Crash
+	for pid := 0; pid < p; pid++ {
+		crashes = append(crashes, model.Crash{PID: pid, Step: int64(10 + pid)})
+	}
+	res, err := RunNative(Spec{
+		Keys: traceKeys(256), P: p, Seed: 5,
+		Crashes: crashes, TraceOut: path,
+	})
+	if err != nil {
+		t.Fatalf("RunNative: %v", err)
+	}
+	if res.OK() {
+		t.Fatal("killing every processor should fail certification")
+	}
+	if res.TracePath != path {
+		t.Fatalf("TracePath = %q, want %q", res.TracePath, path)
+	}
+	b, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("trace file: %v", rerr)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if jerr := json.Unmarshal(b, &tf); jerr != nil {
+		t.Fatalf("trace is not valid JSON: %v", jerr)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+}
+
+// TestRunNativeNoTraceOnCleanRun arms TraceOut on a faultless run: no
+// file may be written — the trace is a failure postmortem, not a log.
+func TestRunNativeNoTraceOnCleanRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clean.json")
+	res, err := RunNative(Spec{Keys: traceKeys(256), P: 4, Seed: 6, TraceOut: path})
+	if err != nil {
+		t.Fatalf("RunNative: %v", err)
+	}
+	if !res.OK() {
+		t.Fatalf("clean run failed: %+v", res)
+	}
+	if res.TracePath != "" {
+		t.Errorf("TracePath = %q on a clean run", res.TracePath)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Errorf("trace file written on a clean run (stat err = %v)", serr)
+	}
+}

@@ -40,6 +40,7 @@ package core
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"wfsort/internal/model"
 	"wfsort/internal/wat"
@@ -643,6 +644,24 @@ func (s *Sorter) Progress(mem []Word) (sized, placed int) {
 			sized++
 		}
 		if mem[s.place.At(i)] != model.Empty {
+			placed++
+		}
+	}
+	return sized, placed
+}
+
+// LiveProgress is Progress for a run still in flight: the same counts
+// read with atomic loads, so the observability plane's /metrics
+// endpoint can poll it from the host while workers write concurrently
+// without a data race. The counts are momentary — phases 2 and 3
+// install sizes and places monotonically, so successive polls are
+// nondecreasing.
+func (s *Sorter) LiveProgress(mem []Word) (sized, placed int) {
+	for i := 1; i <= s.n; i++ {
+		if atomic.LoadInt64(&mem[s.size.At(i)]) != model.Empty {
+			sized++
+		}
+		if atomic.LoadInt64(&mem[s.place.At(i)]) != model.Empty {
 			placed++
 		}
 	}

@@ -236,6 +236,10 @@ func (s *Sorter) Places(mem []Word) []int { return s.table.Places(mem) }
 // sorter surfaces (see core.Sorter.Progress).
 func (s *Sorter) Progress(mem []Word) (sized, placed int) { return s.table.Progress(mem) }
 
+// LiveProgress is Progress with atomic reads, safe to poll from the
+// host while a native run is in flight (see core.Sorter.LiveProgress).
+func (s *Sorter) LiveProgress(mem []Word) (sized, placed int) { return s.table.LiveProgress(mem) }
+
 // Output extracts the element ids in sorted order after a run.
 func (s *Sorter) Output(mem []Word) []int { return s.table.Output(mem) }
 

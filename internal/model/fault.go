@@ -59,6 +59,15 @@ const (
 	// processor holds no locks (there are none) and blocks nobody;
 	// wait-freedom demands the rest of the fleet is unaffected.
 	FaultStall
+	// FaultBlock parks the processor indefinitely in place of the
+	// operation: it stops advancing but stays live until killed. This
+	// is the limit case of FaultStall — the "arbitrarily delayed"
+	// processor of the paper's fail/delay model — and the fault the
+	// observability plane's progress watchdog (internal/obs) exists to
+	// detect. The run only completes after the blocked processor is
+	// killed (native Runtime.Kill), since Run waits for every
+	// goroutine.
+	FaultBlock
 )
 
 // String returns the action's mnemonic.
@@ -70,6 +79,8 @@ func (a FaultAction) String() string {
 		return "kill"
 	case FaultStall:
 		return "stall"
+	case FaultBlock:
+		return "block"
 	default:
 		return "faultaction(?)"
 	}

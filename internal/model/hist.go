@@ -1,0 +1,99 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// histBuckets is the number of log2 latency buckets: bucket b holds
+// observations with bits.Len64(ns) == b, i.e. durations in
+// [2^(b-1), 2^b) nanoseconds, so the range covers sub-nanosecond
+// through ~292 years without configuration.
+const histBuckets = 64
+
+// Histogram is a log-bucketed latency histogram: fixed size, no
+// allocation after creation, mergeable across workers and runs. The
+// native observability plane records one per (phase, incarnation) and
+// merges them into Metrics.ByPhase; quantiles are therefore estimates
+// with at most 2x resolution error (the bucket width), which is the
+// right fidelity for wall-clock phase latencies on a preemptive
+// scheduler.
+type Histogram struct {
+	// Buckets[b] counts observations with bits.Len64(ns) == b.
+	Buckets [histBuckets]int64
+	// Count is the total number of observations.
+	Count int64
+	// Sum is the exact sum of all observed values in nanoseconds.
+	Sum int64
+}
+
+// Observe records one duration in nanoseconds; negative values clamp
+// to zero.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.Buckets[bits.Len64(uint64(ns))]++
+	h.Count++
+	h.Sum += ns
+}
+
+// Merge folds o into h. A nil o is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for b := range o.Buckets {
+		h.Buckets[b] += o.Buckets[b]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+}
+
+// Quantile returns an upper-bound estimate (the top of the holding
+// bucket) of the q-th quantile in nanoseconds, for q in [0, 1]. A
+// histogram with no observations returns 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.Count-1))
+	var seen int64
+	for b, c := range h.Buckets {
+		seen += c
+		if c > 0 && seen > rank {
+			if b == 0 {
+				return 0
+			}
+			if b >= 63 {
+				return math.MaxInt64
+			}
+			return int64(1)<<uint(b) - 1
+		}
+	}
+	return math.MaxInt64
+}
+
+// Mean returns the exact mean in nanoseconds (0 when empty).
+func (h *Histogram) Mean() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+// Summary renders "p50=… p99=…" with human time units, the form
+// Metrics.String embeds per phase.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("p50=%v p99=%v",
+		time.Duration(h.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(h.Quantile(0.99)).Round(time.Microsecond))
+}

@@ -1,0 +1,80 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	// 90 fast observations, 10 slow: p50 lands in the fast bucket, p99
+	// in the slow one. Quantiles are upper bucket bounds (2^b - 1).
+	for i := 0; i < 90; i++ {
+		h.Observe(1000) // bucket 10: [512, 1024)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000) // bucket 20
+	}
+	if h.Count != 100 || h.Sum != 90*1000+10*1_000_000 {
+		t.Fatalf("count/sum = %d/%d", h.Count, h.Sum)
+	}
+	if got := h.Quantile(0.50); got != (1<<10)-1 {
+		t.Errorf("p50 = %d, want %d", got, (1<<10)-1)
+	}
+	if got := h.Quantile(0.99); got != (1<<20)-1 {
+		t.Errorf("p99 = %d, want %d", got, (1<<20)-1)
+	}
+	if got := h.Mean(); got != (90*1000+10*1_000_000)/100 {
+		t.Errorf("mean = %d", got)
+	}
+}
+
+func TestHistogramMergeAndClamp(t *testing.T) {
+	var a, b Histogram
+	a.Observe(100)
+	b.Observe(-5) // clamps to 0: bucket 0
+	b.Observe(200)
+	a.Merge(&b)
+	a.Merge(nil) // no-op
+	if a.Count != 3 || a.Sum != 300 {
+		t.Fatalf("after merge count/sum = %d/%d, want 3/300", a.Count, a.Sum)
+	}
+	if a.Buckets[0] != 1 {
+		t.Errorf("clamped observation should land in bucket 0")
+	}
+	if got := a.Quantile(0); got != 0 {
+		t.Errorf("q0 = %d, want 0 (bucket 0 upper bound)", got)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxInt64)
+	if got := h.Quantile(1); got != math.MaxInt64 {
+		t.Errorf("top-bucket quantile = %d, want MaxInt64", got)
+	}
+	if !strings.Contains(h.Summary(), "p50=") {
+		t.Errorf("summary = %q", h.Summary())
+	}
+}
+
+func TestMetricsStringIncludesLatency(t *testing.T) {
+	var m Metrics
+	pm := m.RecordPhase("1:build")
+	pm.Ops = 42
+	pm.Latency = &Histogram{}
+	pm.Latency.Observe(1500)
+	if s := m.String(); !strings.Contains(s, "p50=") {
+		t.Errorf("Metrics.String should include phase latency: %s", s)
+	}
+	// A phase without latency (simulator) must render without it.
+	m2 := Metrics{}
+	m2.RecordPhase("1:build").Ops = 42
+	if s := m2.String(); strings.Contains(s, "p50=") {
+		t.Errorf("simulator metrics must not render latency: %s", s)
+	}
+}

@@ -20,11 +20,31 @@ type PhaseMetrics struct {
 	// Stalls is the Dwork–Herlihy–Waarts total-stall count: for every
 	// step and address, accesses-1, summed.
 	Stalls int64
+	// Latency is the wall-clock time incarnations spent in this phase,
+	// one observation per (incarnation, phase) span, log-bucketed. Only
+	// the native runtime fills it, and only when an observer
+	// (internal/obs) is installed; it is nil on simulator runs, where
+	// Steps is the exact clock and wall time is meaningless.
+	Latency *Histogram
 }
 
-// Metrics reports what a run cost. The simulator fills every field; the
-// native runtime fills the fields it can observe (ops, phases, wall
-// time) and leaves step/contention fields zero.
+// Metrics reports what a run cost. Which fields are filled depends on
+// the runtime:
+//
+//   - The simulator (internal/pram) has a global clock and sees every
+//     access, so it fills everything except the native-only fields:
+//     Steps, QRQWTime, exact MaxContention and Stalls, and per-phase
+//     Ops/Steps/MaxContention/Stalls. Respawns, InjectedStalls and
+//     per-phase Latency stay zero/nil (its crash model is permanent
+//     fail-stop and its delay model is the scheduler, not wall time).
+//   - The native runtime (internal/native) has no global clock: Steps,
+//     QRQWTime, MaxContention and Stalls stay zero. With CountOps it
+//     fills Ops, CASes and CASFailures (the CAS-failure ratio is the
+//     hardware contention signal), plus Killed/Respawns/InjectedStalls
+//     from the fault plane. With an observer installed (internal/obs)
+//     it additionally fills ByPhase: per-phase Ops from op-ordinal
+//     deltas and per-phase Latency histograms, summarized as p50/p99
+//     by String.
 type Metrics struct {
 	// P is the number of processors the run started with.
 	P int
@@ -107,6 +127,9 @@ func (m *Metrics) String() string {
 		pm := m.ByPhase[name]
 		fmt.Fprintf(&b, "\n  phase %-12s ops=%-10d steps=%-8d maxcont=%-6d stalls=%d",
 			name, pm.Ops, pm.Steps, pm.MaxContention, pm.Stalls)
+		if pm.Latency != nil && pm.Latency.Count > 0 {
+			fmt.Fprintf(&b, " %s", pm.Latency.Summary())
+		}
 	}
 	return b.String()
 }

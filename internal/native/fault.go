@@ -93,6 +93,16 @@ func (pl *Plan) StallAt(pid int, op int64, yields int) *Plan {
 	return pl.add(pid, planEvent{op: op, action: model.FaultStall, stall: yields})
 }
 
+// BlockAt schedules a permanent stall in place of pid's op-th
+// operation: the processor stops advancing but stays live until killed
+// (Runtime.Kill), the limit case of the fail/delay adversary. The other
+// workers must finish the sort without it — and the obs watchdog must
+// flag it — but note Run itself only returns once the blocked
+// processor is killed.
+func (pl *Plan) BlockAt(pid int, op int64) *Plan {
+	return pl.add(pid, planEvent{op: op, action: model.FaultBlock})
+}
+
 // Revive allows pid to be respawned up to times times: each time one of
 // its kills lands, the runtime starts a fresh incarnation.
 func (pl *Plan) Revive(pid, times int) *Plan {
@@ -134,6 +144,8 @@ func (pl *Plan) Strike(pid int, op int64) model.Fault {
 		return model.Fault{Action: model.FaultKill}
 	case model.FaultStall:
 		return model.Fault{Action: model.FaultStall, StallOps: ev.stall}
+	case model.FaultBlock:
+		return model.Fault{Action: model.FaultBlock}
 	}
 	return model.Fault{}
 }

@@ -7,8 +7,11 @@
 // Unlike internal/pram there is no global clock: Read/Write/CAS map
 // directly onto atomic loads, stores and compare-and-swaps, so a run is
 // as fast as the hardware allows and scheduling is whatever the Go
-// runtime does. Metrics are therefore limited to operation counts and
-// wall time; step counts and exact contention are simulator-only.
+// runtime does. Step counts and exact contention are simulator-only;
+// native metrics carry operation counts, CAS-failure counts and wall
+// time, and — with an internal/obs Observer installed — per-phase op
+// and wall-clock latency breakdowns recorded through wait-free
+// per-incarnation event rings.
 package native
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"wfsort/internal/model"
+	"wfsort/internal/obs"
 	"wfsort/internal/xrand"
 )
 
@@ -46,6 +50,14 @@ type Config struct {
 	// the adversary also implements Respawner, killed processors may be
 	// revived with fresh incarnations once their death has landed.
 	Adversary model.Adversary
+	// Observer, when non-nil, is the observability plane: each
+	// incarnation records phase transitions, CAS failures, faults and
+	// periodic op-ordinal snapshots into its own wait-free event ring
+	// (see internal/obs), and per-phase latency histograms are merged
+	// into the run's Metrics. When nil — the default — the hot path
+	// pays a single pointer nil-check per operation (gated by
+	// cmd/benchgate). An Observer drives at most one run.
+	Observer *obs.Observer
 }
 
 // Runtime executes one Program on P goroutines. Create with New; a
@@ -136,6 +148,9 @@ func (r *Runtime) Run(prog model.Program) (*model.Metrics, error) {
 		}
 		panicMu.Unlock()
 	}
+	if ob := r.cfg.Observer; ob != nil {
+		ob.RunStart(r.cfg.P)
+	}
 	r.start = time.Now()
 	r.mu.Lock()
 	for pid := 0; pid < r.cfg.P; pid++ {
@@ -144,6 +159,9 @@ func (r *Runtime) Run(prog model.Program) (*model.Metrics, error) {
 	r.mu.Unlock()
 	r.wg.Wait()
 	r.Elapsed = time.Since(r.start)
+	if ob := r.cfg.Observer; ob != nil {
+		ob.RunEnd()
+	}
 
 	met := &model.Metrics{
 		P:              r.cfg.P,
@@ -157,6 +175,9 @@ func (r *Runtime) Run(prog model.Program) (*model.Metrics, error) {
 			met.CASes += atomic.LoadInt64(&r.ops[i].cas)
 			met.CASFailures += atomic.LoadInt64(&r.ops[i].casFails)
 		}
+	}
+	if ob := r.cfg.Observer; ob != nil {
+		ob.MergeInto(met)
 	}
 	panicMu.Lock()
 	defer panicMu.Unlock()
@@ -172,9 +193,15 @@ func (r *Runtime) spawnLocked(pid int, startOps int64) {
 	r.wg.Add(1)
 	rng := r.root.Fork(uint64(pid) | uint64(r.respawn)<<32)
 	pr := &proc{rt: r, id: pid, rng: rng, n: startOps}
+	if ob := r.cfg.Observer; ob != nil {
+		pr.ob = ob.StartIncarnation(pid, startOps)
+	}
 	go func() {
 		defer func() {
 			rec := recover()
+			if pr.ob != nil {
+				pr.ob.End(pr.n)
+			}
 			r.mu.Lock()
 			r.live--
 			r.opsAt[pid] = pr.n
@@ -239,7 +266,8 @@ type proc struct {
 	rt  *Runtime
 	id  int
 	rng *xrand.Rand
-	n   int64 // cumulative op ordinal, the adversary's per-processor clock
+	n   int64        // cumulative op ordinal, the adversary's per-processor clock
+	ob  *obs.ProcObs // this incarnation's event recorder; nil when unobserved
 }
 
 var _ model.Proc = (*proc)(nil)
@@ -249,7 +277,7 @@ func (p *proc) NumProcs() int { return p.rt.cfg.P }
 
 func (p *proc) pre() {
 	if p.rt.kill[p.id].Load() {
-		panic(model.Killed{PID: p.id})
+		p.die()
 	}
 	p.n++
 	if ad := p.rt.cfg.Adversary; ad != nil {
@@ -258,17 +286,43 @@ func (p *proc) pre() {
 		case model.FaultKill:
 			// Die in place of this operation, exactly as a simulator
 			// crash replaces the victim's pending op.
-			panic(model.Killed{PID: p.id})
+			p.die()
 		case model.FaultStall:
 			p.rt.stalls.Add(1)
+			if p.ob != nil {
+				p.ob.Stall(p.n, f.StallOps)
+			}
 			for i := 0; i < f.StallOps; i++ {
 				runtime.Gosched()
 			}
+		case model.FaultBlock:
+			// The limit case of a stall: stop advancing but stay live
+			// until killed — the fault the obs watchdog exists to
+			// catch. Poll the kill flag (never spin-starve a core).
+			p.rt.stalls.Add(1)
+			if p.ob != nil {
+				p.ob.Stall(p.n, -1)
+			}
+			for !p.rt.kill[p.id].Load() {
+				time.Sleep(200 * time.Microsecond)
+			}
+			p.die()
 		}
 	}
 	if p.rt.cfg.CountOps {
 		atomic.AddInt64(&p.rt.ops[p.id].n, 1)
 	}
+	if p.ob != nil {
+		p.ob.Op(p.n)
+	}
+}
+
+// die records the death (when observed) and unwinds the Program.
+func (p *proc) die() {
+	if p.ob != nil {
+		p.ob.Kill(p.n)
+	}
+	panic(model.Killed{PID: p.id})
 }
 
 func (p *proc) Read(a int) Word {
@@ -290,6 +344,9 @@ func (p *proc) CAS(a int, old, new Word) bool {
 			atomic.AddInt64(&p.rt.ops[p.id].casFails, 1)
 		}
 	}
+	if !ok && p.ob != nil {
+		p.ob.CASFail(p.n, a)
+	}
 	return ok
 }
 
@@ -306,4 +363,8 @@ func (p *proc) Less(i, j int) bool {
 
 func (p *proc) Rand() *model.Rng { return p.rng }
 
-func (p *proc) Phase(string) {}
+func (p *proc) Phase(name string) {
+	if p.ob != nil {
+		p.ob.Phase(name, p.n)
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// current is the observer the live endpoint reports on. Runs are
+// sequential from a process's point of view (one sort at a time per
+// published observer), so a single slot is enough; campaign drivers
+// like cmd/stress re-Publish per run and the endpoint follows.
+var current atomic.Pointer[Observer]
+
+var publishOnce sync.Once
+
+// Publish makes o the observer the live endpoint and the "wfsort.obs"
+// expvar report on. The expvar registration happens once per process
+// (expvar panics on duplicate names); later calls just swap the
+// observer.
+func Publish(o *Observer) {
+	current.Store(o)
+	publishOnce.Do(func() {
+		expvar.Publish("wfsort.obs", expvar.Func(func() any {
+			if cur := current.Load(); cur != nil {
+				return cur.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Handler serves the live observability surface:
+//
+//	/metrics      — the published observer's Snapshot as JSON
+//	/debug/vars   — expvar (includes wfsort.obs once Publish ran)
+//	/debug/pprof/ — the standard pprof profiles
+//
+// Profiles and counters stay available while a sort is running; that
+// is the point.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if cur := current.Load(); cur != nil {
+			enc.Encode(cur.Snapshot())
+			return
+		}
+		enc.Encode(map[string]any{"idle": true})
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve runs the live endpoint on ln until the listener closes. Run it
+// in its own goroutine alongside the sort.
+func Serve(ln net.Listener) error {
+	return http.Serve(ln, Handler())
+}

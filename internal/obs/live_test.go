@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandlerMetricsIdleAndLive(t *testing.T) {
+	h := Handler()
+
+	// Clear any observer a sibling test published.
+	current.Store(nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var idle map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &idle); err != nil {
+		t.Fatalf("idle /metrics not JSON: %v", err)
+	}
+	if idle["idle"] != true {
+		t.Errorf("idle body = %v", idle)
+	}
+
+	o := New(Config{})
+	o.RunStart(3)
+	Publish(o)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("live /metrics not JSON: %v", err)
+	}
+	if snap.P != 3 {
+		t.Errorf("snapshot P = %d, want 3", snap.P)
+	}
+	o.RunEnd()
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != 200 {
+		t.Errorf("/debug/vars status %d", rec.Code)
+	}
+	// Publish registered the expvar; it must render the snapshot too.
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["wfsort.obs"]; !ok {
+		t.Error("wfsort.obs expvar missing after Publish")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Errorf("/debug/pprof/ status %d", rec.Code)
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"wfsort/internal/model"
+)
+
+func TestMergeIntoFillsPhaseLatency(t *testing.T) {
+	o := driveObserver(t)
+	var m model.Metrics
+	o.MergeInto(&m)
+
+	build := m.ByPhase["1:build"]
+	if build == nil {
+		t.Fatal("phase 1:build missing from merged metrics")
+	}
+	// Three incarnations spent time in 1:build (p0, p1, p1 respawn).
+	if build.Latency == nil || build.Latency.Count != 3 {
+		t.Fatalf("1:build latency = %+v, want 3 observations", build.Latency)
+	}
+	// p0: ops 0->40; p1: 0->5; p1 respawn: 5->30.
+	if build.Ops != 40+5+25 {
+		t.Errorf("1:build ops = %d, want 70", build.Ops)
+	}
+	sum := m.ByPhase["2:sum"]
+	if sum == nil || sum.Latency == nil || sum.Latency.Count != 1 {
+		t.Fatalf("2:sum latency = %+v, want 1 observation", sum)
+	}
+	if !strings.Contains(m.String(), "p50=") || !strings.Contains(m.String(), "p99=") {
+		t.Errorf("Metrics.String should render latency quantiles:\n%s", m.String())
+	}
+}
+
+func TestSnapshotLiveCounters(t *testing.T) {
+	o := New(Config{SnapshotEvery: 4})
+	o.RunStart(2)
+	po := o.StartIncarnation(0, 0)
+	for op := int64(1); op <= 10; op++ {
+		po.Op(op)
+	}
+
+	s := o.Snapshot()
+	if s.P != 2 {
+		t.Fatalf("P = %d, want 2", s.P)
+	}
+	if !s.Live[0] || s.Live[1] {
+		t.Errorf("live = %v, want [true false]", s.Live)
+	}
+	if s.Ops[0] == 0 {
+		t.Error("snapshot should see pid 0's published op ordinal")
+	}
+	if s.Sized != -1 || s.Placed != -1 {
+		t.Errorf("without a probe sized/placed = %d/%d, want -1/-1", s.Sized, s.Placed)
+	}
+	if s.Finished {
+		t.Error("run not finished yet")
+	}
+
+	o.SetProgress(func() (int, int) { return 7, 3 })
+	po.End(10)
+	o.RunEnd()
+	s = o.Snapshot()
+	if s.Sized != 7 || s.Placed != 3 {
+		t.Errorf("probe ignored: sized/placed = %d/%d", s.Sized, s.Placed)
+	}
+	if s.Live[0] {
+		t.Error("ended incarnation still live")
+	}
+	if !s.Finished {
+		t.Error("finished flag not set after RunEnd")
+	}
+	if s.Events == 0 {
+		t.Error("snapshot should count ring events")
+	}
+}
+
+func TestObserverRejectsReuse(t *testing.T) {
+	o := New(Config{})
+	o.RunStart(1)
+	o.RunEnd()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second RunStart should panic")
+		}
+	}()
+	o.RunStart(1)
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"wfsort/internal/trace"
+)
+
+// TraceEvent is one entry of the Chrome trace-event format, the JSON
+// that ui.perfetto.dev and chrome://tracing load directly. Only the
+// fields this exporter uses are declared; timestamps (Ts, Dur) are
+// microseconds.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the top-level JSON object Perfetto loads.
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Trace process ids: native incarnations under one process, simulator
+// samples under another, so a combined export renders as two process
+// groups in the same viewer.
+const (
+	tracePIDNative = 1
+	tracePIDSim    = 2
+)
+
+// simStepMicros is the display width of one simulated machine step.
+// The simulator has no wall clock — steps are its time unit — so the
+// exporter renders one step as one microsecond.
+const simStepMicros = 1.0
+
+// Trace builds one Perfetto JSON file from native observer data and/or
+// simulator trace samples, so both runtimes render in the same viewer.
+type Trace struct {
+	events []TraceEvent
+}
+
+// NewTrace returns an empty trace builder.
+func NewTrace() *Trace { return &Trace{} }
+
+func micros(ns int64) float64 { return float64(ns) / 1e3 }
+
+// tid returns the stable track id for an incarnation: processors keep
+// their order, respawned incarnations get adjacent tracks.
+func tid(pid, inc int) int { return pid*100 + inc }
+
+// AddObserver renders every incarnation the observer recorded as one
+// track: phase spans as complete ("X") slices, ring events (CAS
+// failures, stalls, kills, snapshots) as instants, plus thread-name
+// metadata. Call after the run finished.
+func (t *Trace) AddObserver(o *Observer) *Trace {
+	for _, po := range o.Incarnations() {
+		track := tid(po.pid, po.inc)
+		name := fmt.Sprintf("proc %d", po.pid)
+		if po.inc > 0 {
+			name = fmt.Sprintf("proc %d (respawn %d)", po.pid, po.inc)
+		}
+		t.events = append(t.events, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePIDNative, TID: track,
+			Args: map[string]any{"name": name},
+		})
+
+		var evs []TraceEvent
+		for _, sp := range po.spans {
+			evs = append(evs, TraceEvent{
+				Name: sp.name, Ph: "X", Cat: "phase",
+				Ts: micros(sp.startTS), Dur: micros(sp.endTS - sp.startTS),
+				PID: tracePIDNative, TID: track,
+				Args: map[string]any{"start_op": sp.startOp, "end_op": sp.endOp},
+			})
+		}
+		for _, e := range po.Events() {
+			switch e.Kind {
+			case EvPhase:
+				// Rendered as spans above.
+				continue
+			case EvSnapshot:
+				evs = append(evs, TraceEvent{
+					Name: fmt.Sprintf("ops p%d", po.pid), Ph: "C",
+					Ts: micros(e.TS), PID: tracePIDNative, TID: track,
+					Args: map[string]any{"ops": e.Op},
+				})
+			default:
+				args := map[string]any{"op": e.Op}
+				if e.Kind == EvCASFail {
+					args["addr"] = e.Arg
+				}
+				if e.Kind == EvStall {
+					args["yields"] = e.Arg
+				}
+				evs = append(evs, TraceEvent{
+					Name: e.Kind.String(), Ph: "i", S: "t", Cat: "event",
+					Ts: micros(e.TS), PID: tracePIDNative, TID: track,
+					Args: args,
+				})
+			}
+		}
+		// Keep each track's timeline monotonic: spans were appended
+		// before instants, so interleave them by timestamp.
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+		t.events = append(t.events, evs...)
+
+		if dropped := po.Dropped(); dropped > 0 {
+			t.events = append(t.events, TraceEvent{
+				Name: "ring overflow", Ph: "i", S: "t", Cat: "event",
+				Ts: micros(po.endTS), PID: tracePIDNative, TID: track,
+				Args: map[string]any{"dropped": dropped},
+			})
+		}
+	}
+	return t
+}
+
+// AddSimSamples renders a simulator run's per-step series (see
+// internal/trace.Recorder) in the same file: active-processor and
+// contention counters plus dominant-phase spans on one simulator
+// track, one microsecond per machine step.
+func (t *Trace) AddSimSamples(samples []trace.Sample) *Trace {
+	if len(samples) == 0 {
+		return t
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: "thread_name", Ph: "M", PID: tracePIDSim, TID: 1,
+		Args: map[string]any{"name": "simulator (dominant phase)"},
+	})
+	var evs []TraceEvent
+	spanStart, spanPhase := float64(samples[0].Step)*simStepMicros, samples[0].Phase
+	flush := func(end float64) {
+		if spanPhase != "" && end > spanStart {
+			evs = append(evs, TraceEvent{
+				Name: spanPhase, Ph: "X", Cat: "phase",
+				Ts: spanStart, Dur: end - spanStart, PID: tracePIDSim, TID: 1,
+			})
+		}
+	}
+	for _, s := range samples {
+		ts := float64(s.Step) * simStepMicros
+		if s.Phase != spanPhase {
+			flush(ts)
+			spanStart, spanPhase = ts, s.Phase
+		}
+		evs = append(evs, TraceEvent{
+			Name: "active", Ph: "C", Ts: ts, PID: tracePIDSim, TID: 1,
+			Args: map[string]any{"procs": s.Active},
+		}, TraceEvent{
+			Name: "contention", Ph: "C", Ts: ts, PID: tracePIDSim, TID: 1,
+			Args: map[string]any{"max_same_word": s.Contention},
+		})
+	}
+	flush(float64(samples[len(samples)-1].Step+1) * simStepMicros)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	t.events = append(t.events, evs...)
+	return t
+}
+
+// Write emits the trace as Chrome trace-event JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(TraceFile{TraceEvents: t.events, DisplayTimeUnit: "ms"})
+}
+
+// WriteTrace is the one-call export for a finished native run: the
+// observer's incarnations as Perfetto JSON.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	return NewTrace().AddObserver(o).Write(w)
+}

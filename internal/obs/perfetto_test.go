@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wfsort/internal/trace"
+)
+
+// driveObserver plays a small two-processor run (with one respawn and
+// one CAS failure) through the observer exactly the way the native
+// runtime would.
+func driveObserver(t *testing.T) *Observer {
+	t.Helper()
+	o := New(Config{RingCap: 64, SnapshotEvery: 8})
+	o.RunStart(2)
+
+	p0 := o.StartIncarnation(0, 0)
+	p0.Phase("1:build", 0)
+	for op := int64(1); op <= 40; op++ {
+		p0.Op(op)
+	}
+	p0.CASFail(17, 123)
+	p0.Phase("2:sum", 40)
+	p0.End(60)
+
+	p1 := o.StartIncarnation(1, 0)
+	p1.Phase("1:build", 0)
+	p1.Kill(5)
+	p1.End(5)
+	p1b := o.StartIncarnation(1, 5)
+	p1b.Phase("1:build", 5)
+	p1b.End(30)
+
+	o.RunEnd()
+	return o
+}
+
+// TestPerfettoRoundTrip exports a trace and reloads it through
+// encoding/json, checking the shape Perfetto needs: a traceEvents
+// array, per-track monotonic timestamps, named respawn tracks and the
+// CAS-failure instant.
+func TestPerfettoRoundTrip(t *testing.T) {
+	o := driveObserver(t)
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("export does not round-trip through encoding/json: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	// Per-track timestamps must be monotonic non-decreasing, or the
+	// viewer renders overlapping garbage.
+	lastTs := map[int]float64{}
+	names := map[string]bool{}
+	for _, e := range tf.TraceEvents {
+		names[e.Name] = true
+		if e.Ph == "M" {
+			continue
+		}
+		if ts, ok := lastTs[e.TID]; ok && e.Ts < ts {
+			t.Fatalf("track %d not monotonic: %f after %f (%s)", e.TID, e.Ts, ts, e.Name)
+		}
+		lastTs[e.TID] = e.Ts
+	}
+
+	for _, want := range []string{"1:build", "2:sum", "cas-fail", "kill", "spawn"} {
+		if !names[want] {
+			t.Errorf("export missing %q events; have %v", want, names)
+		}
+	}
+	if !strings.Contains(buf.String(), "proc 1 (respawn 1)") {
+		t.Error("respawned incarnation should get its own named track")
+	}
+	// The respawn must be a distinct track from the first incarnation.
+	if tid(1, 0) == tid(1, 1) {
+		t.Error("incarnations of one pid must not share a track id")
+	}
+}
+
+func TestPerfettoSimSamples(t *testing.T) {
+	samples := []trace.Sample{
+		{Step: 0, Active: 4, Contention: 2, Phase: "1:build"},
+		{Step: 1, Active: 4, Contention: 3, Phase: "1:build"},
+		{Step: 2, Active: 2, Contention: 1, Phase: "2:sum"},
+	}
+	var buf bytes.Buffer
+	if err := NewTrace().AddSimSamples(samples).Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	var spans, counters int
+	var last float64
+	for _, e := range tf.TraceEvents {
+		if e.PID != tracePIDSim {
+			t.Errorf("sim event on pid %d, want %d", e.PID, tracePIDSim)
+		}
+		switch e.Ph {
+		case "X":
+			spans++
+		case "C":
+			counters++
+		case "M":
+			continue
+		}
+		if e.Ts < last {
+			t.Fatalf("sim track not monotonic: %f after %f", e.Ts, last)
+		}
+		last = e.Ts
+	}
+	if spans != 2 {
+		t.Errorf("got %d phase spans, want 2 (build, sum)", spans)
+	}
+	if counters != 2*len(samples) {
+		t.Errorf("got %d counter events, want %d", counters, 2*len(samples))
+	}
+}
+
+func TestPerfettoMarksRingOverflow(t *testing.T) {
+	o := New(Config{RingCap: 4, SnapshotEvery: 1})
+	o.RunStart(1)
+	po := o.StartIncarnation(0, 0)
+	for op := int64(1); op <= 32; op++ {
+		po.Op(op)
+	}
+	po.End(32)
+	o.RunEnd()
+
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ring overflow") {
+		t.Error("overflowed ring should surface a 'ring overflow' instant")
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import "testing"
+
+func TestRingUnderCapacity(t *testing.T) {
+	r := newRing(8)
+	for i := 0; i < 5; i++ {
+		r.append(Event{Op: int64(i)})
+	}
+	evs := r.events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.Op != int64(i) {
+			t.Errorf("event %d has op %d, want %d", i, e.Op, i)
+		}
+	}
+	if d := r.dropped(); d != 0 {
+		t.Errorf("dropped = %d, want 0", d)
+	}
+	if n := r.total(); n != 5 {
+		t.Errorf("total = %d, want 5", n)
+	}
+}
+
+// TestRingOverflowKeepsNewest is the ring's contract: once full it
+// overwrites its oldest events, keeps the newest in order and counts
+// exactly how many were lost.
+func TestRingOverflowKeepsNewest(t *testing.T) {
+	r := newRing(4)
+	const appended = 11
+	for i := 0; i < appended; i++ {
+		r.append(Event{Op: int64(i)})
+	}
+	evs := r.events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d retained events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		want := int64(appended - 4 + i) // the 4 newest, oldest-first
+		if e.Op != want {
+			t.Errorf("event %d has op %d, want %d", i, e.Op, want)
+		}
+	}
+	if d := r.dropped(); d != appended-4 {
+		t.Errorf("dropped = %d, want %d", d, appended-4)
+	}
+	if n := r.total(); n != appended {
+		t.Errorf("total = %d, want %d", n, appended)
+	}
+}
+
+func TestRingExactlyFull(t *testing.T) {
+	r := newRing(3)
+	for i := 0; i < 3; i++ {
+		r.append(Event{Op: int64(i)})
+	}
+	if d := r.dropped(); d != 0 {
+		t.Errorf("a full-but-not-wrapped ring reports %d dropped, want 0", d)
+	}
+	if evs := r.events(); len(evs) != 3 || evs[0].Op != 0 || evs[2].Op != 2 {
+		t.Errorf("events = %v", evs)
+	}
+}

@@ -1,0 +1,108 @@
+package obs_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"wfsort/internal/core"
+	"wfsort/internal/harness"
+	"wfsort/internal/model"
+	"wfsort/internal/native"
+	"wfsort/internal/obs"
+)
+
+// TestWatchdogFlagsPermanentStall injects a permanent stall
+// (Plan.BlockAt) into a native run and checks the watchdog flags the
+// blocked processor while it is still live. The monitor kills the
+// blocked pid once the violation is recorded so the run can complete —
+// which is also the operational loop the watchdog exists for.
+func TestWatchdogFlagsPermanentStall(t *testing.T) {
+	const n, p = 256, 4
+	keys := harness.MakeKeys(harness.InputRandom, n, 1)
+	var a model.Arena
+	s := core.NewSorter(&a, n, core.AllocRandomized)
+
+	// 3 x 10ms of stillness flags a stall. The healthy workers finish
+	// the whole sort well before the first poll, so only the blocked
+	// processor can be live-and-still; a tighter interval would risk
+	// flagging a healthy goroutine the OS descheduled on a loaded CI
+	// machine.
+	ob := obs.New(obs.Config{
+		SnapshotEvery:  16,
+		Watchdog:       10 * time.Millisecond,
+		StallIntervals: 3,
+	})
+	pl := native.NewPlan().BlockAt(1, 50)
+	rt := native.New(native.Config{
+		P: p, Mem: a.Size(), Seed: 1, Less: harness.LessFor(keys),
+		CountOps: true, Adversary: pl, Observer: ob,
+	})
+	s.Seed(rt.Memory())
+
+	go func() {
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			if len(ob.Violations()) > 0 {
+				rt.Kill(1)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		rt.Kill(1) // unwedge the run even if the watchdog never fired
+	}()
+
+	if _, err := rt.Run(s.Program()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	vs := ob.Violations()
+	if len(vs) == 0 {
+		t.Fatal("watchdog never flagged the blocked processor")
+	}
+	for _, v := range vs {
+		if v.PID != 1 {
+			t.Errorf("violation on pid %d, want only pid 1: %+v", v.PID, v)
+		}
+		if v.Stuck <= 0 {
+			t.Errorf("violation with non-positive stuck duration: %+v", v)
+		}
+	}
+	// The survivors must still have finished the sort.
+	ranks := s.Places(rt.Memory())
+	out := make([]int, n)
+	for i, r := range ranks {
+		out[r-1] = keys[i]
+	}
+	if !sort.IntsAreSorted(out) {
+		t.Error("survivors did not finish the sort")
+	}
+}
+
+// TestWatchdogSilentOnFaultlessRun runs clean with the watchdog armed:
+// no violations may appear, or the detector is useless noise.
+func TestWatchdogSilentOnFaultlessRun(t *testing.T) {
+	const n, p = 2048, 4
+	keys := harness.MakeKeys(harness.InputRandom, n, 2)
+	var a model.Arena
+	s := core.NewSorter(&a, n, core.AllocRandomized)
+
+	ob := obs.New(obs.Config{
+		SnapshotEvery:  16,
+		Watchdog:       20 * time.Millisecond,
+		StallIntervals: 5,
+	})
+	rt := native.New(native.Config{
+		P: p, Mem: a.Size(), Seed: 2, Less: harness.LessFor(keys), Observer: ob,
+	})
+	s.Seed(rt.Memory())
+	if _, err := rt.Run(s.Program()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if vs := ob.Violations(); len(vs) != 0 {
+		t.Fatalf("faultless run produced violations: %+v", vs)
+	}
+	snap := ob.Snapshot()
+	if !snap.Finished || snap.Events == 0 {
+		t.Errorf("snapshot after run: %+v", snap)
+	}
+}

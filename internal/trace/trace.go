@@ -86,20 +86,29 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// Metrics lists the series Chart can plot.
+func Metrics() []string { return []string{"contention", "active"} }
+
 // Chart renders a vertical-bar ASCII chart of one metric over time,
 // downsampled to width columns and scaled to height rows. metric
-// selects what is plotted ("contention" or "active").
+// selects what is plotted (one of Metrics); an unrecognized metric is
+// an error, not a silent fallback.
 func (r *Recorder) Chart(w io.Writer, metric string, width, height int) error {
 	if width < 1 || height < 1 {
 		return fmt.Errorf("trace: chart needs positive dimensions, got %dx%d", width, height)
 	}
+	var pick func(s Sample) int
+	switch metric {
+	case "contention":
+		pick = func(s Sample) int { return s.Contention }
+	case "active":
+		pick = func(s Sample) int { return s.Active }
+	default:
+		return fmt.Errorf("trace: unknown metric %q (valid: %s)", metric, strings.Join(Metrics(), ", "))
+	}
 	if len(r.samples) == 0 {
 		_, err := fmt.Fprintln(w, "(no samples)")
 		return err
-	}
-	pick := func(s Sample) int { return s.Contention }
-	if metric == "active" {
-		pick = func(s Sample) int { return s.Active }
 	}
 	cols, phases := r.downsample(width, pick)
 	maxV := 1

@@ -101,6 +101,26 @@ func TestChartEmptyAndBadDims(t *testing.T) {
 	}
 }
 
+// TestChartUnknownMetric pins the Chart contract: an unrecognized
+// metric is an error naming the valid ones, never a silent fallback to
+// contention.
+func TestChartUnknownMetric(t *testing.T) {
+	rec := record(t)
+	var buf bytes.Buffer
+	err := rec.Chart(&buf, "stepz", 10, 4)
+	if err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	for _, m := range Metrics() {
+		if !strings.Contains(err.Error(), m) {
+			t.Errorf("error %q should name valid metric %q", err, m)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("unknown metric should not chart anything, wrote:\n%s", buf.String())
+	}
+}
+
 func TestDownsampleWiderThanSeries(t *testing.T) {
 	rec := record(t)
 	cols, phases := rec.downsample(100, func(s Sample) int { return s.Active })

@@ -36,6 +36,7 @@ import (
 	"wfsort/internal/lowcont"
 	"wfsort/internal/model"
 	"wfsort/internal/native"
+	"wfsort/internal/obs"
 	"wfsort/internal/pram"
 )
 
@@ -118,12 +119,26 @@ func Layouts() []Layout { return []Layout{LayoutSharded, LayoutPadded, LayoutFla
 // Metrics re-exports the run cost report shared by both runtimes.
 type Metrics = model.Metrics
 
+// Observer re-exports the wait-free observability plane for the native
+// runtime: per-incarnation event rings, phase-latency histograms, a
+// Chrome/Perfetto trace exporter (WriteTrace) and a live Snapshot for
+// metrics endpoints. Create one per sort with NewObserver, install it
+// with WithObserver, and read it after SortFunc returns. Recording is
+// wait-free: each goroutine writes only its own preallocated ring, so
+// an installed observer never introduces a wait point.
+type Observer = obs.Observer
+
+// NewObserver returns an observability plane with default sizing,
+// ready to install on one sort via WithObserver.
+func NewObserver() *Observer { return obs.New(obs.Config{}) }
+
 type config struct {
-	workers int
-	variant Variant
-	layout  Layout
-	seed    uint64
-	sched   pram.Scheduler // simulation only
+	workers  int
+	variant  Variant
+	layout   Layout
+	seed     uint64
+	sched    pram.Scheduler // simulation only
+	observer *obs.Observer  // native only
 }
 
 // Option customizes a sort or simulation.
@@ -152,6 +167,15 @@ func WithLayout(l Layout) Option {
 // simulator runs exactly reproducible. Defaults to 0.
 func WithSeed(seed uint64) Option {
 	return func(c *config) { c.seed = seed }
+}
+
+// WithObserver installs an observability plane on the native run (see
+// Observer). Like the sort runtime itself, one Observer drives at most
+// one sort. When nil (the default) the recording hook costs a single
+// pointer compare per operation. Native only; Simulate ignores it —
+// the simulator's exact metrics come from the machine itself.
+func WithObserver(o *Observer) Option {
+	return func(c *config) { c.observer = o }
 }
 
 // WithSchedule sets the simulated schedule: asynchrony models,
@@ -251,7 +275,10 @@ func SortFunc[E any](data []E, less func(a, b E) bool, opts ...Option) error {
 	if err != nil {
 		return err
 	}
-	rt := native.New(native.Config{P: c.workers, Mem: a.Size(), Seed: c.seed, Less: idxLess})
+	rt := native.New(native.Config{
+		P: c.workers, Mem: a.Size(), Seed: c.seed, Less: idxLess,
+		Observer: c.observer,
+	})
 	runner.seed(rt.Memory())
 	if _, err := rt.Run(runner.program()); err != nil {
 		return err
