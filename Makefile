@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench benchgate benchgate-baseline chaos chaos-quick experiments experiments-quick stress obs fmt vet cover
+.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline sortd soak chaos chaos-quick experiments experiments-quick stress obs fmt vet cover
 
 all: vet test
 
@@ -20,6 +20,24 @@ benchgate:
 # Re-measure and overwrite the baseline (run on the reference machine).
 benchgate-baseline:
 	go run ./cmd/benchgate -write
+
+# Gate the serving layer against BENCH_serve.json: pooled-vs-fresh sort
+# throughput (geomean must stay >= 1.0x) and sortd request throughput,
+# faultless and with half the workers crash-stopped per sort.
+serve-gate:
+	go run ./cmd/benchgate -serve
+
+serve-gate-baseline:
+	go run ./cmd/benchgate -serve -write
+
+# The sort service: POST /sort on :8080, graceful drain on SIGTERM.
+sortd:
+	go run ./cmd/sortd
+
+# Long soak: concurrent clients, mixed sizes, worker churn mid-request,
+# then a drain that must come back clean. Race detector on.
+soak:
+	go test -race -run TestSoak -count=1 ./internal/server
 
 # Fault-injection sweep: adversary policies x P x layouts, certified
 # against the wait-freedom op ceiling, with pram/native differentials.

@@ -7,7 +7,11 @@
 // Usage:
 //
 //	benchgate [-baseline BENCH_native.json] [-out FILE] [-write]
-//	          [-quick] [-observed] [-runs 3] [-tolerance 0.10]
+//	          [-quick] [-observed] [-runs 3] [-tolerance 0.10] [-serve]
+//
+// With -serve the gate targets the serving layer instead (pooled vs
+// fresh sort throughput and sortd request throughput, baseline
+// BENCH_serve.json — see serve.go).
 //
 // Three gates run, strongest applicable first; all act on geometric
 // means over the whole matrix because individual wall-time cells are
@@ -126,8 +130,15 @@ func run(w io.Writer, args []string) error {
 	observed := fs.Bool("observed", false, "add observer-installed cells and gate the observer overhead")
 	runs := fs.Int("runs", 3, "timed runs per cell (best is kept)")
 	tol := fs.Float64("tolerance", 0.10, "allowed fractional throughput regression")
+	serve := fs.Bool("serve", false, "gate the serving layer (pooled vs fresh, sortd req/s) instead of the native matrix")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *serve {
+		if *baseline == "BENCH_native.json" {
+			*baseline = "BENCH_serve.json"
+		}
+		return runServe(w, *baseline, *out, *write, *quick, *runs, *tol)
 	}
 
 	// Read the baseline before measuring anything: a mistyped path

@@ -1,0 +1,443 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"wfsort"
+	"wfsort/internal/server"
+)
+
+// The -serve mode gates the serving layer the same way the default
+// mode gates the native fast path:
+//
+//   - pooled vs fresh sort throughput across a (P, N) matrix. The
+//     in-run geomean pooled/fresh ratio must stay >= 1: context
+//     pooling exists to beat rebuilding arenas, so the moment it stops
+//     paying for itself the gate fails (any host, no baseline needed).
+//   - sortd request throughput, faultless and with half the workers
+//     crash-stopped per sort (the wait-freedom serving claim measured:
+//     crash-half must still serve, and its req/s is tracked against
+//     the baseline).
+//   - against a comparable-host baseline (BENCH_serve.json), geomean
+//     sort throughput and request throughput must be within tolerance.
+//
+// In -quick mode everything still runs (correctness always verified)
+// but, as in the default mode, deviations are reported without
+// failing.
+
+// ServeResult is one cell of the serving matrix. Sort cells carry
+// ElemsPerSec; serve cells carry ReqPerSec.
+type ServeResult struct {
+	Mode        string  `json:"mode"` // pooled | fresh | serve | serve-crashhalf
+	P           int     `json:"p"`
+	N           int     `json:"n"`
+	ElemsPerSec float64 `json:"elems_per_sec,omitempty"`
+	ReqPerSec   float64 `json:"req_per_sec,omitempty"`
+	Runs        int     `json:"runs"`
+}
+
+func (r ServeResult) cell() string {
+	return fmt.Sprintf("%s/p%d/n%d", r.Mode, r.P, r.N)
+}
+
+// ServeReport is the BENCH_serve.json schema.
+type ServeReport struct {
+	Host    Host          `json:"host"`
+	Results []ServeResult `json:"results"`
+}
+
+func (r *ServeReport) index() map[string]ServeResult {
+	m := make(map[string]ServeResult, len(r.Results))
+	for _, res := range r.Results {
+		m[res.cell()] = res
+	}
+	return m
+}
+
+// runServe is the -serve entry point, sharing run's flag values.
+func runServe(w io.Writer, baseline, out string, write, quick bool, runs int, tol float64) error {
+	var base *ServeReport
+	if !write {
+		b, err := readServeReport(baseline)
+		if err != nil {
+			if !(quick && os.IsNotExist(err)) {
+				return fmt.Errorf("reading baseline: %w (run with -serve -write to create it)", err)
+			}
+		} else {
+			base = b
+		}
+	}
+
+	rep, err := measureServeMatrix(w, quick, runs)
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := writeServeReport(out, rep); err != nil {
+			return err
+		}
+	}
+	if write {
+		if err := writeServeReport(baseline, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "serve baseline written to %s (%d cells)\n", baseline, len(rep.Results))
+		return nil
+	}
+
+	failures := compareServe(base, rep, tol)
+	for _, f := range failures {
+		fmt.Fprintln(w, "REGRESSION:", f)
+	}
+	if quick {
+		fmt.Fprintf(w, "serve smoke passed: %d cells correct (%d perf deviations reported, not gated)\n",
+			len(rep.Results), len(failures))
+		return nil
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d serve gate(s) failed", len(failures))
+	}
+	fmt.Fprintf(w, "serve gate passed: %d cells (pooled/fresh geomean >= 1, baselines within %.0f%%)\n",
+		len(rep.Results), tol*100)
+	return nil
+}
+
+func measureServeMatrix(w io.Writer, quick bool, runs int) (*ServeReport, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	workers := []int{1, 4}
+	sizes := []int{1 << 12, 1 << 14, 1 << 16}
+	serveReqs := 400
+	if quick {
+		workers = []int{min(2, runtime.GOMAXPROCS(0)*2)}
+		sizes = []int{1 << 12, 1 << 14}
+		serveReqs = 80
+	}
+	rep := &ServeReport{Host: hostFingerprint()}
+	emit := func(r ServeResult, unit string, v float64) {
+		fmt.Fprintf(w, "%-26s %12.0f %s\n", r.cell(), v, unit)
+		rep.Results = append(rep.Results, r)
+	}
+	for _, p := range workers {
+		for _, n := range sizes {
+			pooled, fresh, err := measureSortPair(p, n, runs)
+			if err != nil {
+				return nil, err
+			}
+			emit(pooled, "elems/s", pooled.ElemsPerSec)
+			emit(fresh, "elems/s", fresh.ElemsPerSec)
+		}
+	}
+	for _, mode := range []string{"serve", "serve-crashhalf"} {
+		r, err := measureServeCell(mode, serveReqs, runs)
+		if err != nil {
+			return nil, err
+		}
+		emit(r, "req/s", r.ReqPerSec)
+	}
+	return rep, nil
+}
+
+// measureSortPair times sustained back-to-back sorts of one size
+// through both the reusable pooled Sorter and the fresh one-shot path,
+// alternating the two run by run so slow machine drift (thermal,
+// noisy-neighbor) biases neither side, and verifies every output. Each
+// timed run covers a whole batch of sorts so allocation and GC costs
+// land inside the window — a server never gets a free collection
+// between requests, so neither do these cells. (An earlier version
+// GC'd before each op, which quietly credited the fresh path with
+// exactly the work pooling removes.)
+func measureSortPair(p, n, runs int) (pooled, fresh ServeResult, err error) {
+	base := rand.New(rand.NewSource(int64(n) + int64(p))).Perm(n)
+	data := make([]int, n)
+	sorter, err := wfsort.NewSorter[int](wfsort.WithWorkers(p))
+	if err != nil {
+		return ServeResult{}, ServeResult{}, err
+	}
+	defer sorter.Close()
+
+	sortOnce := func(viaPool bool) error {
+		copy(data, base)
+		var err error
+		if viaPool {
+			err = sorter.Sort(data)
+		} else {
+			err = wfsort.Sort(data, wfsort.WithWorkers(p))
+		}
+		if err != nil {
+			return fmt.Errorf("p%d/n%d: %w", p, n, err)
+		}
+		if !sort.IntsAreSorted(data) {
+			return fmt.Errorf("p%d/n%d: output not sorted", p, n)
+		}
+		return nil
+	}
+	iters := max(8, 1<<17/n)
+	timeRun := func(viaPool bool) (time.Duration, error) {
+		runtime.GC() // start each run from the same heap state
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := sortOnce(viaPool); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	pooledTimes := make([]time.Duration, 0, runs)
+	freshTimes := make([]time.Duration, 0, runs)
+	for r := 0; r <= runs; r++ {
+		tp, err := timeRun(true)
+		if err != nil {
+			return ServeResult{}, ServeResult{}, err
+		}
+		tf, err := timeRun(false)
+		if err != nil {
+			return ServeResult{}, ServeResult{}, err
+		}
+		if r > 0 { // run 0 is warmup: pool classes built, heap shaped
+			pooledTimes = append(pooledTimes, tp)
+			freshTimes = append(freshTimes, tf)
+		}
+	}
+	work := float64(n) * float64(iters)
+	pooled = ServeResult{Mode: "pooled", P: p, N: n,
+		ElemsPerSec: work / median(pooledTimes).Seconds(), Runs: runs}
+	fresh = ServeResult{Mode: "fresh", P: p, N: n,
+		ElemsPerSec: work / median(freshTimes).Seconds(), Runs: runs}
+	return pooled, fresh, nil
+}
+
+// measureServeCell boots the sort service in-process and measures
+// request throughput from concurrent clients posting mixed-size
+// bodies. The crash-half mode fail-stops half of each sort's workers,
+// so its number is the paper's serving claim measured: the service
+// keeps answering correctly at a bounded discount.
+func measureServeCell(mode string, reqs, runs int) (ServeResult, error) {
+	const p = 4
+	cfg := server.Config{
+		Workers:     p,
+		MaxInFlight: 64,
+		BatchWindow: time.Millisecond,
+	}
+	if mode == "serve-crashhalf" {
+		cfg.Options = []wfsort.Option{wfsort.WithCrashes(0.5, 0), wfsort.WithSeed(7)}
+	}
+	times := make([]time.Duration, 0, runs)
+	for r := 0; r <= runs; r++ {
+		srv, err := server.New(cfg)
+		if err != nil {
+			return ServeResult{}, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		elapsed, err := driveClients(ts.URL, reqs)
+		ts.Close()
+		srv.Shutdown(context.Background()) // no deadline: the drain must complete
+		if err != nil {
+			return ServeResult{}, fmt.Errorf("%s: %w", mode, err)
+		}
+		if r > 0 {
+			times = append(times, elapsed)
+		}
+	}
+	return ServeResult{
+		Mode: mode, P: p, N: reqs,
+		ReqPerSec: float64(reqs) / median(times).Seconds(),
+		Runs:      runs,
+	}, nil
+}
+
+// driveClients posts reqs sort requests from 4 concurrent clients and
+// verifies every response body.
+func driveClients(url string, reqs int) (time.Duration, error) {
+	const clients = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < reqs/clients; i++ {
+				n := 64
+				if i%3 == 0 {
+					n = 4096
+				}
+				keys := make([]int64, n)
+				for k := range keys {
+					keys[k] = int64(rng.Intn(10000))
+				}
+				body, _ := json.Marshal(map[string]any{"keys": keys})
+				resp, err := http.Post(url+"/sort", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var out struct {
+					Sorted []int64 `json:"sorted"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+				if len(out.Sorted) != n || !sort.SliceIsSorted(out.Sorted, func(a, b int) bool {
+					return out.Sorted[a] < out.Sorted[b]
+				}) {
+					errCh <- fmt.Errorf("bad response body (n=%d)", len(out.Sorted))
+					return
+				}
+			}
+			errCh <- nil
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		if err := <-errCh; err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// compareServe runs the serve gates. The pooled/fresh >= 1 gate needs
+// no baseline; the others engage when one is present.
+func compareServe(base, cur *ServeReport, tol float64) []string {
+	var failures []string
+	ci := cur.index()
+
+	// Gate 1, in-run and unconditional: geomean pooled/fresh >= 1.
+	var logSum float64
+	cells := 0
+	worst, worstCell := math.Inf(1), ""
+	for _, c := range cur.Results {
+		if c.Mode != "pooled" {
+			continue
+		}
+		f, ok := ci[ServeResult{Mode: "fresh", P: c.P, N: c.N}.cell()]
+		if !ok || f.ElemsPerSec <= 0 {
+			continue
+		}
+		ratio := c.ElemsPerSec / f.ElemsPerSec
+		logSum += math.Log(ratio)
+		cells++
+		if ratio < worst {
+			worst, worstCell = ratio, fmt.Sprintf("p%d/n%d (%.2fx)", c.P, c.N, ratio)
+		}
+	}
+	if cells > 0 {
+		if g := math.Exp(logSum / float64(cells)); g < 1 {
+			failures = append(failures, fmt.Sprintf(
+				"pooled/fresh: geomean %.2fx < 1.00x over %d cells (worst %s) — pooling no longer pays for itself",
+				g, cells, worstCell))
+		}
+	}
+
+	if base == nil {
+		return failures
+	}
+	bi := base.index()
+
+	// Gate 2 (comparable hosts): absolute geomeans within tolerance,
+	// sort cells and serve cells each as their own gate.
+	if base.Host.comparable(cur.Host) {
+		for _, kind := range []struct {
+			name string
+			pick func(ServeResult) float64
+		}{
+			{"sort throughput", func(r ServeResult) float64 { return r.ElemsPerSec }},
+			{"request throughput", func(r ServeResult) float64 { return r.ReqPerSec }},
+		} {
+			logSum, cells = 0, 0
+			worst, worstCell = 1.0, ""
+			for _, c := range cur.Results {
+				b, ok := bi[c.cell()]
+				if !ok || kind.pick(b) <= 0 || kind.pick(c) <= 0 {
+					continue
+				}
+				change := kind.pick(c) / kind.pick(b)
+				logSum += math.Log(change)
+				cells++
+				if change < worst {
+					worst, worstCell = change, c.cell()
+				}
+			}
+			if cells > 0 {
+				if g := math.Exp(logSum / float64(cells)); g < 1-tol {
+					failures = append(failures, fmt.Sprintf(
+						"%s: geomean %.1f%% below baseline over %d cells (worst %s at %.1f%%)",
+						kind.name, 100*(1-g), cells, worstCell, 100*(1-worst)))
+				}
+			}
+		}
+	}
+
+	// Gate 3 (any host): the pooled/fresh ratio's change vs baseline.
+	logSum, cells = 0, 0
+	worst, worstCell = 1.0, ""
+	for _, c := range cur.Results {
+		if c.Mode != "pooled" {
+			continue
+		}
+		freshCell := ServeResult{Mode: "fresh", P: c.P, N: c.N}.cell()
+		cf, okCF := ci[freshCell]
+		bp, okBP := bi[c.cell()]
+		bf, okBF := bi[freshCell]
+		if !okCF || !okBP || !okBF || cf.ElemsPerSec <= 0 || bf.ElemsPerSec <= 0 || bp.ElemsPerSec <= 0 {
+			continue
+		}
+		change := (c.ElemsPerSec / cf.ElemsPerSec) / (bp.ElemsPerSec / bf.ElemsPerSec)
+		logSum += math.Log(change)
+		cells++
+		if change < worst {
+			worst, worstCell = change, fmt.Sprintf("p%d/n%d", c.P, c.N)
+		}
+	}
+	if cells > 0 {
+		if g := math.Exp(logSum / float64(cells)); g < 1-tol {
+			failures = append(failures, fmt.Sprintf(
+				"ratio pooled/fresh vs baseline: geomean %.1f%% below over %d cells (worst %s)",
+				100*(1-g), cells, worstCell))
+		}
+	}
+	return failures
+}
+
+func readServeReport(path string) (*ServeReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ServeReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func writeServeReport(path string, r *ServeReport) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

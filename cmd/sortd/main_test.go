@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSortdServesAndDrains boots the daemon on a random port, sorts
+// through it, then cancels the context and expects a clean drain.
+func TestSortdServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-churn", "1"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("sortd exited early: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("sortd never became ready")
+	}
+
+	keys := []int64{9, 2, 7, 2, 5, 1, 9, 0}
+	body, _ := json.Marshal(map[string]any{"keys": keys})
+	resp, err := http.Post("http://"+addr+"/sort", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Sorted []int64 `json:"sorted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if sr.Sorted[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", sr.Sorted, want)
+		}
+	}
+
+	if resp, err := http.Get("http://" + addr + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v / %v", err, resp)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v (output: %s)", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sortd did not drain")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("no drain confirmation in output: %s", out.String())
+	}
+}
+
+// TestSortdRejectsBadFlags locks the flag validation.
+func TestSortdRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-variant", "bogus"}, &out, nil); err == nil {
+		t.Fatal("bogus variant accepted")
+	}
+	if err := run(context.Background(), []string{"-crash-frac", "1.5"}, &out, nil); err == nil {
+		t.Fatal("crash fraction above 1 accepted")
+	}
+}

@@ -2,11 +2,18 @@ package wfsort_test
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"wfsort"
 	"wfsort/internal/chaos"
+	"wfsort/internal/server"
 )
 
 // FuzzSort feeds arbitrary byte strings through the full native sort
@@ -119,6 +126,180 @@ func FuzzSimulate(f *testing.F) {
 			if res.Ranks[i] != pos+1 {
 				t.Fatalf("p=%d v=%v keys=%v: element %d rank %d, want %d",
 					p, v, keys, i+1, res.Ranks[i], pos+1)
+			}
+		}
+	})
+}
+
+// fuzzSrv is the process-wide sort service under fuzz: one server per
+// fuzz worker process, exercised through its Handler without a network
+// listener. The small MaxKeys makes the 413 path reachable by
+// fuzzer-grown bodies.
+var (
+	fuzzSrvOnce sync.Once
+	fuzzSrv     *server.Server
+	fuzzSrvErr  error
+)
+
+func fuzzServer() (*server.Server, error) {
+	fuzzSrvOnce.Do(func() {
+		fuzzSrv, fuzzSrvErr = server.New(server.Config{
+			Workers:      2,
+			MaxInFlight:  4,
+			MaxKeys:      2048,
+			BatchMaxKeys: 64,
+			BatchWindow:  200 * time.Microsecond,
+			Timeout:      2 * time.Second,
+		})
+	})
+	return fuzzSrv, fuzzSrvErr
+}
+
+// FuzzServer throws arbitrary bodies at the sort endpoint — malformed
+// JSON, wrong shapes, zero and huge key counts, duplicate-heavy keys —
+// plus mid-request cancellations, and checks the service's contract:
+// no panic, only documented status codes, and every 200 carries a
+// stable sort of exactly the keys posted.
+func FuzzServer(f *testing.F) {
+	f.Add([]byte(`{"keys":[3,1,2]}`), uint8(0), uint16(0))
+	f.Add([]byte(`{"keys":[]}`), uint8(0), uint16(0))
+	f.Add([]byte(`{"keys":[5,5,5,5,5,5,5,5]}`), uint8(0), uint16(0))
+	f.Add([]byte(`{`), uint8(0), uint16(0))
+	f.Add([]byte(`null`), uint8(0), uint16(0))
+	f.Add([]byte(`{"keys":"nope"}`), uint8(0), uint16(0))
+	f.Add([]byte(`{"keys":[1e999]}`), uint8(0), uint16(0))
+	f.Add([]byte(`{"keys":null,"pad":"x"}`), uint8(0), uint16(0))
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(1), uint16(40))
+	f.Add(bytes.Repeat([]byte{1, 200}, 300), uint8(1), uint16(0))
+	f.Add([]byte{1, 2, 3}, uint8(2), uint16(10))
+	f.Fuzz(func(t *testing.T, raw []byte, mode uint8, cancelAfterUS uint16) {
+		srv, err := fuzzServer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := srv.Handler()
+
+		var body []byte
+		var keys []int64
+		switch mode % 3 {
+		case 0: // raw body verbatim: the malformed-input plane
+			body = raw
+		default: // well-formed request built from the bytes
+			keys = make([]int64, len(raw))
+			for i, b := range raw {
+				keys[i] = int64(int8(b)) // signed: negatives and duplicates
+			}
+			body, _ = json.Marshal(map[string]any{"keys": keys})
+		}
+
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if mode%3 == 2 { // mid-request cancellation
+			ctx, cancel = context.WithCancel(ctx)
+			go func(d time.Duration) {
+				time.Sleep(d)
+				cancel()
+			}(time.Duration(cancelAfterUS) * time.Microsecond)
+			defer cancel()
+		}
+
+		req := httptest.NewRequest("POST", "/sort", bytes.NewReader(body)).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic, whatever the body
+
+		switch rec.Code {
+		case http.StatusOK:
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+			http.StatusTooManyRequests, http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout:
+			return
+		default:
+			t.Fatalf("undocumented status %d for body %q", rec.Code, body)
+		}
+		if keys == nil {
+			// A raw body that happened to parse: decode it the same way
+			// the server does so the multiset check below still applies.
+			var req sortRequestShape
+			if json.Unmarshal(body, &req) != nil {
+				return
+			}
+			keys = req.Keys
+		}
+		var resp struct {
+			Sorted []int64 `json:"sorted"`
+			N      int     `json:"n"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("unparseable 200 body %q: %v", rec.Body.Bytes(), err)
+		}
+		if resp.N != len(keys) || len(resp.Sorted) != len(keys) {
+			t.Fatalf("200 for %d keys returned n=%d len=%d", len(keys), resp.N, len(resp.Sorted))
+		}
+		want := append([]int64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if resp.Sorted[i] != want[i] {
+				t.Fatalf("sorted[%d] = %d, want %d (keys %v)", i, resp.Sorted[i], want[i], keys)
+			}
+		}
+	})
+}
+
+// sortRequestShape mirrors the server's request schema for the
+// fuzzer's own decoding.
+type sortRequestShape struct {
+	Keys []int64 `json:"keys"`
+}
+
+// fuzzReuseSorter is the process-wide pooled sorter under fuzz: state
+// leaking from one sort into the next is exactly what this fuzzer
+// hunts, so every exec shares it.
+var (
+	fuzzSorterOnce sync.Once
+	fuzzSorter     *wfsort.Sorter[int]
+	fuzzSorterErr  error
+)
+
+// FuzzSorterReuse drives one shared pooled Sorter with back-to-back
+// sorts of fuzzer-chosen sizes (crossing the fresh cutoff and class
+// boundaries via the replication factor) and verifies each result
+// independently: any residue a sort leaves in a pooled context shows
+// up as a wrong answer on a later, differently-sized sort.
+func FuzzSorterReuse(f *testing.F) {
+	f.Add([]byte{3, 1, 2}, uint16(1))
+	f.Add([]byte{255, 0, 128}, uint16(200))
+	f.Add(bytes.Repeat([]byte{7}, 50), uint16(11))
+	f.Add([]byte{9, 8, 7, 6, 5}, uint16(900))
+	f.Add([]byte{}, uint16(5))
+	f.Fuzz(func(t *testing.T, raw []byte, rep uint16) {
+		fuzzSorterOnce.Do(func() {
+			fuzzSorter, fuzzSorterErr = wfsort.NewSorter[int](wfsort.WithWorkers(4))
+		})
+		if fuzzSorterErr != nil {
+			t.Fatal(fuzzSorterErr)
+		}
+		// Replicate the seed bytes to reach real pool classes (and odd
+		// sizes that exercise virtual padding), capped to keep execs fast.
+		n := len(raw) * (int(rep)%40 + 1)
+		if n > 5000 {
+			n = 5000
+		}
+		data := make([]int, n)
+		for i := range data {
+			data[i] = int(int8(raw[i%len(raw)])) + i%3 // mild value churn per copy
+		}
+		want := append([]int(nil), data...)
+		sort.Ints(want)
+
+		for round := 0; round < 2; round++ { // twice: reuse the context just filled
+			got := append([]int(nil), data...)
+			if err := fuzzSorter.Sort(got); err != nil {
+				t.Fatalf("round %d (n=%d): %v", round, n, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("round %d (n=%d): position %d = %d, want %d", round, n, i, got[i], want[i])
+				}
 			}
 		}
 	})

@@ -1,6 +1,12 @@
 package wfsort_test
 
 import (
+	"bytes"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
 	"testing"
 
 	"wfsort"
@@ -86,6 +92,192 @@ func TestSeedChangesExecution(t *testing.T) {
 	for i := range a.Ranks {
 		if a.Ranks[i] != b.Ranks[i] {
 			t.Fatalf("ranks differ across seeds at %d", i)
+		}
+	}
+}
+
+// goldenInputs enumerates the degenerate and adversarial input shapes
+// every variant and layout must handle: empty, singleton, all-equal
+// (one giant tie group), pre-sorted, reverse-sorted, and a fixed
+// pseudo-random permutation. The generator is a hand-rolled LCG so the
+// goldens cannot shift under a library RNG change.
+func goldenInputs(n int) map[string][]int {
+	if n == 0 {
+		return map[string][]int{"empty": {}}
+	}
+	if n == 1 {
+		return map[string][]int{"single": {42}}
+	}
+	random := make([]int, n)
+	x := uint32(12345)
+	for i := range random {
+		x = x*1664525 + 1013904223
+		random[i] = int(x % 1000)
+	}
+	equal := make([]int, n)
+	for i := range equal {
+		equal[i] = 7
+	}
+	sorted := make([]int, n)
+	for i := range sorted {
+		sorted[i] = i
+	}
+	reverse := make([]int, n)
+	for i := range reverse {
+		reverse[i] = n - i
+	}
+	return map[string][]int{
+		"random": random, "equal": equal, "sorted": sorted, "reverse": reverse,
+	}
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata goldens from current behavior")
+
+// TestGoldenMatrix locks the simulator's exact behavior — every metric
+// and every rank — across the Variant x input-shape x N matrix into a
+// byte-identical golden file. Any intentional behavior change reruns
+// with -update and reviews the diff; anything else is a regression.
+func TestGoldenMatrix(t *testing.T) {
+	variants := []struct {
+		name string
+		v    wfsort.Variant
+	}{
+		{"deterministic", wfsort.Deterministic},
+		{"randomized", wfsort.Randomized},
+		{"lowcontention", wfsort.LowContention},
+	}
+	var buf bytes.Buffer
+	for _, n := range []int{0, 1, 16, 128} {
+		inputs := goldenInputs(n)
+		names := make([]string, 0, len(inputs))
+		for name := range inputs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			for _, v := range variants {
+				res, err := wfsort.Simulate(inputs[name],
+					wfsort.WithVariant(v.v), wfsort.WithWorkers(8), wfsort.WithSeed(7))
+				if err != nil {
+					t.Fatalf("%s/%s/n%d: %v", v.name, name, n, err)
+				}
+				h := fnv.New64a()
+				for _, r := range res.Ranks {
+					fmt.Fprintf(h, "%d,", r)
+				}
+				m := res.Metrics
+				fmt.Fprintf(&buf,
+					"v=%s in=%s n=%d steps=%d ops=%d reads=%d writes=%d cas=%d casfail=%d maxcont=%d stalls=%d depth=%d ranks=%016x\n",
+					v.name, name, n, m.Steps, m.Ops, m.Reads, m.Writes, m.CASes,
+					m.CASFailures, m.MaxContention, m.Stalls, res.TreeDepth, h.Sum64())
+				checkRanks(t, inputs[name], res.Ranks)
+			}
+		}
+	}
+
+	const path = "testdata/golden_sim.txt"
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("simulator behavior diverged from %s.\ngot:\n%s\nwant:\n%s\n(rerun with -update only if the change is intentional)",
+			path, buf.Bytes(), want)
+	}
+}
+
+// checkRanks verifies ranks are a permutation of 1..n consistent with
+// a stable sort of keys.
+func checkRanks(t *testing.T, keys []int, ranks []int) {
+	t.Helper()
+	n := len(keys)
+	if len(ranks) != n {
+		t.Fatalf("got %d ranks for %d keys", len(ranks), n)
+	}
+	byRank := make([]int, n) // byRank[r-1] = element index i (0-based)
+	seen := make([]bool, n)
+	for i, r := range ranks {
+		if r < 1 || r > n || seen[r-1] {
+			t.Fatalf("bad rank %d for element %d", r, i)
+		}
+		seen[r-1] = true
+		byRank[r-1] = i
+	}
+	for r := 1; r < n; r++ {
+		a, b := byRank[r-1], byRank[r]
+		if keys[a] > keys[b] || (keys[a] == keys[b] && a > b) {
+			t.Fatalf("rank order broken at rank %d: keys[%d]=%d before keys[%d]=%d",
+				r, a, keys[a], b, keys[b])
+		}
+	}
+}
+
+// TestSimulateLayoutInvariant pins the contract that WithLayout tunes
+// the native arena only: the simulator's execution — cost metrics and
+// ranks — must be bit-identical whatever layout is requested.
+func TestSimulateLayoutInvariant(t *testing.T) {
+	keys := goldenInputs(128)["random"]
+	base, err := wfsort.Simulate(keys, wfsort.WithWorkers(16), wfsort.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []wfsort.Layout{wfsort.LayoutSharded, wfsort.LayoutPadded, wfsort.LayoutFlat} {
+		got, err := wfsort.Simulate(keys, wfsort.WithWorkers(16), wfsort.WithSeed(3), wfsort.WithLayout(l))
+		if err != nil {
+			t.Fatalf("layout %v: %v", l, err)
+		}
+		g, b := got.Metrics, base.Metrics
+		if g.Steps != b.Steps || g.Ops != b.Ops || g.Reads != b.Reads ||
+			g.Writes != b.Writes || g.CASes != b.CASes || g.CASFailures != b.CASFailures ||
+			g.MaxContention != b.MaxContention || got.TreeDepth != base.TreeDepth {
+			t.Errorf("layout %v changed simulation: %+v vs %+v", l, g, b)
+		}
+		for i := range base.Ranks {
+			if got.Ranks[i] != base.Ranks[i] {
+				t.Fatalf("layout %v changed ranks at %d", l, i)
+			}
+		}
+	}
+}
+
+// TestNativeMatrix runs the native runtime over the full Variant x
+// Layout x input-shape matrix and verifies sorted, stable output. The
+// native runtime races real goroutines, so there is no golden — the
+// invariants are the contract.
+func TestNativeMatrix(t *testing.T) {
+	type rec struct{ key, pos int }
+	variants := []wfsort.Variant{wfsort.Deterministic, wfsort.Randomized, wfsort.LowContention}
+	layouts := []wfsort.Layout{wfsort.LayoutSharded, wfsort.LayoutPadded, wfsort.LayoutFlat}
+	for _, n := range []int{0, 1, 16, 128} {
+		for name, keys := range goldenInputs(n) {
+			for _, v := range variants {
+				for _, l := range layouts {
+					data := make([]rec, n)
+					for i, k := range keys {
+						data[i] = rec{key: k, pos: i}
+					}
+					err := wfsort.SortFunc(data, func(a, b rec) bool { return a.key < b.key },
+						wfsort.WithVariant(v), wfsort.WithLayout(l), wfsort.WithWorkers(4))
+					if err != nil {
+						t.Fatalf("%v/%v/%s/n%d: %v", v, l, name, n, err)
+					}
+					for i := 1; i < n; i++ {
+						if data[i-1].key > data[i].key {
+							t.Fatalf("%v/%v/%s/n%d: unsorted at %d", v, l, name, n, i)
+						}
+						if data[i-1].key == data[i].key && data[i-1].pos > data[i].pos {
+							t.Fatalf("%v/%v/%s/n%d: unstable at %d", v, l, name, n, i)
+						}
+					}
+				}
+			}
 		}
 	}
 }

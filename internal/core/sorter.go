@@ -626,10 +626,19 @@ func (s *Sorter) findPlace(p model.Proc, i int, sub Word, d int, st *descentStat
 // Places(mem)[i-1] is element i's position in sorted order.
 func (s *Sorter) Places(mem []Word) []int {
 	ranks := make([]int, s.n)
-	for i := 1; i <= s.n; i++ {
-		ranks[i-1] = int(mem[s.place.At(i)])
-	}
+	s.PlacesInto(mem, ranks)
 	return ranks
+}
+
+// PlacesInto is Places without the allocation: it fills dst[i-1] with
+// element i's rank for the first min(n, len(dst)) elements. The pooled
+// serving layer (internal/pool) calls it with a context-owned scratch
+// slice so steady-state sorts never allocate rank tables.
+func (s *Sorter) PlacesInto(mem []Word, dst []int) {
+	n := min(s.n, len(dst))
+	for i := 1; i <= n; i++ {
+		dst[i-1] = int(mem[s.place.At(i)])
+	}
 }
 
 // Progress reports, host-side, how far a run got through phases 2 and

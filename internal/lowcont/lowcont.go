@@ -231,6 +231,9 @@ func (s *Sorter) Sort(p model.Proc) {
 // Places extracts every element's final 1-based rank after a run.
 func (s *Sorter) Places(mem []Word) []int { return s.table.Places(mem) }
 
+// PlacesInto is Places without the allocation (see core.Sorter.PlacesInto).
+func (s *Sorter) PlacesInto(mem []Word, dst []int) { s.table.PlacesInto(mem, dst) }
+
 // Progress reports, host-side, how many elements have an installed
 // subtree size and rank — the same certifier-facing counters the §2
 // sorter surfaces (see core.Sorter.Progress).

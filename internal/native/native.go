@@ -60,13 +60,28 @@ type Config struct {
 	Observer *obs.Observer
 }
 
+// runState is the execution state proc methods touch on every
+// shared-memory operation. It is factored out of Runtime so the two
+// drivers — the single-use Runtime below and the resident Team in
+// team.go — share one proc implementation: the Team swaps the
+// per-job fields (mem, less, adversary) between jobs while all its
+// workers are quiescent, then reuses the same kill flags and counters.
+type runState struct {
+	mem       []Word
+	kill      []atomic.Bool
+	ops       []paddedCounter
+	p         int
+	less      func(i, j int) bool
+	countOps  bool
+	adversary model.Adversary
+	stalls    *atomic.Int64
+}
+
 // Runtime executes one Program on P goroutines. Create with New; a
 // Runtime is single-use.
 type Runtime struct {
 	cfg   Config
-	mem   []Word
-	kill  []atomic.Bool
-	ops   []paddedCounter
+	st    runState
 	ran   bool
 	start time.Time
 
@@ -101,25 +116,33 @@ func New(cfg Config) *Runtime {
 	if cfg.Less == nil {
 		cfg.Less = func(i, j int) bool { return i < j }
 	}
-	return &Runtime{
+	r := &Runtime{
 		cfg:    cfg,
-		mem:    make([]Word, cfg.Mem),
-		kill:   make([]atomic.Bool, cfg.P),
-		ops:    make([]paddedCounter, cfg.P),
 		deaths: make([]int, cfg.P),
 		opsAt:  make([]int64, cfg.P),
 	}
+	r.st = runState{
+		mem:       make([]Word, cfg.Mem),
+		kill:      make([]atomic.Bool, cfg.P),
+		ops:       make([]paddedCounter, cfg.P),
+		p:         cfg.P,
+		less:      cfg.Less,
+		countOps:  cfg.CountOps,
+		adversary: cfg.Adversary,
+		stalls:    &r.stalls,
+	}
+	return r
 }
 
 // Memory returns the shared memory. Reading it is only safe before Run
 // starts and after Run returns.
-func (r *Runtime) Memory() []Word { return r.mem }
+func (r *Runtime) Memory() []Word { return r.st.mem }
 
 // Kill marks processor pid for termination: its next shared-memory
 // operation unwinds the Program. Safe to call concurrently with Run —
 // that is its purpose (reaping a sorting thread mid-run, §1 of the
 // paper).
-func (r *Runtime) Kill(pid int) { r.kill[pid].Store(true) }
+func (r *Runtime) Kill(pid int) { r.st.kill[pid].Store(true) }
 
 // Run executes prog on P goroutines and blocks until all have returned
 // or been killed. The returned metrics carry op counts (if enabled),
@@ -170,10 +193,10 @@ func (r *Runtime) Run(prog model.Program) (*model.Metrics, error) {
 		InjectedStalls: r.stalls.Load(),
 	}
 	if r.cfg.CountOps {
-		for i := range r.ops {
-			met.Ops += atomic.LoadInt64(&r.ops[i].n)
-			met.CASes += atomic.LoadInt64(&r.ops[i].cas)
-			met.CASFailures += atomic.LoadInt64(&r.ops[i].casFails)
+		for i := range r.st.ops {
+			met.Ops += atomic.LoadInt64(&r.st.ops[i].n)
+			met.CASes += atomic.LoadInt64(&r.st.ops[i].cas)
+			met.CASFailures += atomic.LoadInt64(&r.st.ops[i].casFails)
 		}
 	}
 	if ob := r.cfg.Observer; ob != nil {
@@ -192,7 +215,7 @@ func (r *Runtime) spawnLocked(pid int, startOps int64) {
 	r.live++
 	r.wg.Add(1)
 	rng := r.root.Fork(uint64(pid) | uint64(r.respawn)<<32)
-	pr := &proc{rt: r, id: pid, rng: rng, n: startOps}
+	pr := &proc{st: &r.st, id: pid, rng: rng, n: startOps}
 	if ob := r.cfg.Observer; ob != nil {
 		pr.ob = ob.StartIncarnation(pid, startOps)
 	}
@@ -208,7 +231,7 @@ func (r *Runtime) spawnLocked(pid int, startOps int64) {
 			if _, wasKill := rec.(model.Killed); wasKill {
 				r.deaths[pid]++
 				if rs, ok := r.cfg.Adversary.(Respawner); ok && rs.Respawn(pid, r.deaths[pid]) {
-					r.kill[pid].Store(false)
+					r.st.kill[pid].Store(false)
 					r.respawn++
 					r.spawnLocked(pid, pr.n)
 				}
@@ -242,7 +265,7 @@ func (r *Runtime) Respawn(pid int) error {
 	if !r.ran || r.live == 0 {
 		return errors.New("native: respawn needs a run in flight with live workers")
 	}
-	r.kill[pid].Store(false)
+	r.st.kill[pid].Store(false)
 	r.respawn++
 	r.spawnLocked(pid, r.opsAt[pid])
 	return nil
@@ -256,14 +279,15 @@ func (r *Runtime) Respawn(pid int) error {
 func (r *Runtime) OpsPerProc() []int64 {
 	out := make([]int64, r.cfg.P)
 	for i := range out {
-		out[i] = atomic.LoadInt64(&r.ops[i].n)
+		out[i] = atomic.LoadInt64(&r.st.ops[i].n)
 	}
 	return out
 }
 
-// proc implements model.Proc over atomic operations.
+// proc implements model.Proc over atomic operations. It is backed by a
+// runState, which either a single-use Runtime or a resident Team owns.
 type proc struct {
-	rt  *Runtime
+	st  *runState
 	id  int
 	rng *xrand.Rand
 	n   int64        // cumulative op ordinal, the adversary's per-processor clock
@@ -273,14 +297,14 @@ type proc struct {
 var _ model.Proc = (*proc)(nil)
 
 func (p *proc) ID() int       { return p.id }
-func (p *proc) NumProcs() int { return p.rt.cfg.P }
+func (p *proc) NumProcs() int { return p.st.p }
 
 func (p *proc) pre() {
-	if p.rt.kill[p.id].Load() {
+	if p.st.kill[p.id].Load() {
 		p.die()
 	}
 	p.n++
-	if ad := p.rt.cfg.Adversary; ad != nil {
+	if ad := p.st.adversary; ad != nil {
 		f := ad.Strike(p.id, p.n)
 		switch f.Action {
 		case model.FaultKill:
@@ -288,7 +312,7 @@ func (p *proc) pre() {
 			// crash replaces the victim's pending op.
 			p.die()
 		case model.FaultStall:
-			p.rt.stalls.Add(1)
+			p.st.stalls.Add(1)
 			if p.ob != nil {
 				p.ob.Stall(p.n, f.StallOps)
 			}
@@ -299,18 +323,18 @@ func (p *proc) pre() {
 			// The limit case of a stall: stop advancing but stay live
 			// until killed — the fault the obs watchdog exists to
 			// catch. Poll the kill flag (never spin-starve a core).
-			p.rt.stalls.Add(1)
+			p.st.stalls.Add(1)
 			if p.ob != nil {
 				p.ob.Stall(p.n, -1)
 			}
-			for !p.rt.kill[p.id].Load() {
+			for !p.st.kill[p.id].Load() {
 				time.Sleep(200 * time.Microsecond)
 			}
 			p.die()
 		}
 	}
-	if p.rt.cfg.CountOps {
-		atomic.AddInt64(&p.rt.ops[p.id].n, 1)
+	if p.st.countOps {
+		atomic.AddInt64(&p.st.ops[p.id].n, 1)
 	}
 	if p.ob != nil {
 		p.ob.Op(p.n)
@@ -327,21 +351,21 @@ func (p *proc) die() {
 
 func (p *proc) Read(a int) Word {
 	p.pre()
-	return atomic.LoadInt64(&p.rt.mem[a])
+	return atomic.LoadInt64(&p.st.mem[a])
 }
 
 func (p *proc) Write(a int, v Word) {
 	p.pre()
-	atomic.StoreInt64(&p.rt.mem[a], v)
+	atomic.StoreInt64(&p.st.mem[a], v)
 }
 
 func (p *proc) CAS(a int, old, new Word) bool {
 	p.pre()
-	ok := atomic.CompareAndSwapInt64(&p.rt.mem[a], old, new)
-	if p.rt.cfg.CountOps {
-		atomic.AddInt64(&p.rt.ops[p.id].cas, 1)
+	ok := atomic.CompareAndSwapInt64(&p.st.mem[a], old, new)
+	if p.st.countOps {
+		atomic.AddInt64(&p.st.ops[p.id].cas, 1)
 		if !ok {
-			atomic.AddInt64(&p.rt.ops[p.id].casFails, 1)
+			atomic.AddInt64(&p.st.ops[p.id].casFails, 1)
 		}
 	}
 	if !ok && p.ob != nil {
@@ -358,7 +382,7 @@ func (p *proc) Less(i, j int) bool {
 	if i == j {
 		return false
 	}
-	return p.rt.cfg.Less(i, j)
+	return p.st.less(i, j)
 }
 
 func (p *proc) Rand() *model.Rng { return p.rng }

@@ -1,0 +1,313 @@
+package native
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfsort/internal/model"
+	"wfsort/internal/obs"
+	"wfsort/internal/xrand"
+)
+
+// Team is a resident crew of P worker goroutines that executes
+// successive programs without respawning its workers: the serving
+// layer's counterpart to the single-use Runtime. Each job brings its
+// own memory, ordering and (optionally) adversary/observer; between
+// jobs the workers are parked on their job channels, so steady-state
+// sorts pay no goroutine spawns and reuse the team's kill flags and
+// counters.
+//
+// A Team runs one job at a time; Start panics if a job is already in
+// flight (the pooling layer above serializes access to each team).
+// Within a job the fault semantics match the Runtime exactly: a killed
+// worker unwinds the program, may be revived by a Respawner adversary
+// with its op ordinal carried across incarnations, and — because the
+// goroutine itself survives the unwind — is back at full strength for
+// the next job regardless of how the previous one treated it.
+type Team struct {
+	p        int
+	countOps bool
+	st       runState
+	stalls   atomic.Int64
+	jobs     []chan *teamJob
+	workers  sync.WaitGroup
+
+	mu     sync.Mutex
+	cur    *teamJob
+	closed bool
+}
+
+// TeamJob describes one program execution on a team.
+type TeamJob struct {
+	// Prog is the program every worker runs.
+	Prog model.Program
+	// Mem is the job's shared memory (the pooled context's arena).
+	Mem []Word
+	// Less is the input order consulted by Proc.Less; nil compares
+	// element indices.
+	Less func(i, j int) bool
+	// Seed determines per-worker RNG streams for this job.
+	Seed uint64
+	// Adversary, when non-nil, is the per-job fault plane (see
+	// Config.Adversary). If it also implements Respawner, killed
+	// workers re-enter the program with fresh incarnations.
+	Adversary model.Adversary
+	// Observer, when non-nil, records this job (one Observer per job).
+	Observer *obs.Observer
+}
+
+// teamJob is a TeamJob in flight.
+type teamJob struct {
+	TeamJob
+	root     *xrand.Rand
+	wg       sync.WaitGroup
+	aborted  atomic.Bool
+	killed   atomic.Int64
+	respawns atomic.Int64
+
+	panicMu  sync.Mutex
+	panicked error
+}
+
+// TeamRun is a job in flight, returned by Start.
+type TeamRun struct {
+	t  *Team
+	jb *teamJob
+
+	start time.Time
+	// Elapsed is the job's wall-clock duration, valid after Wait.
+	Elapsed time.Duration
+}
+
+// NewTeam starts a resident team of p worker goroutines. countOps
+// enables per-worker operation counters on every job (small cost).
+// Close releases the workers.
+func NewTeam(p int, countOps bool) *Team {
+	if p < 1 {
+		panic("native: NewTeam needs p >= 1")
+	}
+	t := &Team{
+		p:        p,
+		countOps: countOps,
+		jobs:     make([]chan *teamJob, p),
+	}
+	t.st = runState{
+		kill:     make([]atomic.Bool, p),
+		ops:      make([]paddedCounter, p),
+		p:        p,
+		countOps: countOps,
+		stalls:   &t.stalls,
+	}
+	for pid := 0; pid < p; pid++ {
+		ch := make(chan *teamJob, 1)
+		t.jobs[pid] = ch
+		t.workers.Add(1)
+		go t.worker(pid, ch)
+	}
+	return t
+}
+
+// P returns the team's worker count.
+func (t *Team) P() int { return t.p }
+
+// Start launches a job on the team's workers and returns its handle.
+// The caller must serialize jobs: Start panics if one is already in
+// flight or the team is closed.
+func (t *Team) Start(job TeamJob) *TeamRun {
+	if job.Less == nil {
+		job.Less = func(i, j int) bool { return i < j }
+	}
+	jb := &teamJob{TeamJob: job, root: xrand.New(job.Seed)}
+	jb.wg.Add(t.p)
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		panic("native: Team.Start after Close")
+	}
+	if t.cur != nil {
+		t.mu.Unlock()
+		panic("native: Team.Start while a job is in flight")
+	}
+	// Workers are all parked (no job in flight), so the per-job state
+	// can be swapped with plain writes; the job-channel sends below
+	// publish it.
+	for pid := 0; pid < t.p; pid++ {
+		t.st.kill[pid].Store(false)
+		t.st.ops[pid] = paddedCounter{}
+	}
+	t.stalls.Store(0)
+	t.st.mem = job.Mem
+	t.st.less = job.Less
+	t.st.adversary = job.Adversary
+	t.cur = jb
+	t.mu.Unlock()
+
+	if ob := job.Observer; ob != nil {
+		ob.RunStart(t.p)
+	}
+	run := &TeamRun{t: t, jb: jb, start: time.Now()}
+	for pid := 0; pid < t.p; pid++ {
+		t.jobs[pid] <- jb
+	}
+	return run
+}
+
+// Run is Start followed by Wait.
+func (t *Team) Run(job TeamJob) (*model.Metrics, error) {
+	return t.Start(job).Wait()
+}
+
+// Wait blocks until every worker has finished (or been killed without
+// revival) and returns the job's metrics: kill/respawn/stall counts,
+// op counts when the team counts ops, and the observer's per-phase
+// breakdown when one was installed.
+func (r *TeamRun) Wait() (*model.Metrics, error) {
+	r.jb.wg.Wait()
+	r.Elapsed = time.Since(r.start)
+	if ob := r.jb.Observer; ob != nil {
+		ob.RunEnd()
+	}
+
+	t := r.t
+	t.mu.Lock()
+	if t.cur == r.jb {
+		t.cur = nil
+	}
+	t.mu.Unlock()
+
+	met := &model.Metrics{
+		P:              t.p,
+		Killed:         int(r.jb.killed.Load()),
+		Respawns:       int(r.jb.respawns.Load()),
+		InjectedStalls: t.stalls.Load(),
+	}
+	if t.countOps {
+		for i := range t.st.ops {
+			met.Ops += atomic.LoadInt64(&t.st.ops[i].n)
+			met.CASes += atomic.LoadInt64(&t.st.ops[i].cas)
+			met.CASFailures += atomic.LoadInt64(&t.st.ops[i].casFails)
+		}
+	}
+	if ob := r.jb.Observer; ob != nil {
+		ob.MergeInto(met)
+	}
+	r.jb.panicMu.Lock()
+	defer r.jb.panicMu.Unlock()
+	return met, r.jb.panicked
+}
+
+// Abort kills every worker of the job and suppresses revival, so Wait
+// returns promptly with the sort abandoned. Killing mid-sort is always
+// safe — tolerating it is the algorithm's defining property — but the
+// job's memory is left mid-flight garbage; the pooling layer resets
+// contexts before reuse. Abort after Wait is a no-op.
+func (r *TeamRun) Abort() {
+	r.jb.aborted.Store(true)
+	t := r.t
+	t.mu.Lock()
+	if t.cur == r.jb {
+		for pid := 0; pid < t.p; pid++ {
+			t.st.kill[pid].Store(true)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Aborted reports whether Abort was called on this run.
+func (r *TeamRun) Aborted() bool { return r.jb.aborted.Load() }
+
+// Kill marks worker pid of the current job for termination, exactly as
+// Runtime.Kill does mid-run.
+func (t *Team) Kill(pid int) { t.st.kill[pid].Store(true) }
+
+// Close releases the team's workers. The caller must not have a job in
+// flight. Close is idempotent.
+func (t *Team) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	if t.cur != nil {
+		t.mu.Unlock()
+		panic("native: Team.Close with a job in flight")
+	}
+	t.closed = true
+	for _, ch := range t.jobs {
+		close(ch)
+	}
+	t.mu.Unlock()
+	t.workers.Wait()
+}
+
+// worker is one resident goroutine: park on the job channel, run each
+// job to completion (including any revival loop), repeat.
+func (t *Team) worker(pid int, ch <-chan *teamJob) {
+	defer t.workers.Done()
+	for jb := range ch {
+		t.runJob(pid, jb)
+		jb.wg.Done()
+	}
+}
+
+// runJob executes one job on worker pid, re-entering the program after
+// each landed kill the adversary revives. The worker's own goroutine
+// manages its pid's deaths, so no lock is needed: incarnations of a
+// pid are serialized by construction.
+func (t *Team) runJob(pid int, jb *teamJob) {
+	var startOps int64
+	deaths := 0
+	for {
+		pr := proc{
+			st:  &t.st,
+			id:  pid,
+			rng: jb.root.Fork(uint64(pid) | uint64(deaths)<<32),
+			n:   startOps,
+		}
+		if ob := jb.Observer; ob != nil {
+			pr.ob = ob.StartIncarnation(pid, startOps)
+		}
+		rec := runProg(&pr, jb.Prog)
+		if pr.ob != nil {
+			pr.ob.End(pr.n)
+		}
+		if rec == nil {
+			return
+		}
+		if _, wasKill := rec.(model.Killed); !wasKill {
+			jb.panicMu.Lock()
+			if jb.panicked == nil {
+				jb.panicked = fmt.Errorf("native: processor %d panicked: %v", pid, rec)
+			}
+			jb.panicMu.Unlock()
+			return
+		}
+		jb.killed.Add(1)
+		deaths++
+		rs, ok := jb.Adversary.(Respawner)
+		if !ok || !rs.Respawn(pid, deaths) {
+			return
+		}
+		t.st.kill[pid].Store(false)
+		// An Abort between the kill landing and the flag clearing above
+		// must still win: its aborted store precedes its kill stores, so
+		// either our clear lost the race (the next op dies and the check
+		// below ends the loop then) or we observe aborted here.
+		if jb.aborted.Load() {
+			return
+		}
+		jb.respawns.Add(1)
+		startOps = pr.n
+	}
+}
+
+// runProg runs the program to completion and returns the recovered
+// panic value, if any (model.Killed for a landed kill).
+func runProg(pr *proc, prog model.Program) (rec any) {
+	defer func() { rec = recover() }()
+	prog(pr)
+	return nil
+}

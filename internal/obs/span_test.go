@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanLogOrderAndWrap(t *testing.T) {
+	l := NewSpanLog(4)
+	for i := 1; i <= 6; i++ {
+		l.Append(Span{ID: uint64(i), Kind: "sort", Duration: time.Duration(i), Outcome: "ok"})
+	}
+	got := l.Snapshot(0)
+	if len(got) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(got))
+	}
+	for i, want := range []uint64{6, 5, 4, 3} {
+		if got[i].ID != want {
+			t.Fatalf("snapshot[%d].ID = %d, want %d (newest first)", i, got[i].ID, want)
+		}
+	}
+	if l.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", l.Len())
+	}
+}
+
+func TestSpanLogPartial(t *testing.T) {
+	l := NewSpanLog(8)
+	l.Append(Span{ID: 1})
+	l.Append(Span{ID: 2})
+	got := l.Snapshot(5)
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 1 {
+		t.Fatalf("snapshot = %+v, want IDs [2 1]", got)
+	}
+	if got := l.Snapshot(1); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("snapshot(1) = %+v, want ID 2 only", got)
+	}
+}
+
+// TestSpanLogConcurrent hammers Append and Snapshot together; every
+// returned span must be internally consistent (ID == N, the writers'
+// invariant), proving torn reads are discarded.
+func TestSpanLogConcurrent(t *testing.T) {
+	l := NewSpanLog(16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := uint64(w*1_000_000 + i)
+				l.Append(Span{ID: id, N: int(id), Outcome: "ok"})
+			}
+		}(w)
+	}
+	deadline := time.After(50 * time.Millisecond)
+	for {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			return
+		default:
+		}
+		for _, s := range l.Snapshot(0) {
+			if uint64(s.N) != s.ID {
+				t.Fatalf("torn span surfaced: ID=%d N=%d", s.ID, s.N)
+			}
+		}
+	}
+}

@@ -1,0 +1,495 @@
+// Package server is the reusable sort service: an HTTP front end over
+// the pooled wfsort.Sorter with bounded admission, small-request
+// batching, per-request deadlines and graceful drain. cmd/sortd is the
+// thin binary around it; the package exists so the whole serving path
+// is testable in-process.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfsort"
+	"wfsort/internal/obs"
+	"wfsort/internal/sizeclass"
+)
+
+// kv is the element the service sorts: a key plus the batch slot its
+// request occupies. Ordering consults only the key, so a batch sort —
+// stable, with each request's keys appearing in input order — hands
+// every request back its own keys sorted.
+type kv struct {
+	k int64
+	r int32
+}
+
+// Config sizes the service; zero values take the defaults noted.
+type Config struct {
+	// Workers is the sort parallelism per pooled team (default
+	// GOMAXPROCS, via wfsort).
+	Workers int
+	// Options is appended to the pool configuration — variant, layout,
+	// seed, fault planes (WithChurn/WithCrashes for soak and E22 runs).
+	Options []wfsort.Option
+	// MaxInFlight bounds admitted requests; excess get 429 (default 64).
+	MaxInFlight int
+	// MaxKeys rejects larger requests with 413 (default 1<<20).
+	MaxKeys int
+	// BatchMaxKeys routes requests of at most this many keys through
+	// the batcher (default 256; 0 keeps the default, negative disables
+	// batching).
+	BatchMaxKeys int
+	// BatchWindow is how long a batch waits for company after its first
+	// request (default 500µs).
+	BatchWindow time.Duration
+	// BatchLimit flushes a batch once it holds this many keys (default
+	// 4096).
+	BatchLimit int
+	// Timeout is the per-request deadline (default 5s).
+	Timeout time.Duration
+	// StuckAfter is the serving watchdog threshold: /healthz degrades
+	// when the oldest in-flight request exceeds it (default 30s).
+	StuckAfter time.Duration
+	// SpanDepth sizes the /requests ring (default 256).
+	SpanDepth int
+}
+
+func (c *Config) fill() {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxKeys == 0 {
+		c.MaxKeys = sizeclass.MaxClass
+	}
+	if c.BatchMaxKeys == 0 {
+		c.BatchMaxKeys = 256
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 500 * time.Microsecond
+	}
+	if c.BatchLimit == 0 {
+		c.BatchLimit = 4096
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.StuckAfter == 0 {
+		c.StuckAfter = 30 * time.Second
+	}
+}
+
+// Stats is the service's cumulative counter snapshot.
+type Stats struct {
+	Requests   int64 `json:"requests"`
+	Batched    int64 `json:"batched"`
+	Batches    int64 `json:"batches"`
+	Rejected   int64 `json:"rejected_429"`
+	TooLarge   int64 `json:"rejected_413"`
+	Draining   int64 `json:"rejected_503"`
+	Canceled   int64 `json:"canceled"`
+	Errors     int64 `json:"errors"`
+	InFlight   int64 `json:"in_flight"`
+	OldestMs   int64 `json:"oldest_in_flight_ms"`
+	Stuck      bool  `json:"stuck"`
+	DrainingOn bool  `json:"draining"`
+}
+
+type batchEntry struct {
+	keys []int64
+	done chan batchResult
+}
+
+type batchResult struct {
+	sorted []int64
+	err    error
+}
+
+// Server is one sort service instance.
+type Server struct {
+	cfg    Config
+	pool   *wfsort.Pool
+	sorter *wfsort.Sorter[kv]
+	spans  *obs.SpanLog
+
+	sem     chan struct{}   // admission tokens
+	batchCh chan batchEntry // batcher inbox; capacity doubles as its queue bound
+	flusher sync.WaitGroup
+
+	reqID    atomic.Uint64
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	requests, batched, batches    atomic.Int64
+	rejected, tooLarge, drained   atomic.Int64
+	canceled, errCount, inflightN atomic.Int64
+	latBuckets                    [len(latBounds) + 1]atomic.Int64
+	startMu                       sync.Mutex
+	starts                        map[uint64]time.Time
+}
+
+// latBounds are the latency histogram upper bounds.
+var latBounds = [...]time.Duration{
+	time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond,
+	100 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second,
+}
+
+// New builds a service and its backing pool.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	opts := cfg.Options
+	if cfg.Workers > 0 {
+		opts = append([]wfsort.Option{wfsort.WithWorkers(cfg.Workers)}, opts...)
+	}
+	pool, err := wfsort.NewPool(opts...)
+	if err != nil {
+		return nil, err
+	}
+	sorter, err := wfsort.NewSorterFunc[kv](func(a, b kv) bool { return a.k < b.k }, wfsort.WithPool(pool))
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    pool,
+		sorter:  sorter,
+		spans:   obs.NewSpanLog(cfg.SpanDepth),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		batchCh: make(chan batchEntry, cfg.MaxInFlight),
+		starts:  make(map[uint64]time.Time),
+	}
+	if cfg.BatchMaxKeys > 0 {
+		s.flusher.Add(1)
+		go s.runFlusher()
+	}
+	return s, nil
+}
+
+// Handler returns the service's full mux:
+//
+//	POST /sort     — {"keys":[...]} -> {"sorted":[...]}
+//	GET  /healthz  — liveness, drain state, watchdog verdict
+//	GET  /metrics  — Stats + pool counters + latency histogram
+//	GET  /requests — recent request spans, newest first
+//	     /obs/     — the internal/obs live surface (expvar, pprof)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sort", s.handleSort)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /requests", s.handleRequests)
+	mux.Handle("/obs/", http.StripPrefix("/obs", obs.Handler()))
+	return mux
+}
+
+type sortRequest struct {
+	Keys []int64 `json:"keys"`
+}
+
+type sortResponse struct {
+	Sorted  []int64 `json:"sorted"`
+	N       int     `json:"n"`
+	Batched bool    `json:"batched,omitempty"`
+}
+
+func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.drained.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		httpError(w, http.StatusTooManyRequests, "at capacity")
+		return
+	}
+	defer func() { <-s.sem }()
+
+	var req sortRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	n := len(req.Keys)
+	if n > s.cfg.MaxKeys {
+		s.tooLarge.Add(1)
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("n=%d exceeds the %d-key limit", n, s.cfg.MaxKeys))
+		return
+	}
+
+	id := s.reqID.Add(1)
+	start := time.Now()
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	s.inflightN.Add(1)
+	s.startMu.Lock()
+	s.starts[id] = start
+	s.startMu.Unlock()
+	defer func() {
+		s.startMu.Lock()
+		delete(s.starts, id)
+		s.startMu.Unlock()
+		s.inflightN.Add(-1)
+		s.inflight.Done()
+		s.observeLatency(time.Since(start))
+	}()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+
+	span := obs.Span{ID: id, Kind: "sort", Start: start.UnixNano(), N: n, Outcome: "ok"}
+	var sorted []int64
+	var err error
+	if s.cfg.BatchMaxKeys > 0 && n <= s.cfg.BatchMaxKeys {
+		span.Batched = 1
+		sorted, err = s.sortBatched(ctx, req.Keys)
+	} else {
+		sorted, err = s.sortDirect(ctx, req.Keys)
+	}
+	span.Duration = time.Since(start)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.canceled.Add(1)
+		span.Outcome = "canceled"
+		s.spans.Append(span)
+		// 504 covers both: a closed client connection never reads it.
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	default:
+		s.errCount.Add(1)
+		span.Outcome = "error"
+		s.spans.Append(span)
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.spans.Append(span)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sortResponse{Sorted: sorted, N: n, Batched: span.Batched == 1})
+}
+
+// sortDirect runs one request as its own pooled sort.
+func (s *Server) sortDirect(ctx context.Context, keys []int64) ([]int64, error) {
+	elems := make([]kv, len(keys))
+	for i, k := range keys {
+		elems[i] = kv{k: k, r: 0}
+	}
+	if err := s.sorter.SortContext(ctx, elems); err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(elems))
+	for i, e := range elems {
+		out[i] = e.k
+	}
+	return out, nil
+}
+
+// sortBatched enqueues the request for the flusher and waits for its
+// share of the merged sort. A request abandoned by its deadline leaves
+// the batch unharmed: the flusher completes and the result is dropped.
+func (s *Server) sortBatched(ctx context.Context, keys []int64) ([]int64, error) {
+	e := batchEntry{keys: keys, done: make(chan batchResult, 1)}
+	select {
+	case s.batchCh <- e:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.batched.Add(1)
+	select {
+	case res := <-e.done:
+		return res.sorted, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// runFlusher is the batching loop: wait for a first entry, give it
+// BatchWindow to attract company (or until BatchLimit keys), then sort
+// the merged batch once and split the results.
+func (s *Server) runFlusher() {
+	defer s.flusher.Done()
+	for {
+		first, ok := <-s.batchCh
+		if !ok {
+			return
+		}
+		entries := []batchEntry{first}
+		total := len(first.keys)
+		timer := time.NewTimer(s.cfg.BatchWindow)
+	collect:
+		for total < s.cfg.BatchLimit {
+			select {
+			case e, ok := <-s.batchCh:
+				if !ok {
+					break collect
+				}
+				entries = append(entries, e)
+				total += len(e.keys)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.flushBatch(entries, total)
+	}
+}
+
+func (s *Server) flushBatch(entries []batchEntry, total int) {
+	start := time.Now()
+	merged := make([]kv, 0, total)
+	for ri, e := range entries {
+		for _, k := range e.keys {
+			merged = append(merged, kv{k: k, r: int32(ri)})
+		}
+	}
+	err := s.sorter.Sort(merged)
+	if err == nil {
+		outs := make([][]int64, len(entries))
+		for ri, e := range entries {
+			outs[ri] = make([]int64, 0, len(e.keys))
+		}
+		for _, e := range merged {
+			outs[e.r] = append(outs[e.r], e.k)
+		}
+		for ri, e := range entries {
+			e.done <- batchResult{sorted: outs[ri]}
+		}
+	} else {
+		for _, e := range entries {
+			e.done <- batchResult{err: err}
+		}
+	}
+	s.batches.Add(1)
+	s.spans.Append(obs.Span{
+		ID:       s.reqID.Add(1),
+		Kind:     "batch",
+		Start:    start.UnixNano(),
+		Duration: time.Since(start),
+		N:        total,
+		Batched:  len(entries),
+		Outcome:  map[bool]string{true: "ok", false: "error"}[err == nil],
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	code := http.StatusOK
+	if st.DrainingOn {
+		code = http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"ok":       !st.DrainingOn && !st.Stuck,
+		"draining": st.DrainingOn,
+		"stuck":    st.Stuck,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hist := make(map[string]int64, len(latBounds)+1)
+	for i := range latBounds {
+		hist["le_"+latBounds[i].String()] = s.latBuckets[i].Load()
+	}
+	hist["inf"] = s.latBuckets[len(latBounds)].Load()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"server":     s.Stats(),
+		"pool":       s.pool.Stats(),
+		"latency_ms": hist,
+	})
+}
+
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	fmt.Sscanf(r.URL.Query().Get("n"), "%d", &n)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.spans.Snapshot(n))
+}
+
+// Stats snapshots the service counters, including the serving
+// watchdog's view of the oldest in-flight request.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:   s.requests.Load(),
+		Batched:    s.batched.Load(),
+		Batches:    s.batches.Load(),
+		Rejected:   s.rejected.Load(),
+		TooLarge:   s.tooLarge.Load(),
+		Draining:   s.drained.Load(),
+		Canceled:   s.canceled.Load(),
+		Errors:     s.errCount.Load(),
+		InFlight:   s.inflightN.Load(),
+		DrainingOn: s.draining.Load(),
+	}
+	s.startMu.Lock()
+	var oldest time.Time
+	for _, t := range s.starts {
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	s.startMu.Unlock()
+	if !oldest.IsZero() {
+		age := time.Since(oldest)
+		st.OldestMs = age.Milliseconds()
+		st.Stuck = age > s.cfg.StuckAfter
+	}
+	return st
+}
+
+// Spans exposes the request span log (for sortd and tests).
+func (s *Server) Spans() *obs.SpanLog { return s.spans }
+
+// PoolStats exposes the backing pool's counters.
+func (s *Server) PoolStats() wfsort.PoolStats { return s.pool.Stats() }
+
+func (s *Server) observeLatency(d time.Duration) {
+	i := sort.Search(len(latBounds), func(i int) bool { return d <= latBounds[i] })
+	s.latBuckets[i].Add(1)
+}
+
+// Shutdown drains the service: new requests get 503, in-flight ones
+// (including queued batch entries) finish, the batcher stops, the pool
+// is released. It returns ctx.Err() if the drain outlives ctx, leaving
+// the service draining but not torn down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if s.cfg.BatchMaxKeys > 0 {
+		close(s.batchCh)
+		s.flusher.Wait()
+	}
+	s.pool.Close()
+	return nil
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,71 @@
+// Package sizeclass centralizes the sizing policy shared by the
+// one-shot sort path (wfsort.Sort) and the pooled serving layer
+// (internal/pool, wfsort.Sorter). Before this package existed the
+// work-claim batch size lived in the root package and every consumer
+// of "how big should the arena be" invented its own answer; pooling
+// makes the sizing load-bearing (a pooled context's capacity decides
+// which requests it can serve), so there is exactly one copy of the
+// rules and a unit test pins the class boundaries.
+package sizeclass
+
+const (
+	// MinClass is the smallest pooled arena capacity. Below it the
+	// fixed costs of a parallel sort dwarf the work, so tiny inputs
+	// take the fresh (exact-size) path instead of occupying a pooled
+	// context built for MinClass elements.
+	MinClass = 256
+
+	// MaxClass is the largest pooled arena capacity. Inputs above it
+	// get an exact-size context that is built for the request and
+	// released afterwards; retaining multi-gigabyte arenas on a free
+	// list is how serving processes quietly eat their hosts.
+	MaxClass = 1 << 20
+
+	// FreshCutoff is the input size below which the pooled path
+	// delegates to the one-shot sort: the padding overhead of rounding
+	// a tiny input up to MinClass exceeds the cost of just building a
+	// tiny arena.
+	FreshCutoff = 64
+)
+
+// Classes returns every pooled capacity, ascending: powers of two from
+// MinClass to MaxClass. Power-of-two growth bounds the padding a
+// request pays at under 2x its own size while keeping the class count
+// (and therefore idle-arena memory) logarithmic.
+func Classes() []int {
+	var out []int
+	for c := MinClass; c <= MaxClass; c *= 2 {
+		out = append(out, c)
+	}
+	return out
+}
+
+// For returns the smallest pooled capacity that fits n, with ok=false
+// when n exceeds MaxClass (the caller should build an exact-size
+// context and not pool it).
+func For(n int) (capacity int, ok bool) {
+	if n > MaxClass {
+		return 0, false
+	}
+	c := MinClass
+	for c < n {
+		c *= 2
+	}
+	return c, true
+}
+
+// Batch picks the work-claim granularity for the contention-sharded
+// fast path: large enough to amortize next_element traffic, small
+// enough that every worker still sees at least a few blocks to claim.
+// Wait-freedom never depends on the choice — a block is just a bigger
+// idempotent job.
+func Batch(n, workers int) int {
+	b := n / (4 * workers)
+	if b > 128 {
+		b = 128
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

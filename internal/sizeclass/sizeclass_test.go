@@ -1,0 +1,67 @@
+package sizeclass
+
+import "testing"
+
+// TestClassBoundaries locks the size-class ladder: the pooled layer's
+// contexts are keyed by these capacities, so silently shifting a
+// boundary would invalidate every checked-in serving baseline.
+func TestClassBoundaries(t *testing.T) {
+	classes := Classes()
+	if classes[0] != MinClass {
+		t.Fatalf("first class = %d, want MinClass %d", classes[0], MinClass)
+	}
+	if classes[len(classes)-1] != MaxClass {
+		t.Fatalf("last class = %d, want MaxClass %d", classes[len(classes)-1], MaxClass)
+	}
+	for i := 1; i < len(classes); i++ {
+		if classes[i] != 2*classes[i-1] {
+			t.Fatalf("classes[%d] = %d, want double of %d", i, classes[i], classes[i-1])
+		}
+	}
+
+	cases := []struct {
+		n, capacity int
+		ok          bool
+	}{
+		{0, MinClass, true},
+		{1, MinClass, true},
+		{MinClass - 1, MinClass, true},
+		{MinClass, MinClass, true},
+		{MinClass + 1, 2 * MinClass, true},
+		{2*MinClass - 1, 2 * MinClass, true},
+		{2 * MinClass, 2 * MinClass, true},
+		{MaxClass - 1, MaxClass, true},
+		{MaxClass, MaxClass, true},
+		{MaxClass + 1, 0, false},
+	}
+	for _, c := range cases {
+		capacity, ok := For(c.n)
+		if capacity != c.capacity || ok != c.ok {
+			t.Errorf("For(%d) = (%d, %v), want (%d, %v)", c.n, capacity, ok, c.capacity, c.ok)
+		}
+	}
+}
+
+// TestBatchBoundaries locks the work-claim granularity at its three
+// regimes: clamped to 1 for small inputs, proportional in the middle,
+// capped at 128 for large ones. Both the one-shot sort and the pooled
+// contexts call this exact function, which is the point.
+func TestBatchBoundaries(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{1, 1, 1},
+		{3, 1, 1},         // n/(4w) < 1 clamps up
+		{4, 1, 1},         // exactly 1
+		{8, 1, 2},         // proportional
+		{512, 1, 128},     // exactly at cap
+		{513, 1, 128},     // capped
+		{1 << 20, 8, 128}, // capped at scale
+		{1024, 8, 32},     // proportional at P=8
+		{4096, 64, 16},    // proportional at P=64
+		{100, 64, 1},      // many workers, little work
+	}
+	for _, c := range cases {
+		if got := Batch(c.n, c.workers); got != c.want {
+			t.Errorf("Batch(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}

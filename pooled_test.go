@@ -1,0 +1,366 @@
+package wfsort
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"wfsort/internal/sizeclass"
+)
+
+func randSlice(rng *rand.Rand, n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = rng.Intn(n/2 + 1) // duplicates on purpose
+	}
+	return s
+}
+
+func checkSorted(t *testing.T, got, orig []int) {
+	t.Helper()
+	want := append([]int(nil), orig...)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("length changed: %d -> %d", len(want), len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSorterReuse drives one Sorter across many sizes and checks every
+// output, then that the build counter stayed at one per touched class.
+func TestSorterReuse(t *testing.T) {
+	s, err := NewSorter[int](WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(1))
+	classes := map[int]bool{}
+	for i := 0; i < 30; i++ {
+		n := 65 + rng.Intn(2000)
+		cap, _ := sizeclass.For(n)
+		classes[cap] = true
+		data := randSlice(rng, n)
+		orig := append([]int(nil), data...)
+		if err := s.Sort(data); err != nil {
+			t.Fatalf("sort %d (n=%d): %v", i, n, err)
+		}
+		checkSorted(t, data, orig)
+	}
+	st := s.Stats()
+	if st.Builds > int64(len(classes)) {
+		t.Fatalf("builds = %d for %d touched classes — contexts not reused", st.Builds, len(classes))
+	}
+	if st.Hits == 0 {
+		t.Fatal("no pool hits across 30 sorts")
+	}
+}
+
+// TestSorterStability sorts records by key only and checks equal keys
+// keep their input order, through the pooled (padded) path.
+func TestSorterStability(t *testing.T) {
+	type rec struct{ key, pos int }
+	s, err := NewSorterFunc[rec](func(a, b rec) bool { return a.key < b.key }, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		n := 100 + rng.Intn(900)
+		data := make([]rec, n)
+		for i := range data {
+			data[i] = rec{key: rng.Intn(7), pos: i}
+		}
+		if err := s.Sort(data); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < n; i++ {
+			if data[i-1].key > data[i].key {
+				t.Fatalf("trial %d: not sorted at %d", trial, i)
+			}
+			if data[i-1].key == data[i].key && data[i-1].pos > data[i].pos {
+				t.Fatalf("trial %d: stability broken at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestSorterZeroSteadyStateBuilds is the pooling claim stated exactly:
+// after one warmup sort at a size, further sorts at that size build
+// nothing.
+func TestSorterZeroSteadyStateBuilds(t *testing.T) {
+	s, err := NewSorter[int](WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(3))
+	data := randSlice(rng, 1000)
+	if err := s.Sort(data); err != nil {
+		t.Fatal(err)
+	}
+	warm := s.Stats().Builds
+	for i := 0; i < 50; i++ {
+		d := randSlice(rng, 900+i)
+		if err := s.Sort(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().Builds; got != warm {
+		t.Fatalf("steady state built %d contexts, want 0", got-warm)
+	}
+}
+
+// TestSorterSmallInputs covers the fresh-path cutoff and degenerate
+// sizes.
+func TestSorterSmallInputs(t *testing.T) {
+	s, err := NewSorter[int](WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, n := range []int{0, 1, 2, 3, sizeclass.FreshCutoff, sizeclass.FreshCutoff + 1} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		data := randSlice(rng, n)
+		orig := append([]int(nil), data...)
+		if err := s.Sort(data); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkSorted(t, data, orig)
+	}
+}
+
+// TestSorterChurn runs the kill/revive fault plane on every sort; the
+// outputs must be indistinguishable from faultless runs.
+func TestSorterChurn(t *testing.T) {
+	s, err := NewSorter[int](WithWorkers(4), WithChurn(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10; i++ {
+		data := randSlice(rng, 300+50*i)
+		orig := append([]int(nil), data...)
+		if err := s.Sort(data); err != nil {
+			t.Fatalf("churn sort %d: %v", i, err)
+		}
+		checkSorted(t, data, orig)
+	}
+}
+
+// TestSorterCrashes fail-stops half the workers per sort without
+// revival; survivors must still produce correct output every time, and
+// the resident teams must be whole again for each next sort.
+func TestSorterCrashes(t *testing.T) {
+	s, err := NewSorter[int](WithWorkers(4), WithCrashes(0.5, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		data := randSlice(rng, 400)
+		orig := append([]int(nil), data...)
+		if err := s.Sort(data); err != nil {
+			t.Fatalf("crash sort %d: %v", i, err)
+		}
+		checkSorted(t, data, orig)
+	}
+}
+
+// TestSorterContextCancel: a canceled context aborts the sort, leaves
+// the data untouched, and the sorter keeps working afterwards.
+func TestSorterContextCancel(t *testing.T) {
+	s, err := NewSorter[int](WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Already-canceled context: immediate return, no work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	data := []int{3, 1, 2, 5, 4}
+	if err := s.SortContext(ctx, data); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled: err = %v, want context.Canceled", err)
+	}
+
+	// Cancel racing a large sort: either the sort completed (sorted
+	// output, nil error) or the abort won (untouched data, ctx error).
+	rng := rand.New(rand.NewSource(6))
+	big := randSlice(rng, 200_000)
+	orig := append([]int(nil), big...)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.SortContext(ctx2, big) }()
+	cancel2()
+	switch err := <-done; {
+	case err == nil:
+		checkSorted(t, big, orig)
+	case errors.Is(err, context.Canceled):
+		for i := range big {
+			if big[i] != orig[i] {
+				t.Fatalf("aborted sort mutated data at %d", i)
+			}
+		}
+	default:
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// The pool must still serve sorts after an abort.
+	after := randSlice(rng, 1000)
+	origAfter := append([]int(nil), after...)
+	if err := s.Sort(after); err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, after, origAfter)
+}
+
+// TestWithPoolSharing: two sorters over one pool share its contexts;
+// WithPool plus any other option is rejected; closing a borrowing
+// sorter leaves the pool alive.
+func TestWithPoolSharing(t *testing.T) {
+	p, err := NewPool(WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if _, err := NewSorter[int](WithPool(p), WithWorkers(2)); err == nil {
+		t.Fatal("WithPool+WithWorkers should be rejected")
+	}
+	if err := Sort([]int{2, 1}, WithPool(p)); err == nil {
+		t.Fatal("one-shot Sort with WithPool should be rejected")
+	}
+
+	s1, err := NewSorter[int](WithPool(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSorterFunc[int](func(a, b int) bool { return a > b }, WithPool(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	d1 := randSlice(rng, 500)
+	o1 := append([]int(nil), d1...)
+	if err := s1.Sort(d1); err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, d1, o1)
+
+	d2 := randSlice(rng, 500)
+	if err := s2.Sort(d2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(d2); i++ {
+		if d2[i-1] < d2[i] {
+			t.Fatalf("descending sorter broke at %d", i)
+		}
+	}
+	s1.Close() // borrower Close must not kill the shared pool
+	d3 := randSlice(rng, 500)
+	if err := s2.Sort(d3); err != nil {
+		t.Fatalf("after sibling Close: %v", err)
+	}
+	for i := 1; i < len(d3); i++ {
+		if d3[i-1] < d3[i] {
+			t.Fatalf("descending sorter broke at %d after sibling Close", i)
+		}
+	}
+
+	if p.Stats().Gets == 0 {
+		t.Fatal("shared pool saw no traffic")
+	}
+}
+
+// TestPoolTrim drops idle state and keeps serving.
+func TestPoolTrim(t *testing.T) {
+	s, err := NewSorter[int](WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(8))
+	data := randSlice(rng, 500)
+	if err := s.Sort(data); err != nil {
+		t.Fatal(err)
+	}
+	s.p.Trim()
+	data2 := randSlice(rng, 500)
+	orig2 := append([]int(nil), data2...)
+	if err := s.Sort(data2); err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, data2, orig2)
+	if got := s.Stats().Trims; got == 0 {
+		t.Fatal("Trim dropped nothing")
+	}
+}
+
+// TestSimulateRejectsNativeFaults locks the option boundary.
+func TestSimulateRejectsNativeFaults(t *testing.T) {
+	if _, err := Simulate([]int{3, 1, 2}, WithChurn(1)); err == nil {
+		t.Fatal("Simulate accepted WithChurn")
+	}
+	if _, err := Simulate([]int{3, 1, 2}, WithCrashes(0.5, 16)); err == nil {
+		t.Fatal("Simulate accepted WithCrashes")
+	}
+}
+
+// BenchmarkSorterReuse is the pooling acceptance benchmark: in steady
+// state a pooled sort must build zero arenas (the arena-builds/op
+// metric) versus one full build per op on the fresh path
+// (BenchmarkSorterFresh).
+func BenchmarkSorterReuse(b *testing.B) {
+	s, err := NewSorter[int](WithWorkers(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(9))
+	data := randSlice(rng, 4096)
+	scratch := make([]int, len(data))
+	if err := s.Sort(append(scratch[:0], data...)); err != nil { // warmup
+		b.Fatal(err)
+	}
+	start := s.Stats().Builds
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, data)
+		if err := s.Sort(scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	builds := s.Stats().Builds - start
+	b.ReportMetric(float64(builds)/float64(b.N), "arena-builds/op")
+	if builds != 0 {
+		b.Fatalf("steady state built %d arenas", builds)
+	}
+}
+
+// BenchmarkSorterFresh is the unpooled baseline for BenchmarkSorterReuse.
+func BenchmarkSorterFresh(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	data := randSlice(rng, 4096)
+	scratch := make([]int, len(data))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, data)
+		if err := Sort(scratch, WithWorkers(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1, "arena-builds/op")
+}

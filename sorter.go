@@ -1,0 +1,339 @@
+package wfsort
+
+import (
+	"cmp"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wfsort/internal/model"
+	"wfsort/internal/native"
+	"wfsort/internal/pool"
+	"wfsort/internal/sizeclass"
+)
+
+// PoolStats re-exports the pool's cumulative counters: Gets/Hits,
+// Builds (full arena constructions — flat in steady state), Oversize,
+// Puts and Trims.
+type PoolStats = pool.Stats
+
+// Pool owns reusable sort contexts and resident worker teams, so
+// steady-state sorts build no arenas and spawn no goroutines. Contexts
+// come in power-of-two size classes (sizeclass.MinClass up to
+// sizeclass.MaxClass); a request for n elements borrows the smallest
+// class that fits, pads the tail with virtual greatest elements, sorts
+// at class capacity, and returns the context reset for the next
+// borrower. Workers live in resident teams whose goroutines survive
+// even the fault plane's kills: only the sort program unwinds, so a
+// team battered by WithChurn or WithCrashes is back at full strength
+// for its next job.
+//
+// The sort configuration (workers, variant, layout, seed, faults) is
+// fixed per pool — contexts are only interchangeable because every
+// sort uses the same arena layout. All methods are safe for concurrent
+// use; concurrent sorts each borrow their own context and team.
+type Pool struct {
+	c    config
+	ctxs *pool.Pool
+	seq  atomic.Uint64
+
+	mu     sync.Mutex
+	teams  []*native.Team
+	closed bool
+}
+
+// NewPool builds a context pool for the given sort configuration.
+// WithObserver, WithSchedule and WithPool are rejected: observers are
+// single-run, schedules are simulator-only, and pools do not nest.
+func NewPool(opts ...Option) (*Pool, error) {
+	c, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if c.explicit&(setObserver|setSchedule|setPool) != 0 {
+		return nil, fmt.Errorf("wfsort: WithObserver, WithSchedule and WithPool do not apply to NewPool")
+	}
+	p := &Pool{c: c}
+	p.ctxs, err = pool.New(pool.Config{
+		// Every class must host the pool's full worker set (P <= N).
+		MinCapacity:  c.workers,
+		PerClassIdle: 4,
+		Shards:       min(c.workers, 4),
+		Build: func(capacity int) (pool.Runner, model.Allocator, error) {
+			a, tun := nativeArena(capacity, c)
+			r, err := newRunner(a, capacity, c, tun)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.asPoolRunner(), a, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WithPool makes NewSorter borrow contexts and teams from a shared
+// pool instead of owning one. The sorter inherits the pool's entire
+// configuration; combining WithPool with any other option is an error
+// (the pool's contexts were laid out for its configuration, so a
+// different variant or worker count cannot be honored).
+func WithPool(p *Pool) Option {
+	return func(c *config) { c.pool = p; c.explicit |= setPool }
+}
+
+// Stats snapshots the pool's context counters.
+func (p *Pool) Stats() PoolStats { return p.ctxs.Stats() }
+
+// Trim drops every idle context and parks no more idle teams than
+// sorts in flight, returning memory and goroutines during quiet
+// periods.
+func (p *Pool) Trim() {
+	p.ctxs.Trim()
+	p.mu.Lock()
+	teams := p.teams
+	p.teams = nil
+	p.mu.Unlock()
+	for _, t := range teams {
+		t.Close()
+	}
+}
+
+// Close releases idle teams and contexts. Sorts in flight finish
+// normally; their teams and contexts are dropped on return.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	teams := p.teams
+	p.teams = nil
+	p.mu.Unlock()
+	for _, t := range teams {
+		t.Close()
+	}
+	p.ctxs.Trim()
+}
+
+// getTeam pops an idle resident team or starts one.
+func (p *Pool) getTeam() *native.Team {
+	p.mu.Lock()
+	if n := len(p.teams); n > 0 {
+		t := p.teams[n-1]
+		p.teams = p.teams[:n-1]
+		p.mu.Unlock()
+		return t
+	}
+	p.mu.Unlock()
+	return native.NewTeam(p.c.workers, false)
+}
+
+// putTeam parks a team for reuse, or closes it when the pool is done.
+func (p *Pool) putTeam(t *native.Team) {
+	p.mu.Lock()
+	if !p.closed {
+		p.teams = append(p.teams, t)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	t.Close()
+}
+
+// putCtx returns a context unless the pool has been closed.
+func (p *Pool) putCtx(c *pool.Ctx) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if !closed {
+		p.ctxs.Put(c)
+	}
+}
+
+// Sorter is a reusable sorter: steady-state Sort calls reuse pooled
+// arenas and resident workers, so they build nothing and spawn
+// nothing. Create one with NewSorter or NewSorterFunc; a Sorter is
+// safe for concurrent use (concurrent sorts borrow separate contexts).
+type Sorter[E any] struct {
+	p     *Pool
+	owned bool
+	less  func(a, b E) bool
+	bufs  sync.Pool // *[]E input copies
+}
+
+// NewSorter returns a reusable sorter over the natural order.
+func NewSorter[E cmp.Ordered](opts ...Option) (*Sorter[E], error) {
+	return NewSorterFunc[E](func(a, b E) bool { return a < b }, opts...)
+}
+
+// NewSorterFunc returns a reusable sorter over a strict weak ordering;
+// less is called concurrently and must be safe for concurrent use on
+// immutable data. Without WithPool the sorter owns a private pool
+// configured by opts (and Close releases it); with WithPool it borrows
+// from the shared pool and no other option may be given.
+func NewSorterFunc[E any](less func(a, b E) bool, opts ...Option) (*Sorter[E], error) {
+	c, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if c.pool != nil {
+		if c.explicit&^setPool != 0 {
+			return nil, fmt.Errorf("wfsort: WithPool conflicts with every other option; the pool fixes the configuration")
+		}
+		return &Sorter[E]{p: c.pool, less: less}, nil
+	}
+	p, err := NewPool(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Sorter[E]{p: p, owned: true, less: less}, nil
+}
+
+// Close releases the sorter's pool when it owns one; a sorter sharing
+// a pool via WithPool leaves it untouched.
+func (s *Sorter[E]) Close() {
+	if s.owned {
+		s.p.Close()
+	}
+}
+
+// Stats snapshots the backing pool's context counters.
+func (s *Sorter[E]) Stats() PoolStats { return s.p.Stats() }
+
+// Sort sorts data in place, stably, reusing the pooled machinery.
+func (s *Sorter[E]) Sort(data []E) error {
+	return s.SortContext(context.Background(), data)
+}
+
+// SortContext is Sort with cancellation: when ctx is canceled
+// mid-sort, every worker is killed — always safe, wait-freedom is
+// exactly the license to kill mid-flight — the borrowed context is
+// reset for the next borrower, data is left unchanged (the sort works
+// on a copy until the final scatter), and ctx.Err() is returned.
+func (s *Sorter[E]) SortContext(ctx context.Context, data []E) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n := len(data)
+	if n < 2 {
+		return nil
+	}
+	if n <= sizeclass.FreshCutoff {
+		// Padding a tiny sort to the smallest class costs more than
+		// building a right-sized arena; take the one-shot path.
+		c := s.p.c
+		if c.workers > n {
+			c.workers = n
+		}
+		return sortOnce(data, s.less, c)
+	}
+
+	pc, err := s.p.ctxs.Get(n)
+	if err != nil {
+		return err
+	}
+	defer s.p.putCtx(pc)
+
+	buf := s.getBuf(n)
+	defer s.bufs.Put(buf)
+	input := (*buf)[:n]
+	copy(input, data)
+
+	// Virtual padding: elements n+1..Capacity compare greater than every
+	// real element (ties by index), so the class-capacity sort ranks the
+	// real elements exactly 1..n and the pads n+1..Capacity. When the
+	// request fills its class exactly there are no pads, and the
+	// pad-check branch is too expensive to pay on every comparison.
+	less := s.less
+	var idxLess func(i, j int) bool
+	if n == pc.Capacity {
+		idxLess = func(i, j int) bool {
+			a, b := input[i-1], input[j-1]
+			if less(a, b) {
+				return true
+			}
+			if less(b, a) {
+				return false
+			}
+			return i < j
+		}
+	} else {
+		idxLess = func(i, j int) bool {
+			pi, pj := i > n, j > n
+			switch {
+			case pi && pj:
+				return i < j
+			case pi:
+				return false
+			case pj:
+				return true
+			}
+			a, b := input[i-1], input[j-1]
+			if less(a, b) {
+				return true
+			}
+			if less(b, a) {
+				return false
+			}
+			return i < j
+		}
+	}
+
+	team := s.p.getTeam()
+	defer s.p.putTeam(team)
+	seq := s.p.seq.Add(1)
+	c := s.p.c
+	run := team.Start(native.TeamJob{
+		Prog:      pc.Runner.Program(),
+		Mem:       pc.Mem,
+		Less:      idxLess,
+		Seed:      c.seed + seq,
+		Adversary: c.adversary(seq),
+	})
+	var watcherDone chan struct{}
+	if ctx.Done() != nil {
+		watcherDone = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				run.Abort()
+			case <-watcherDone:
+			}
+		}()
+	}
+	_, runErr := run.Wait()
+	if watcherDone != nil {
+		close(watcherDone)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if run.Aborted() {
+		return ctx.Err()
+	}
+
+	places := pc.Places[:n]
+	pc.Runner.PlacesInto(pc.Mem, places)
+	for i, r := range places {
+		if r < 1 || r > n {
+			// Unreachable under the built-in fault planes (worker 0 is
+			// never a target), but a custom future adversary that kills
+			// everyone must surface as an error, not silent garbage.
+			return fmt.Errorf("wfsort: sort incomplete (element %d unranked)", i+1)
+		}
+	}
+	applyPermutation(data, input, places, c.workers)
+	return nil
+}
+
+// getBuf borrows an input-copy buffer with capacity >= n.
+func (s *Sorter[E]) getBuf(n int) *[]E {
+	if v := s.bufs.Get(); v != nil {
+		b := v.(*[]E)
+		if cap(*b) >= n {
+			return b
+		}
+	}
+	b := make([]E, n)
+	return &b
+}

@@ -37,7 +37,10 @@ import (
 	"wfsort/internal/model"
 	"wfsort/internal/native"
 	"wfsort/internal/obs"
+	"wfsort/internal/pool"
 	"wfsort/internal/pram"
+	"wfsort/internal/sizeclass"
+	"wfsort/internal/xrand"
 )
 
 // Variant selects which of the paper's algorithms runs.
@@ -132,13 +135,33 @@ type Observer = obs.Observer
 // ready to install on one sort via WithObserver.
 func NewObserver() *Observer { return obs.New(obs.Config{}) }
 
+// Bits recording which options were set explicitly, so pool-backed
+// sorters can reject options that conflict with the pool's fixed
+// configuration instead of silently ignoring them.
+const (
+	setWorkers = 1 << iota
+	setVariant
+	setLayout
+	setSeed
+	setObserver
+	setSchedule
+	setChurn
+	setCrashes
+	setPool
+)
+
 type config struct {
-	workers  int
-	variant  Variant
-	layout   Layout
-	seed     uint64
-	sched    pram.Scheduler // simulation only
-	observer *obs.Observer  // native only
+	workers     int
+	variant     Variant
+	layout      Layout
+	seed        uint64
+	sched       pram.Scheduler // simulation only
+	observer    *obs.Observer  // native only
+	churnKills  int            // native only: kill+revive every non-zero worker
+	crashFrac   float64        // native only: fail-stop a seeded fraction
+	crashWindow int64          // op-ordinal window for crashFrac strikes
+	pool        *Pool          // NewSorter only
+	explicit    int            // set* bits
 }
 
 // Option customizes a sort or simulation.
@@ -148,25 +171,25 @@ type Option func(*config)
 // simulated processors). Defaults to GOMAXPROCS, capped at the input
 // size.
 func WithWorkers(p int) Option {
-	return func(c *config) { c.workers = p }
+	return func(c *config) { c.workers = p; c.explicit |= setWorkers }
 }
 
 // WithVariant selects the algorithm variant. Defaults to Randomized.
 func WithVariant(v Variant) Option {
-	return func(c *config) { c.variant = v }
+	return func(c *config) { c.variant = v; c.explicit |= setVariant }
 }
 
 // WithLayout selects the native arena layout (see Layout). Defaults to
 // LayoutSharded. Simulation only ever uses the dense paper layout;
 // Simulate ignores this option.
 func WithLayout(l Layout) Option {
-	return func(c *config) { c.layout = l }
+	return func(c *config) { c.layout = l; c.explicit |= setLayout }
 }
 
 // WithSeed fixes the seed behind all randomized choices, making
 // simulator runs exactly reproducible. Defaults to 0.
 func WithSeed(seed uint64) Option {
-	return func(c *config) { c.seed = seed }
+	return func(c *config) { c.seed = seed; c.explicit |= setSeed }
 }
 
 // WithObserver installs an observability plane on the native run (see
@@ -175,7 +198,7 @@ func WithSeed(seed uint64) Option {
 // pointer compare per operation. Native only; Simulate ignores it —
 // the simulator's exact metrics come from the machine itself.
 func WithObserver(o *Observer) Option {
-	return func(c *config) { c.observer = o }
+	return func(c *config) { c.observer = o; c.explicit |= setObserver }
 }
 
 // WithSchedule sets the simulated schedule: asynchrony models,
@@ -183,10 +206,37 @@ func WithObserver(o *Observer) Option {
 // wfsort/sim. Simulation only; Sort ignores it. Defaults to the
 // faultless synchronous schedule.
 func WithSchedule(s pram.Scheduler) Option {
-	return func(c *config) { c.sched = s }
+	return func(c *config) { c.sched = s; c.explicit |= setSchedule }
 }
 
-func buildConfig(n int, opts []Option) (config, error) {
+// WithChurn kills every worker except worker 0 `kills` times per sort,
+// at staggered operation ordinals, reviving each one — the sort always
+// completes, having survived (workers-1)*kills mid-flight failures.
+// This is the soak-test fault plane: wait-freedom makes the injected
+// deaths invisible in the output. Native sorts only; Simulate rejects
+// it (use WithSchedule for simulated faults).
+func WithChurn(kills int) Option {
+	return func(c *config) { c.churnKills = kills; c.explicit |= setChurn }
+}
+
+// WithCrashes fail-stops a seeded random fraction of the workers —
+// never worker 0, so the sort still completes — at operation ordinals
+// drawn from [1, window]; window <= 0 means 64. Crashed workers stay
+// dead for the rest of that sort. On a pooled Sorter the workers'
+// goroutines survive the unwind, so every sort faces the same fraction
+// afresh: the "crash-half" serving regime of EXPERIMENTS.md E22.
+// Native sorts only; Simulate rejects it.
+func WithCrashes(frac float64, window int64) Option {
+	return func(c *config) {
+		c.crashFrac = frac
+		c.crashWindow = window
+		c.explicit |= setCrashes
+	}
+}
+
+// applyOptions folds opts over the defaults and validates everything
+// that does not depend on the input size.
+func applyOptions(opts []Option) (config, error) {
 	c := config{workers: runtime.GOMAXPROCS(0), variant: Randomized}
 	for _, o := range opts {
 		o(&c)
@@ -194,13 +244,63 @@ func buildConfig(n int, opts []Option) (config, error) {
 	if c.workers < 1 {
 		return c, fmt.Errorf("wfsort: workers must be >= 1, got %d", c.workers)
 	}
-	if c.workers > n {
-		c.workers = n // P <= N is the paper's regime; extra workers idle anyway
-	}
 	if c.layout < LayoutSharded || c.layout > LayoutFlat {
 		return c, fmt.Errorf("wfsort: unknown layout %v", c.layout)
 	}
+	if c.churnKills < 0 {
+		return c, fmt.Errorf("wfsort: churn kills must be >= 0, got %d", c.churnKills)
+	}
+	if c.crashFrac < 0 || c.crashFrac > 1 {
+		return c, fmt.Errorf("wfsort: crash fraction must be in [0,1], got %g", c.crashFrac)
+	}
 	return c, nil
+}
+
+func buildConfig(n int, opts []Option) (config, error) {
+	c, err := applyOptions(opts)
+	if err != nil {
+		return c, err
+	}
+	if c.pool != nil {
+		return c, fmt.Errorf("wfsort: WithPool applies to NewSorter, not one-shot sorts")
+	}
+	if c.workers > n {
+		c.workers = n // P <= N is the paper's regime; extra workers idle anyway
+	}
+	return c, nil
+}
+
+// adversary builds the per-sort fault plane requested by WithChurn and
+// WithCrashes; nil when neither is set. seq varies the crash draw from
+// sort to sort on a pooled Sorter.
+func (c config) adversary(seq uint64) model.Adversary {
+	if c.churnKills <= 0 && c.crashFrac <= 0 {
+		return nil
+	}
+	pl := native.NewPlan()
+	if c.churnKills > 0 {
+		for pid := 1; pid < c.workers; pid++ {
+			for k := 0; k < c.churnKills; k++ {
+				// Low, staggered ordinals: even on one CPU a worker that
+				// arrives to find all work done has executed a few ops.
+				pl.KillAt(pid, int64(2+3*pid+17*k))
+			}
+			pl.Revive(pid, c.churnKills)
+		}
+	}
+	if c.crashFrac > 0 {
+		window := c.crashWindow
+		if window <= 0 {
+			window = 64
+		}
+		rng := xrand.New(c.seed ^ (seq+1)*0x9e3779b97f4a7c15)
+		for pid := 1; pid < c.workers; pid++ {
+			if rng.Float64() < c.crashFrac {
+				pl.KillAt(pid, 1+int64(rng.Intn(int(window))))
+			}
+		}
+	}
+	return pl
 }
 
 // nativeArena builds the allocator and fast-path tuning for one native
@@ -214,28 +314,19 @@ func nativeArena(n int, c config) (model.Allocator, core.Tuning) {
 	case LayoutPadded:
 		return native.NewArena(native.Padded), core.Tuning{}
 	default: // LayoutSharded
+		// sizeclass.Batch picks the work-claim granularity: large enough
+		// to amortize next_element traffic, small enough that every
+		// worker still sees a few blocks to claim (wait-freedom never
+		// depends on the choice — a block is a bigger idempotent job).
+		// It is shared with the pooled serving layer so arena sizing and
+		// batch sizing can never drift apart.
 		return native.NewArena(native.Padded), core.Tuning{
-			Batch:       batchFor(n, c.workers),
+			Batch:       sizeclass.Batch(n, c.workers),
 			SkipKeyRead: true,
 			Shards:      min(c.workers, 8),
 			HostShuffle: true,
 		}
 	}
-}
-
-// batchFor picks the work-claim granularity: large enough to amortize
-// next_element traffic, small enough that every worker still sees at
-// least a few blocks to claim (wait-freedom never depends on the
-// choice — a block is just a bigger idempotent job).
-func batchFor(n, workers int) int {
-	b := n / (4 * workers)
-	if b > 128 {
-		b = 128
-	}
-	if b < 1 {
-		b = 1
-	}
-	return b
 }
 
 // Sort sorts data in place using wait-free parallel workers. It is
@@ -257,6 +348,13 @@ func SortFunc[E any](data []E, less func(a, b E) bool, opts ...Option) error {
 	if err != nil {
 		return err
 	}
+	return sortOnce(data, less, c)
+}
+
+// sortOnce is the one-shot native sort: fresh arena, fresh goroutines.
+// SortFunc and the pooled Sorter's small-input path both end here.
+func sortOnce[E any](data []E, less func(a, b E) bool, c config) error {
+	n := len(data)
 	input := make([]E, n)
 	copy(input, data)
 	idxLess := func(i, j int) bool {
@@ -277,13 +375,23 @@ func SortFunc[E any](data []E, less func(a, b E) bool, opts ...Option) error {
 	}
 	rt := native.New(native.Config{
 		P: c.workers, Mem: a.Size(), Seed: c.seed, Less: idxLess,
-		Observer: c.observer,
+		Observer: c.observer, Adversary: c.adversary(0),
 	})
 	runner.seed(rt.Memory())
 	if _, err := rt.Run(runner.program()); err != nil {
 		return err
 	}
-	applyPermutation(data, input, runner.places(rt.Memory()), c.workers)
+	places := runner.places(rt.Memory())
+	if c.churnKills > 0 || c.crashFrac > 0 {
+		// Worker 0 is never a fault target, so completion is guaranteed;
+		// this guards the invariant rather than an expected failure.
+		for i, r := range places {
+			if r < 1 || r > n {
+				return fmt.Errorf("wfsort: sort incomplete (element %d unranked)", i+1)
+			}
+		}
+	}
+	applyPermutation(data, input, places, c.workers)
 	return nil
 }
 
@@ -335,6 +443,9 @@ func Simulate(keys []int, opts ...Option) (*SimResult, error) {
 	c, err := buildConfig(n, opts)
 	if err != nil {
 		return nil, err
+	}
+	if c.churnKills > 0 || c.crashFrac > 0 {
+		return nil, fmt.Errorf("wfsort: WithChurn/WithCrashes are native-only; simulate faults with WithSchedule")
 	}
 	less := func(i, j int) bool {
 		a, b := keys[i-1], keys[j-1]
@@ -415,4 +526,13 @@ func (r runner) depth(mem []model.Word) int {
 		return r.core.Depth(mem)
 	}
 	return r.lc.Depth(mem)
+}
+
+// asPoolRunner exposes the underlying sorter through the pooling
+// layer's Runner interface (both sorters satisfy it directly).
+func (r runner) asPoolRunner() pool.Runner {
+	if r.core != nil {
+		return r.core
+	}
+	return r.lc
 }
