@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline sortd soak chaos chaos-quick experiments experiments-quick stress obs fmt vet cover
+.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline pipeline-gate pipeline-gate-baseline sortd soak chaos chaos-quick experiments experiments-quick stress obs fmt vet lint cover
 
 all: vet test
 
@@ -29,6 +29,15 @@ serve-gate:
 
 serve-gate-baseline:
 	go run ./cmd/benchgate -serve -write
+
+# Gate phase-level pipelining against BENCH_pipeline.json: one resident
+# pipelined crew vs one serial team on the same mixed-size job stream
+# (pipelined/serial geomean must stay >= 1.0x).
+pipeline-gate:
+	go run ./cmd/benchgate -pipeline
+
+pipeline-gate-baseline:
+	go run ./cmd/benchgate -pipeline -write
 
 # The sort service: POST /sort on :8080, graceful drain on SIGTERM.
 sortd:
@@ -69,6 +78,16 @@ fmt:
 
 vet:
 	go vet ./...
+
+# Static analysis: vet always; staticcheck when installed (CI installs
+# it, local runs degrade gracefully).
+lint:
+	go vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
+	fi
 
 cover:
 	go test -coverprofile=cover.out ./internal/... .

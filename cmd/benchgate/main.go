@@ -11,7 +11,9 @@
 //
 // With -serve the gate targets the serving layer instead (pooled vs
 // fresh sort throughput and sortd request throughput, baseline
-// BENCH_serve.json — see serve.go).
+// BENCH_serve.json — see serve.go). With -pipeline it targets the
+// phase-pipelined crew (pipelined vs serial-team throughput on queued
+// mixed-size sorts, baseline BENCH_pipeline.json — see pipeline.go).
 //
 // Three gates run, strongest applicable first; all act on geometric
 // means over the whole matrix because individual wall-time cells are
@@ -131,14 +133,24 @@ func run(w io.Writer, args []string) error {
 	runs := fs.Int("runs", 3, "timed runs per cell (best is kept)")
 	tol := fs.Float64("tolerance", 0.10, "allowed fractional throughput regression")
 	serve := fs.Bool("serve", false, "gate the serving layer (pooled vs fresh, sortd req/s) instead of the native matrix")
+	pipeline := fs.Bool("pipeline", false, "gate phase-pipelined vs serial-team throughput on queued sorts instead of the native matrix")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *serve && *pipeline {
+		return fmt.Errorf("-serve and -pipeline are mutually exclusive")
 	}
 	if *serve {
 		if *baseline == "BENCH_native.json" {
 			*baseline = "BENCH_serve.json"
 		}
 		return runServe(w, *baseline, *out, *write, *quick, *runs, *tol)
+	}
+	if *pipeline {
+		if *baseline == "BENCH_native.json" {
+			*baseline = "BENCH_pipeline.json"
+		}
+		return runPipeline(w, *baseline, *out, *write, *quick, *runs, *tol)
 	}
 
 	// Read the baseline before measuring anything: a mistyped path

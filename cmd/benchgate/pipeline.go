@@ -1,0 +1,421 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"wfsort/internal/core"
+	"wfsort/internal/model"
+	"wfsort/internal/native"
+)
+
+// The -pipeline mode gates phase-level pipelining crew against crew:
+// the same mixed-size job stream pushed through one resident serial
+// Team (every job boundary is a full-crew barrier — the driver Waits
+// for job k before Starting job k+1) and through one phase-pipelined
+// crew of the same P (job k+1 admitted into phase 1 once every worker
+// is past phase 1 of job k). Pipelining exists to beat the barrier, so
+// the in-run geomean pipelined/serial throughput ratio must stay >= 1
+// on mixed-size streams — an unconditional gate needing no baseline,
+// like the pooled/fresh gate of -serve. Against a comparable-host
+// baseline (BENCH_pipeline.json) the absolute geomean is gated too.
+//
+// The two modes are timed in alternating order run by run so slow
+// machine drift biases neither side, and every job's output is
+// verified (and its arena reset) between timed runs.
+
+// PipeResult is one cell: sustained sort throughput for a (mode, P)
+// crew over the mixed-size job stream.
+type PipeResult struct {
+	Mode        string  `json:"mode"` // pipelined | serial
+	P           int     `json:"p"`
+	Depth       int     `json:"depth,omitempty"`
+	Jobs        int     `json:"jobs"`
+	SortsPerSec float64 `json:"sorts_per_sec"`
+	// RatioToSerial (pipelined cells only) is the median of the per-run
+	// pipelined/serial throughput ratios. Each run times both modes
+	// back to back, so the ratio is a paired sample — machine regime
+	// shifts hit both halves and cancel, where a quotient of
+	// independently taken medians would not.
+	RatioToSerial float64 `json:"ratio_to_serial,omitempty"`
+	Runs          int     `json:"runs"`
+}
+
+func (r PipeResult) cell() string {
+	return fmt.Sprintf("%s/p%d", r.Mode, r.P)
+}
+
+// PipeReport is the BENCH_pipeline.json schema.
+type PipeReport struct {
+	Host    Host         `json:"host"`
+	Results []PipeResult `json:"results"`
+}
+
+func (r *PipeReport) index() map[string]PipeResult {
+	m := make(map[string]PipeResult, len(r.Results))
+	for _, res := range r.Results {
+		m[res.cell()] = res
+	}
+	return m
+}
+
+// pipeSizes is the mixed-size job stream every cell sorts; three size
+// classes, so job boundaries (where the serial barrier hurts) come at
+// an uneven rhythm.
+var pipeSizes = []int{1 << 6, 1 << 7, 1 << 9}
+
+// runPipeline is the -pipeline entry point, sharing run's flag values.
+func runPipeline(w io.Writer, baseline, out string, write, quick bool, runs int, tol float64) error {
+	var base *PipeReport
+	if !write {
+		b, err := readPipeReport(baseline)
+		if err != nil {
+			if !(quick && os.IsNotExist(err)) {
+				return fmt.Errorf("reading baseline: %w (run with -pipeline -write to create it)", err)
+			}
+		} else {
+			base = b
+		}
+	}
+
+	rep, err := measurePipelineMatrix(w, quick, runs)
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := writePipeReport(out, rep); err != nil {
+			return err
+		}
+	}
+	if write {
+		if err := writePipeReport(baseline, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "pipeline baseline written to %s (%d cells)\n", baseline, len(rep.Results))
+		return nil
+	}
+
+	failures := comparePipeline(base, rep, tol)
+	for _, f := range failures {
+		fmt.Fprintln(w, "REGRESSION:", f)
+	}
+	if quick {
+		fmt.Fprintf(w, "pipeline smoke passed: %d cells correct (%d perf deviations reported, not gated)\n",
+			len(rep.Results), len(failures))
+		return nil
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d pipeline gate(s) failed", len(failures))
+	}
+	fmt.Fprintf(w, "pipeline gate passed: %d cells (pipelined/serial geomean >= 1, baselines within %.0f%%)\n",
+		len(rep.Results), tol*100)
+	return nil
+}
+
+func measurePipelineMatrix(w io.Writer, quick bool, runs int) (*PipeReport, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	const depth = 256
+	jobCount := 192
+	workers := []int{2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 2 && g != 4 {
+		workers = append(workers, g)
+	}
+	if quick {
+		workers = workers[:1]
+		jobCount = 12
+	}
+	rep := &PipeReport{Host: hostFingerprint()}
+	for _, p := range workers {
+		piped, serial, err := measurePipelinePair(p, depth, jobCount, runs)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range []PipeResult{piped, serial} {
+			if r.RatioToSerial > 0 {
+				fmt.Fprintf(w, "%-20s %12.1f sorts/s   %.3fx vs serial (paired median)\n",
+					r.cell(), r.SortsPerSec, r.RatioToSerial)
+			} else {
+				fmt.Fprintf(w, "%-20s %12.1f sorts/s\n", r.cell(), r.SortsPerSec)
+			}
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	return rep, nil
+}
+
+// benchJob is one prebuilt sort in the stream: a permutation of 0..n-1
+// (so the sorted output is the identity), its sorter and its arena.
+// Every job owns its memory — the disjointness the pipeline requires —
+// and is reset to its seeded state between timed runs.
+type benchJob struct {
+	keys []int
+	s    *core.Sorter
+	mem  []model.Word
+	less func(i, j int) bool
+}
+
+func buildJobs(count int) []*benchJob {
+	jobs := make([]*benchJob, count)
+	for j := range jobs {
+		n := pipeSizes[j%len(pipeSizes)]
+		keys := rand.New(rand.NewSource(int64(7919*j + 1))).Perm(n)
+		a := &model.Arena{}
+		s := core.NewSorter(a, n, core.AllocRandomized)
+		jb := &benchJob{
+			keys: keys,
+			s:    s,
+			mem:  make([]model.Word, a.Size()),
+			// Less indices are 1-based; keys are distinct, so no tie-break.
+			less: func(i, j int) bool { return keys[i-1] < keys[j-1] },
+		}
+		s.Seed(jb.mem)
+		jobs[j] = jb
+	}
+	return jobs
+}
+
+// verify checks the job's places form a permutation that sorts its keys.
+func (jb *benchJob) verify() error {
+	n := len(jb.keys)
+	out := make([]int, n)
+	for i, r := range jb.s.Places(jb.mem) {
+		if r < 1 || r > n {
+			return fmt.Errorf("n=%d: element %d has rank %d outside [1, %d]", n, i, r, n)
+		}
+		out[r-1] = jb.keys[i]
+	}
+	for k := 0; k < n; k++ {
+		if out[k] != k {
+			return fmt.Errorf("n=%d: output[%d] = %d, not sorted", n, k, out[k])
+		}
+	}
+	return nil
+}
+
+// reset restores the job's arena to its just-seeded state, exactly as
+// the pool's Ctx.Reset does between pooled sorts.
+func (jb *benchJob) reset() {
+	clear(jb.mem)
+	jb.s.Seed(jb.mem)
+}
+
+// measurePipelinePair times the same mixed-size job stream through a
+// resident serial team and a resident pipelined crew of the same P.
+// The order of the two timed halves alternates run by run, so machine
+// drift across the measurement biases neither mode.
+func measurePipelinePair(p, depth, jobCount, runs int) (piped, serial PipeResult, err error) {
+	team := native.NewTeam(p, false)
+	defer team.Close()
+	pl := native.NewPipeline(p, depth, false)
+	defer pl.Close()
+	jobs := buildJobs(jobCount)
+
+	timeSerial := func() (time.Duration, error) {
+		runtime.GC()
+		start := time.Now()
+		for j, jb := range jobs {
+			if _, err := team.Run(native.TeamJob{
+				Prog: jb.s.Program(), Mem: jb.mem, Less: jb.less, Seed: uint64(j) + 1,
+			}); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	timePipelined := func() (time.Duration, error) {
+		runtime.GC()
+		start := time.Now()
+		inFlight := make([]*native.PipeRun, len(jobs))
+		for j, jb := range jobs {
+			inFlight[j] = pl.Submit(native.PipeJob{
+				Graph: jb.s.Graph(), Mem: jb.mem, Less: jb.less, Seed: uint64(j) + 1,
+			})
+		}
+		for _, r := range inFlight {
+			if _, err := r.Wait(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	afterRun := func(mode string) error {
+		for _, jb := range jobs {
+			if err := jb.verify(); err != nil {
+				return fmt.Errorf("p%d %s: %w", p, mode, err)
+			}
+			jb.reset()
+		}
+		return nil
+	}
+
+	pipedTimes := make([]time.Duration, 0, runs)
+	serialTimes := make([]time.Duration, 0, runs)
+	ratios := make([]float64, 0, runs)
+	for r := 0; r <= runs; r++ {
+		order := []string{"pipelined", "serial"}
+		if r%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		var tp, tser time.Duration
+		for _, mode := range order {
+			var t time.Duration
+			var err error
+			if mode == "pipelined" {
+				t, err = timePipelined()
+				tp = t
+			} else {
+				t, err = timeSerial()
+				tser = t
+			}
+			if err != nil {
+				return PipeResult{}, PipeResult{}, fmt.Errorf("p%d %s: %w", p, mode, err)
+			}
+			if err := afterRun(mode); err != nil {
+				return PipeResult{}, PipeResult{}, err
+			}
+		}
+		if r > 0 { // run 0 is warmup
+			pipedTimes = append(pipedTimes, tp)
+			serialTimes = append(serialTimes, tser)
+			ratios = append(ratios, tser.Seconds()/tp.Seconds())
+		}
+	}
+	sorts := float64(len(jobs))
+	piped = PipeResult{Mode: "pipelined", P: p, Depth: depth, Jobs: jobCount,
+		SortsPerSec:   sorts / median(pipedTimes).Seconds(),
+		RatioToSerial: medianFloat(ratios), Runs: runs}
+	serial = PipeResult{Mode: "serial", P: p, Jobs: jobCount,
+		SortsPerSec: sorts / median(serialTimes).Seconds(), Runs: runs}
+	return piped, serial, nil
+}
+
+func medianFloat(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// comparePipeline runs the pipeline gates. The pipelined/serial >= 1
+// gate is in-run and needs no baseline; the absolute and ratio-drift
+// gates engage when one is present.
+func comparePipeline(base, cur *PipeReport, tol float64) []string {
+	var failures []string
+	ci := cur.index()
+
+	// Gate 1, in-run and unconditional: geomean pipelined/serial >= 1.
+	var logSum float64
+	cells := 0
+	worst, worstCell := math.Inf(1), ""
+	for _, c := range cur.Results {
+		if c.Mode != "pipelined" {
+			continue
+		}
+		ratio := c.RatioToSerial
+		if ratio <= 0 { // pre-paired-ratio reports: quotient of medians
+			s, ok := ci[PipeResult{Mode: "serial", P: c.P}.cell()]
+			if !ok || s.SortsPerSec <= 0 {
+				continue
+			}
+			ratio = c.SortsPerSec / s.SortsPerSec
+		}
+		logSum += math.Log(ratio)
+		cells++
+		if ratio < worst {
+			worst, worstCell = ratio, fmt.Sprintf("p%d (%.2fx)", c.P, ratio)
+		}
+	}
+	if cells > 0 {
+		if g := math.Exp(logSum / float64(cells)); g < 1 {
+			failures = append(failures, fmt.Sprintf(
+				"pipelined/serial: geomean %.2fx < 1.00x over %d cells (worst %s) — pipelining no longer pays for itself",
+				g, cells, worstCell))
+		}
+	}
+
+	if base == nil {
+		return failures
+	}
+	bi := base.index()
+
+	// Gate 2 (comparable hosts): absolute geomean within tolerance.
+	if base.Host.comparable(cur.Host) {
+		logSum, cells = 0, 0
+		worst, worstCell = 1.0, ""
+		for _, c := range cur.Results {
+			b, ok := bi[c.cell()]
+			if !ok || b.SortsPerSec <= 0 || c.SortsPerSec <= 0 {
+				continue
+			}
+			change := c.SortsPerSec / b.SortsPerSec
+			logSum += math.Log(change)
+			cells++
+			if change < worst {
+				worst, worstCell = change, c.cell()
+			}
+		}
+		if cells > 0 {
+			if g := math.Exp(logSum / float64(cells)); g < 1-tol {
+				failures = append(failures, fmt.Sprintf(
+					"throughput: geomean %.1f%% below baseline over %d cells (worst %s at %.1f%%)",
+					100*(1-g), cells, worstCell, 100*(1-worst)))
+			}
+		}
+	}
+
+	// Gate 3 (any host): the pipelined/serial ratio's drift vs baseline,
+	// each side's ratio taken as its paired per-run median.
+	logSum, cells = 0, 0
+	worst, worstCell = 1.0, ""
+	for _, c := range cur.Results {
+		if c.Mode != "pipelined" {
+			continue
+		}
+		bp, ok := bi[c.cell()]
+		if !ok || c.RatioToSerial <= 0 || bp.RatioToSerial <= 0 {
+			continue
+		}
+		change := c.RatioToSerial / bp.RatioToSerial
+		logSum += math.Log(change)
+		cells++
+		if change < worst {
+			worst, worstCell = change, fmt.Sprintf("p%d", c.P)
+		}
+	}
+	if cells > 0 {
+		if g := math.Exp(logSum / float64(cells)); g < 1-tol {
+			failures = append(failures, fmt.Sprintf(
+				"ratio pipelined/serial vs baseline: geomean %.1f%% below over %d cells (worst %s)",
+				100*(1-g), cells, worstCell))
+		}
+	}
+	return failures
+}
+
+func readPipeReport(path string) (*PipeReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r PipeReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func writePipeReport(path string, r *PipeReport) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -384,6 +384,104 @@ func RunNative(spec Spec) (res Result, err error) {
 	return res, nil
 }
 
+// PipelinedSpec scales the pipelined chaos battery: Jobs sorts of N
+// keys stream through one phase-pipelined crew of P workers with queue
+// depth Depth, and every even-numbered job is struck by a seeded crash
+// quorum killing roughly Frac of the workers (pid 0 spared, no
+// revival).
+type PipelinedSpec struct {
+	N, P, Depth, Jobs int
+	Seed              uint64
+	Frac              float64
+}
+
+// RunPipelined is the serving-regime counterpart of RunNative: it
+// certifies wait-freedom across job boundaries, not just within one
+// sort. All jobs are submitted up front so they genuinely overlap, then
+// each is certified independently — sorted output, per-processor op
+// ceiling (PipeRun.OpsPerProc against Bound), and every completion
+// predicate of the job's phase graph satisfied. The struck jobs prove
+// kills stay job-local (each job owns its kill flags); the faultless
+// jobs between them prove the crew is back at full strength without a
+// goroutine ever respawning; and the stream completing at all proves
+// the admission gate does not deadlock on permanently dead workers.
+func RunPipelined(spec PipelinedSpec) ([]Result, error) {
+	if spec.Depth < 1 {
+		spec.Depth = 1
+	}
+	if spec.Jobs < 1 {
+		spec.Jobs = 1
+	}
+	pl := native.NewPipeline(spec.P, spec.Depth, true)
+	defer pl.Close()
+
+	type flight struct {
+		run  *native.PipeRun
+		s    *core.Sorter
+		mem  []model.Word
+		keys []int
+	}
+	flights := make([]flight, 0, spec.Jobs)
+	for j := 0; j < spec.Jobs; j++ {
+		keys := randKeys(spec.N, spec.Seed+uint64(j)*0x9e37)
+		a := &model.Arena{}
+		s := core.NewSorter(a, spec.N, core.AllocRandomized)
+		mem := make([]model.Word, a.Size())
+		s.Seed(mem)
+		job := native.PipeJob{
+			Graph: s.Graph(), Mem: mem, Less: lessFor(keys),
+			Seed: spec.Seed + uint64(j),
+		}
+		if j%2 == 0 && spec.Frac > 0 {
+			crashes := CrashQuorum(spec.P, spec.Frac, int64(spec.N), spec.Seed+uint64(13*j+7))
+			if len(crashes) > 0 {
+				job.Adversary = native.NewPlan().AddCrashes(crashes)
+			}
+		}
+		flights = append(flights, flight{run: pl.Submit(job), s: s, mem: mem, keys: keys})
+	}
+
+	results := make([]Result, 0, spec.Jobs)
+	for j, f := range flights {
+		res := Result{
+			Policy: "pipelined-crash-half", Variant: "randomized", Layout: "dense",
+			N: spec.N, P: spec.P, Seed: spec.Seed + uint64(j),
+		}
+		met, werr := f.run.Wait()
+		if werr != nil {
+			res.Error = werr.Error()
+			results = append(results, res)
+			return results, werr
+		}
+		res.ElapsedMS = float64(f.run.Elapsed.Microseconds()) / 1000
+		res.Killed = met.Killed
+		res.Respawns = met.Respawns
+		res.Stalls = met.InjectedStalls
+		res.Survivors = spec.P - met.Killed + met.Respawns
+		res.Sized, res.Placed = f.s.Progress(f.mem)
+
+		out, perr := outputOf(f.keys, f.s.Places(f.mem))
+		res.Sorted = perr == nil && equalInts(out, SortedRef(f.keys))
+		if perr != nil {
+			res.Error = perr.Error()
+		}
+		if name := f.s.Graph().FirstUndone(f.mem); name != "" && res.Error == "" {
+			res.Error = fmt.Sprintf("phase %q predicate unsatisfied after completion", name)
+			res.Sorted = false
+		}
+
+		res.Bound = Bound(spec.N)
+		for _, ops := range f.run.OpsPerProc() {
+			if ops > res.MaxOps {
+				res.MaxOps = ops
+			}
+		}
+		res.Certified = res.MaxOps <= res.Bound
+		results = append(results, res)
+	}
+	return results, nil
+}
+
 // adversaryOrNil avoids wrapping a nil *Plan in a non-nil interface.
 func adversaryOrNil(pl *native.Plan) model.Adversary {
 	if pl == nil {
@@ -582,6 +680,29 @@ func Sweep(o SweepOptions) (*Report, error) {
 			rep.Failures = append(rep.Failures, fmt.Sprintf("differential %s: %v", label, err))
 		} else {
 			rep.Differential = append(rep.Differential, label+": identical output on pram and all native layouts")
+		}
+	}
+	// Phase-pipelined battery per P: crash-half striking alternate jobs
+	// of an overlapped stream on one resident crew.
+	jobs := 4
+	if o.Quick {
+		jobs = 3
+	}
+	for _, p := range o.Ps {
+		prs, err := RunPipelined(PipelinedSpec{
+			N: o.N, P: p, Depth: 2, Jobs: jobs,
+			Seed: o.Seed + uint64(p)*101, Frac: 0.5,
+		})
+		if err != nil {
+			return rep, fmt.Errorf("pipelined p=%d: %w", p, err)
+		}
+		for j, res := range prs {
+			rep.Runs = append(rep.Runs, res)
+			if !res.OK() {
+				rep.Failures = append(rep.Failures, fmt.Sprintf(
+					"pipelined p=%d job=%d: sorted=%v certified=%v (max ops %d / bound %d) %s",
+					p, j, res.Sorted, res.Certified, res.MaxOps, res.Bound, res.Error))
+			}
 		}
 	}
 	rep.OK = len(rep.Failures) == 0

@@ -57,6 +57,35 @@ func TestMassacreCertifies(t *testing.T) {
 	}
 }
 
+// TestRunPipelinedCrashHalf is the pipelined acceptance battery: a
+// stream of overlapped jobs on one crew, half the workers crashed in
+// alternate jobs, every job sorted and certified.
+func TestRunPipelinedCrashHalf(t *testing.T) {
+	results, err := RunPipelined(PipelinedSpec{
+		N: 1024, P: 4, Depth: 2, Jobs: 5, Seed: 21, Frac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d results, want 5", len(results))
+	}
+	kills := 0
+	for j, res := range results {
+		if !res.OK() {
+			t.Errorf("job %d: sorted=%v certified=%v (max ops %d / bound %d) %s",
+				j, res.Sorted, res.Certified, res.MaxOps, res.Bound, res.Error)
+		}
+		if j%2 == 1 && res.Killed != 0 {
+			t.Errorf("faultless job %d saw %d kills — faults leaked across jobs", j, res.Killed)
+		}
+		kills += res.Killed
+	}
+	if kills == 0 {
+		t.Fatal("crash-half plans landed no kills")
+	}
+}
+
 // TestReviveAndStallPolicies exercises the respawning and stalling
 // adversaries end to end via BuildSpec.
 func TestReviveAndStallPolicies(t *testing.T) {
@@ -177,7 +206,8 @@ func TestSweepQuick(t *testing.T) {
 	if !rep.OK {
 		t.Fatalf("sweep failures:\n%s", strings.Join(rep.Failures, "\n"))
 	}
-	wantRuns := len(Policies()) * 2 * len(Layouts())
+	// policy x P x layout cells, plus the pipelined battery's 4 jobs per P.
+	wantRuns := len(Policies())*2*len(Layouts()) + 2*4
 	if len(rep.Runs) != wantRuns {
 		t.Errorf("sweep produced %d runs, want %d", len(rep.Runs), wantRuns)
 	}

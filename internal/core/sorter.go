@@ -42,6 +42,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"wfsort/internal/engine"
 	"wfsort/internal/model"
 	"wfsort/internal/wat"
 )
@@ -147,6 +148,11 @@ type Sorter struct {
 	build *wat.WAT
 	// shuffle assigns output writes (elements 1..n → jobs 0..n-1).
 	shuffle *wat.WAT
+
+	// graph is the declared phase sequence (1:build → 2:sum → 3:place →
+	// 4:shuffle) that Sort executes through the engine scheduler. Nil for
+	// bare tables (NewTable), which carry no work-assignment machinery.
+	graph *engine.Graph
 }
 
 // NewSorter reserves the sort's shared state for n >= 1 elements in the
@@ -165,6 +171,7 @@ func NewSorterNamed(a model.Allocator, n int, alloc Alloc, prefix string) *Sorte
 	if n > 1 {
 		s.build = wat.NewNamed(a, prefix+"wat.build", n-1)
 	}
+	s.buildGraph()
 	return s
 }
 
@@ -191,6 +198,7 @@ func NewSorterTuned(a model.Allocator, n int, alloc Alloc, tun Tuning) *Sorter {
 		s.sumCtr = NewShardedCounter(a, "sum", tun.Shards)
 		s.placeCtr = NewShardedCounter(a, "place", tun.Shards)
 	}
+	s.buildGraph()
 	return s
 }
 
@@ -245,45 +253,115 @@ func (s *Sorter) Program() model.Program {
 	}
 }
 
-// Sort runs all phases on the calling processor.
+// Sort runs all phases on the calling processor by executing the
+// declared phase graph.
 func (s *Sorter) Sort(p model.Proc) {
-	if s.shuffle == nil && !s.tun.HostShuffle {
+	if s.graph == nil {
 		panic("core: Sort requires a sorter from NewSorter, not NewTable")
 	}
+	s.graph.Run(p)
+}
+
+// Graph returns the sorter's declared phase graph, or nil for bare
+// tables. Runtimes that schedule at phase granularity (native.Pipeline)
+// and the certification harness introspect it.
+func (s *Sorter) Graph() *engine.Graph { return s.graph }
+
+// buildGraph declares the §2 sort as an engine phase graph. The phase
+// sequence, labels and bodies reproduce the seed's inline orchestration
+// operation-for-operation (the simulator goldens pin this down); the
+// graph additionally carries host-side completion predicates for the
+// certifier and, under Tuning.HostShuffle, the scatter epilogue that
+// replaces the shared-memory write-all pass.
+func (s *Sorter) buildGraph() {
+	g := engine.New("core")
 	if s.n > 1 {
-		p.Phase("1:build")
-		s.BuildPhase(p)
-		p.Phase("2:sum")
-		s.treeSum(p, 1, 0)
-		p.Phase("3:place")
-		var st *descentState
-		if s.placeCtr.Enabled() {
-			st = &descentState{}
-		}
-		s.findPlace(p, 1, 0, 0, st)
+		g.Add(engine.Phase{
+			Name: "1:build",
+			Body: func(p model.Proc, _ any) { s.BuildPhase(p) },
+			// The deterministic completion sweep drives next_element to
+			// NoWork, which requires the build WAT's root mark — so a
+			// doneish root certifies every insertion, even when the
+			// randomized allocation bailed out early on its miss counter.
+			Done: func(mem []Word) bool { return model.Doneish(mem[leafAddr(s.build, 1)]) },
+		})
+		g.Add(engine.Phase{
+			Name: "2:sum",
+			Body: func(p model.Proc, _ any) { s.treeSum(p, 1, 0) },
+			Done: func(mem []Word) bool { sized, _ := s.Progress(mem); return sized == s.n },
+		})
+		g.Add(engine.Phase{
+			Name: "3:place",
+			Body: func(p model.Proc, _ any) {
+				var st *descentState
+				if s.placeCtr.Enabled() {
+					st = &descentState{}
+				}
+				s.findPlace(p, 1, 0, 0, st)
+			},
+			// The root's placeDone mark can legitimately be skipped under
+			// the tuned early exit, so completion is judged on the ranks
+			// themselves.
+			Done: func(mem []Word) bool { _, placed := s.Progress(mem); return placed == s.n },
+		})
 	} else {
-		p.Phase("2:sum")
-		p.Write(s.size.At(1), 1)
-		p.Phase("3:place")
-		p.Write(s.place.At(1), 1)
+		g.Add(engine.Phase{
+			Name: "2:sum",
+			Body: func(p model.Proc, _ any) { p.Write(s.size.At(1), 1) },
+			Done: func(mem []Word) bool { sized, _ := s.Progress(mem); return sized == s.n },
+		})
+		g.Add(engine.Phase{
+			Name: "3:place",
+			Body: func(p model.Proc, _ any) { p.Write(s.place.At(1), 1) },
+			Done: func(mem []Word) bool { _, placed := s.Progress(mem); return placed == s.n },
+		})
 	}
 	if s.tun.HostShuffle {
-		// The native driver scatters from the rank table itself; by the
-		// time any worker returns from phase 3 every place word is final
-		// (places are installed before the bottom-up placeDone marks
-		// that gate pruning), so there is nothing left to publish.
-		return
+		// Host-only phase: the native driver scatters from the rank table
+		// itself; by the time any worker returns from phase 3 every place
+		// word is final (places are installed before the bottom-up
+		// placeDone marks that gate pruning), so the workers have nothing
+		// left to publish and the engine skips the phase entirely. Drivers
+		// that nevertheless want the out region materialized (Output) run
+		// the epilogue via Graph.Epilogues.
+		g.Add(engine.Phase{
+			Name:     "4:shuffle",
+			Epilogue: s.scatterHost,
+		})
+	} else {
+		g.Add(engine.Phase{
+			Name: "4:shuffle",
+			Body: func(p model.Proc, _ any) {
+				batch := s.batch()
+				s.shuffle.Run(p, func(j int) {
+					lo := j*batch + 1
+					hi := min(lo+batch-1, s.n)
+					for elem := lo; elem <= hi; elem++ {
+						r := p.Read(s.place.At(elem))
+						p.Write(s.out.At(int(r)-1), Word(elem))
+					}
+				})
+			},
+			Done: func(mem []Word) bool {
+				for r := 0; r < s.n; r++ {
+					if mem[s.out.At(r)] == model.Empty {
+						return false
+					}
+				}
+				return true
+			},
+		})
 	}
-	p.Phase("4:shuffle")
-	batch := s.batch()
-	s.shuffle.Run(p, func(j int) {
-		lo := j*batch + 1
-		hi := min(lo+batch-1, s.n)
-		for elem := lo; elem <= hi; elem++ {
-			r := p.Read(s.place.At(elem))
-			p.Write(s.out.At(int(r)-1), Word(elem))
-		}
-	})
+	s.graph = g
+}
+
+// scatterHost fills the out region from the rank table host-side — the
+// same permutation the shared-memory shuffle publishes, computed on
+// quiescent memory without the write-all pass.
+func (s *Sorter) scatterHost(mem []Word) {
+	for i := 1; i <= s.n; i++ {
+		mem[s.out.At(int(mem[s.place.At(i)])-1)] = Word(i)
+	}
 }
 
 // batch returns the work-claim granularity (>= 1).
@@ -592,12 +670,9 @@ func (s *Sorter) findPlace(p model.Proc, i int, sub Word, d int, st *descentStat
 			return
 		}
 	}
-	var sm Word
 	small := int(p.Read(s.child[Small].At(i)))
 	big := int(p.Read(s.child[Big].At(i)))
-	if small != 0 {
-		sm = p.Read(s.size.At(small))
-	}
+	sm := model.SmallSubtreeSize(p, Word(small), s.size.At)
 	if st != nil {
 		if p.CAS(s.place.At(i), model.Empty, sm+sub+1) {
 			s.placeCtr.Add(p, 1)
@@ -648,15 +723,7 @@ func (s *Sorter) PlacesInto(mem []Word, dst []int) {
 // that lost every worker, which is what the chaos certifier reports
 // when a fault schedule proves too aggressive.
 func (s *Sorter) Progress(mem []Word) (sized, placed int) {
-	for i := 1; i <= s.n; i++ {
-		if mem[s.size.At(i)] != model.Empty {
-			sized++
-		}
-		if mem[s.place.At(i)] != model.Empty {
-			placed++
-		}
-	}
-	return sized, placed
+	return s.progressScan(mem, plainLoad)
 }
 
 // LiveProgress is Progress for a run still in flight: the same counts
@@ -666,16 +733,26 @@ func (s *Sorter) Progress(mem []Word) (sized, placed int) {
 // install sizes and places monotonically, so successive polls are
 // nondecreasing.
 func (s *Sorter) LiveProgress(mem []Word) (sized, placed int) {
+	return s.progressScan(mem, atomicLoad)
+}
+
+// progressScan is the one phase-2/3 progress loop, parameterized by
+// load discipline: plain loads on quiescent memory (Progress), atomic
+// loads while workers are in flight (LiveProgress).
+func (s *Sorter) progressScan(mem []Word, load func(*Word) Word) (sized, placed int) {
 	for i := 1; i <= s.n; i++ {
-		if atomic.LoadInt64(&mem[s.size.At(i)]) != model.Empty {
+		if load(&mem[s.size.At(i)]) != model.Empty {
 			sized++
 		}
-		if atomic.LoadInt64(&mem[s.place.At(i)]) != model.Empty {
+		if load(&mem[s.place.At(i)]) != model.Empty {
 			placed++
 		}
 	}
 	return sized, placed
 }
+
+func plainLoad(w *Word) Word  { return *w }
+func atomicLoad(w *Word) Word { return atomic.LoadInt64(w) }
 
 // Output extracts the shuffled result: Output(mem)[r] is the element id
 // with rank r+1.

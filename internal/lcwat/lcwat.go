@@ -69,6 +69,12 @@ func NewNamed(a model.Allocator, name string, jobs int) *Tree {
 // Jobs returns the number of real jobs.
 func (t *Tree) Jobs() int { return t.jobs }
 
+// RootAddr returns the shared-memory address of the tree's root mark.
+// The root reads as a doneish value exactly when every job is complete,
+// which is what the phase graphs' host-side completion predicates
+// check.
+func (t *Tree) RootAddr() int { return t.tree.At(1) }
+
 // Nodes returns the number of tree nodes (2·leaves − 1).
 func (t *Tree) Nodes() int { return 2*t.leaves - 1 }
 

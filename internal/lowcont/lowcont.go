@@ -44,6 +44,7 @@ import (
 	"math/bits"
 
 	"wfsort/internal/core"
+	"wfsort/internal/engine"
 	"wfsort/internal/lcwat"
 	"wfsort/internal/model"
 )
@@ -83,11 +84,21 @@ type Sorter struct {
 
 	table   *core.Sorter // global element table (no WATs)
 	sumDone model.Region // phase-2 completion marks per element
-	glue    *lcwat.Tree  // glue-phase work assignment over n jobs (§3.2 uses LC-WATs)
-	shuf    *lcwat.Tree  // low-contention shuffle over n jobs
+	glue    *lcwat.Tree  // glue-phase work assignment (ceil(n/batch) jobs, §3.2 uses LC-WATs)
+	shuf    *lcwat.Tree  // low-contention shuffle (ceil(n/batch) jobs)
+
+	// batch is the number of elements claimed per glue/shuffle job
+	// (>= 1). 1 is the paper-faithful one-element-per-job granularity the
+	// simulator runs; larger batches amortize the LC-WAT probe traffic on
+	// the native fast path, mirroring core's Tuning.Batch.
+	batch int
 
 	fillRounds    int
 	fallbackAfter int
+
+	// graph is the declared phase sequence (A:inner → … → G:shuffle)
+	// that Sort executes through the engine scheduler.
+	graph *engine.Graph
 }
 
 // New lays out the Section 3 sorter in the arena. The allocator decides
@@ -96,11 +107,25 @@ type Sorter struct {
 // tree, fat-tree duplicates and LC-WAT tops off each other's cache
 // lines.
 func New(a model.Allocator, n, p int) *Sorter {
+	return NewTuned(a, n, p, 1)
+}
+
+// NewTuned is New with a batched work-claim granularity: the glue and
+// shuffle LC-WATs cover ceil(n/batch) jobs of batch consecutive
+// elements each, so workers touch the trees' contended nodes batch
+// times less often — the same trade core.Tuning.Batch makes for the
+// deterministic WATs. batch <= 1 reproduces New exactly (one element
+// per job, the paper-faithful accounting the simulator goldens pin
+// down); larger batches are only ever used by the native fast path.
+func NewTuned(a model.Allocator, n, p, batch int) *Sorter {
 	if p < 4 {
 		panic("lowcont: need at least 4 processors (use core below that)")
 	}
 	if n < p {
 		panic(fmt.Sprintf("lowcont: need n >= p, got n=%d p=%d", n, p))
+	}
+	if batch < 1 {
+		batch = 1
 	}
 	g := int(math.Sqrt(float64(p)))
 	fatLevels := max(1, bits.Len(uint(g))-1)
@@ -112,6 +137,7 @@ func New(a model.Allocator, n, p int) *Sorter {
 		fatNodes:      1<<fatLevels - 1,
 		fatLevels:     fatLevels,
 		dup:           g,
+		batch:         batch,
 		fillRounds:    bits.Len(uint(p)),
 		fallbackAfter: 16 * (bits.Len(uint(n)) + 2),
 	}
@@ -133,8 +159,9 @@ func New(a model.Allocator, n, p int) *Sorter {
 	s.fat = a.Named("fat", s.fatNodes*s.dup)
 	s.table = core.NewTableNamed(a, n, "glob.")
 	s.sumDone = a.Named("glob.sumdone", n+1)
-	s.glue = lcwat.NewNamed(a, "glue", n)
-	s.shuf = lcwat.NewNamed(a, "shuffle", n)
+	s.glue = lcwat.NewNamed(a, "glue", ceilDiv(n, batch))
+	s.shuf = lcwat.NewNamed(a, "shuffle", ceilDiv(n, batch))
+	s.buildGraph()
 	return s
 }
 
@@ -190,42 +217,127 @@ func (s *Sorter) Program() model.Program {
 // groupOf maps a processor id to its group.
 func (s *Sorter) groupOf(pid int) int { return pid * s.groupCount / s.p }
 
-// Sort runs every phase on the calling processor. Each transition is
-// individually gated (a processor moves on only once the global state
-// it needs is complete), so crashes and delays never block survivors.
+// Sort runs every phase on the calling processor by executing the
+// declared phase graph. Each transition is individually gated (a
+// processor moves on only once the global state it needs is complete),
+// so crashes and delays never block survivors.
 func (s *Sorter) Sort(p model.Proc) {
-	g := s.groupOf(p.ID())
-	grp := &s.groups[g]
-	sub := model.NewSubProc(p, p.ID()-grp.firstPID, grp.procs, grp.base, "A:")
-	grp.sorter.Sort(sub)
+	s.graph.Run(p)
+}
 
-	p.Phase("B:winner")
-	w := s.selectWinner(p, g)
+// Graph returns the sorter's declared phase graph. Runtimes that
+// schedule at phase granularity (native.Pipeline) and the certification
+// harness introspect it.
+func (s *Sorter) Graph() *engine.Graph { return s.graph }
 
-	p.Phase("C:fill")
-	s.fillFat(p, w)
+// lcState carries one execution's per-processor locals between phases:
+// the elected winner group and the learned global root. A respawned
+// worker re-enters the graph from phase A and re-derives both from
+// shared memory.
+type lcState struct {
+	w    int // elected winner group (B:winner)
+	root int // global root element, the winner's median sample (D:glue)
+}
 
-	p.Phase("D:glue")
-	s.glue.Run(p, func(j int) { s.glueJob(p, w, j+1) })
-
-	// Learn the global root (the winner's median sample) through a
-	// random fat duplicate — every processor needs it, so reading the
-	// winner's slice directly here would concentrate P reads on one
-	// word.
-	root := s.fatElem(p, w, 1)
-
-	p.Phase("E:sum")
-	s.lcTreeSum(p, root)
-
-	p.Phase("F:place")
-	s.lcFindPlace(p, root)
-
-	p.Phase("G:shuffle")
-	s.shuf.Run(p, func(j int) {
-		elem := j + 1
-		r := p.Read(s.table.PlaceAddr(elem))
-		p.Write(s.table.OutAddr(int(r)-1), Word(elem))
+// buildGraph declares the §3 sort as an engine phase graph. The phase
+// sequence, labels and bodies reproduce the seed's inline orchestration
+// operation-for-operation; the inner §2 sorts embed as subgraphs over a
+// prefixing model.SubProc, so their own phase labels ("A:1:build", …)
+// carry through unchanged and the outer phase A stays label-free
+// (Quiet), exactly as before.
+func (s *Sorter) buildGraph() {
+	g := engine.New("lowcont").WithState(func() any { return &lcState{} })
+	g.Add(engine.Phase{
+		Name:  "A:inner",
+		Quiet: true,
+		Body: engine.Embed(func(p model.Proc) (*engine.Graph, model.Proc) {
+			grp := &s.groups[s.groupOf(p.ID())]
+			return grp.sorter.Graph(), model.NewSubProc(p, p.ID()-grp.firstPID, grp.procs, grp.base, "A:")
+		}),
+		Done: func(mem []Word) bool {
+			for i := range s.groups {
+				if !s.groups[i].sorter.Graph().Done(mem) {
+					return false
+				}
+			}
+			return true
+		},
 	})
+	g.Add(engine.Phase{
+		Name: "B:winner",
+		Body: func(p model.Proc, st any) {
+			st.(*lcState).w = s.selectWinner(p, s.groupOf(p.ID()))
+		},
+		Done: func(mem []Word) bool { return mem[s.winner.At(1)] != model.Empty },
+	})
+	g.Add(engine.Phase{
+		// The write-most fill is probabilistic — nearly all duplicates
+		// are filled w.h.p., none are guaranteed — so the phase carries
+		// no completion predicate.
+		Name: "C:fill",
+		Body: func(p model.Proc, st any) { s.fillFat(p, st.(*lcState).w) },
+	})
+	g.Add(engine.Phase{
+		Name: "D:glue",
+		Body: func(p model.Proc, st any) {
+			ls := st.(*lcState)
+			s.glue.Run(p, func(j int) { s.glueSpan(p, ls.w, j) })
+			// Learn the global root (the winner's median sample) through
+			// a random fat duplicate — every processor needs it, so
+			// reading the winner's slice directly here would concentrate
+			// P reads on one word. The read stays at the end of this
+			// body so the op is attributed to phase D, as it always was.
+			ls.root = s.fatElem(p, ls.w, 1)
+		},
+		Done: func(mem []Word) bool { return model.Doneish(mem[s.glue.RootAddr()]) },
+	})
+	g.Add(engine.Phase{
+		Name: "E:sum",
+		Body: func(p model.Proc, st any) { s.lcTreeSum(p, st.(*lcState).root) },
+		Done: func(mem []Word) bool { sized, _ := s.table.Progress(mem); return sized == s.n },
+	})
+	g.Add(engine.Phase{
+		Name: "F:place",
+		Body: func(p model.Proc, st any) { s.lcFindPlace(p, st.(*lcState).root) },
+		Done: func(mem []Word) bool { _, placed := s.table.Progress(mem); return placed == s.n },
+	})
+	g.Add(engine.Phase{
+		Name: "G:shuffle",
+		Body: func(p model.Proc, st any) { s.shuf.Run(p, s.shuffleSpan(p)) },
+		Done: func(mem []Word) bool {
+			for r := 0; r < s.n; r++ {
+				if mem[s.table.OutAddr(r)] == model.Empty {
+					return false
+				}
+			}
+			return true
+		},
+	})
+	s.graph = g
+}
+
+// glueSpan runs the glue insertion for every element of glue job j:
+// elements j*batch+1 .. min((j+1)*batch, n). With batch == 1 job j
+// covers exactly element j+1, the seed mapping.
+func (s *Sorter) glueSpan(p model.Proc, w, j int) {
+	lo := j*s.batch + 1
+	hi := min(lo+s.batch-1, s.n)
+	for e := lo; e <= hi; e++ {
+		s.glueJob(p, w, e)
+	}
+}
+
+// shuffleSpan returns the shuffle job body: publish the output slot of
+// every element of job j, at the same batched granularity as glueSpan.
+func (s *Sorter) shuffleSpan(p model.Proc) func(j int) {
+	return func(j int) {
+		lo := j*s.batch + 1
+		hi := min(lo+s.batch-1, s.n)
+		for elem := lo; elem <= hi; elem++ {
+			r := p.Read(s.table.PlaceAddr(elem))
+			p.Write(s.table.OutAddr(int(r)-1), Word(elem))
+		}
+	}
 }
 
 // Places extracts every element's final 1-based rank after a run.
@@ -413,21 +525,6 @@ func (s *Sorter) fatInsert(p model.Proc, w, e int) {
 
 // --- low-contention phase 2 (§3.3) ---
 
-// doneish reports whether a completion mark means "subtree complete".
-func doneish(v Word) bool { return v == model.Done || v == model.AllDone }
-
-// childSum returns (size, true) if the subtree hanging off pointer c is
-// completely summed (absent children count as size 0).
-func (s *Sorter) childSum(p model.Proc, c Word) (Word, bool) {
-	if c == model.Empty {
-		return 0, true
-	}
-	if !doneish(p.Read(s.sumDone.At(int(c)))) {
-		return 0, false
-	}
-	return p.Read(s.table.SizeAddr(int(c))), true
-}
-
 // lcTreeSum computes all subtree sizes by random probing: sizes and
 // DONE marks flow bottom-up; the root gets ALLDONE, which probing
 // processors push back down one node at a time before quitting.
@@ -443,8 +540,8 @@ func (s *Sorter) lcTreeSum(p model.Proc, root int) {
 		case v == model.Empty:
 			l := p.Read(s.table.ChildAddr(core.Small, i))
 			r := p.Read(s.table.ChildAddr(core.Big, i))
-			ls, okL := s.childSum(p, l)
-			rs, okR := s.childSum(p, r)
+			ls, okL := model.ChildSum(p, l, s.sumDone.At, s.table.SizeAddr)
+			rs, okR := model.ChildSum(p, r, s.sumDone.At, s.table.SizeAddr)
 			if okL && okR {
 				p.Write(s.table.SizeAddr(i), ls+rs+1)
 				mark := model.Done
@@ -502,10 +599,7 @@ func (s *Sorter) placeChild(p model.Proc, c Word, sub Word) {
 	if p.Read(s.table.PlaceAddr(ci)) != 0 {
 		return
 	}
-	var sm Word
-	if cs := p.Read(s.table.ChildAddr(core.Small, ci)); cs != model.Empty {
-		sm = p.Read(s.table.SizeAddr(int(cs)))
-	}
+	sm := model.SmallSubtreeSize(p, p.Read(s.table.ChildAddr(core.Small, ci)), s.table.SizeAddr)
 	p.Write(s.table.PlaceAddr(ci), sub+sm+1)
 }
 
@@ -524,16 +618,13 @@ func (s *Sorter) lcFindPlace(p model.Proc, root int) {
 		case v == model.AllDone:
 			s.pushMark(p, marks, i)
 			return
-		case doneish(v):
+		case model.Doneish(v):
 			unproductive++
 		default: // not yet complete
 			pl := p.Read(s.table.PlaceAddr(i))
 			if pl == 0 {
 				if i == root {
-					var sm Word
-					if cs := p.Read(s.table.ChildAddr(core.Small, root)); cs != model.Empty {
-						sm = p.Read(s.table.SizeAddr(int(cs)))
-					}
+					sm := model.SmallSubtreeSize(p, p.Read(s.table.ChildAddr(core.Small, root)), s.table.SizeAddr)
 					p.Write(s.table.PlaceAddr(root), sm+1)
 					unproductive = 0
 				} else {
@@ -545,15 +636,12 @@ func (s *Sorter) lcFindPlace(p model.Proc, root int) {
 			// this node complete once both child subtrees are.
 			l := p.Read(s.table.ChildAddr(core.Small, i))
 			r := p.Read(s.table.ChildAddr(core.Big, i))
-			var sm Word
-			if l != model.Empty {
-				sm = p.Read(s.table.SizeAddr(int(l)))
-			}
+			sm := model.SmallSubtreeSize(p, l, s.table.SizeAddr)
 			sub := pl - sm - 1
 			s.placeChild(p, l, sub)
 			s.placeChild(p, r, pl)
-			lDone := l == model.Empty || doneish(p.Read(marks.At(int(l))))
-			rDone := r == model.Empty || doneish(p.Read(marks.At(int(r))))
+			lDone := l == model.Empty || model.Doneish(p.Read(marks.At(int(l))))
+			rDone := r == model.Empty || model.Doneish(p.Read(marks.At(int(r))))
 			if lDone && rDone {
 				mark := model.Done
 				if i == root {
@@ -579,3 +667,6 @@ func ceilPow2(n int) int {
 	}
 	return 1 << bits.Len(uint(n-1))
 }
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

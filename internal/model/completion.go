@@ -1,0 +1,42 @@
+package model
+
+// Completion-scan helpers shared by the §2 and §3 sorts. Both variants
+// gate phase transitions on the same mark vocabulary — Done for a
+// complete subtree, AllDone for global completion (Fig. 8) — and both
+// derive ranks from the same "size of the small subtree hanging off a
+// child pointer" read. These helpers keep that logic in one place, next
+// to the Done/AllDone constants they interpret; each preserves the
+// exact shared-memory operation sequence of the loops it was factored
+// from, which is what keeps the simulator goldens byte-identical.
+
+// Doneish reports whether a completion mark means "subtree complete":
+// both Done and AllDone count (the ALLDONE push-down of §3.3 may
+// overwrite a plain DONE).
+func Doneish(v Word) bool { return v == Done || v == AllDone }
+
+// ChildSum returns (size, true) when the subtree hanging off child
+// pointer c is completely summed, judged by its bottom-up completion
+// mark; absent children count as size 0. One mark read, then — only
+// when the mark is doneish — one size read: the §3.3 probing rule for
+// phase 2.
+func ChildSum(p Proc, c Word, markAddr, sizeAddr func(i int) int) (Word, bool) {
+	if c == Empty {
+		return 0, true
+	}
+	if !Doneish(p.Read(markAddr(int(c)))) {
+		return 0, false
+	}
+	return p.Read(sizeAddr(int(c))), true
+}
+
+// SmallSubtreeSize reads the size of the subtree hanging off child
+// pointer c, with absent children contributing 0 — the quantity every
+// find_place derivation (Fig. 6 and the §3.3 probing variant alike)
+// adds to a parent's rank components. Exactly one size read when the
+// child exists, none otherwise.
+func SmallSubtreeSize(p Proc, c Word, sizeAddr func(i int) int) Word {
+	if c == Empty {
+		return 0
+	}
+	return p.Read(sizeAddr(int(c)))
+}

@@ -1,0 +1,433 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfsort/internal/engine"
+	"wfsort/internal/model"
+	"wfsort/internal/obs"
+	"wfsort/internal/xrand"
+)
+
+// Pipeline is a resident crew of P worker goroutines that overlaps a
+// bounded queue of independent sort jobs at phase granularity. The
+// serial Team forces a full barrier between jobs: the driver must Wait
+// for job k before Start(job k+1), so at every job boundary the whole
+// crew idles behind its slowest worker. The Pipeline removes that
+// barrier. Each job is an engine phase graph; a worker that finishes
+// job k moves straight on to job k+1, gated only by the admission rule:
+//
+//	job k+1 may enter phase 1 once every worker has advanced past
+//	phase 1 of job k.
+//
+// Jobs have disjoint memories, so overlapping them is always safe — the
+// gate is a throughput policy (it keeps the crew's cache working set to
+// roughly two adjacent jobs and preserves rough job ordering), not a
+// correctness requirement.
+//
+// # Done-skip
+//
+// Because jobs are declarative phase graphs rather than opaque
+// programs, the pipeline knows when a job is globally finished: the
+// first worker to run the whole graph to normal completion has, by the
+// engine's own gating, observed every phase's completion predicate
+// hold, so the output is final and any worker arriving afterwards
+// would only re-verify no-ops. Such workers skip the sweep (publishing
+// their phase-1 passage directly, which is trivially true of a done
+// job). The serial Team cannot do this — its barrier wakes all workers
+// into the job simultaneously and its Program is opaque — which is
+// precisely the throughput edge the -pipeline benchmark gate measures.
+// Kills never set the latch — a worker that dies without revival, or a
+// job that panics, leaves done unset — and jobs carrying an Adversary
+// never skip at all, so deterministic fault plans land every scheduled
+// kill and the chaos certifier always measures the unskipped path.
+//
+// # Progress tracking
+//
+// Progress is a per-worker monotone word prog[pid] = epoch·stride + k,
+// where epoch is the job's submission index and k counts completed
+// worker phases. The gate only ever compares against enc(epoch-1, 1),
+// so a worker publishes exactly the two words the gate can read —
+// enc(epoch, 0) at pickup and enc(epoch, 1) when its graph notifies
+// completion of the first worker phase — and swallows the later
+// notifications. Three rules make the admission gate deadlock-free
+// under arbitrary kills:
+//
+//   - pickup publishes: a worker publishes enc(epoch, 0) the moment it
+//     picks a job up, before its own admission wait, so a worker killed
+//     without revival in job k still unblocks job k+1's gate when it
+//     picks job k+1 up (enc(k+1, 0) > enc(k, 1));
+//   - publish is max: a respawned worker re-enters its graph from phase
+//     0 and re-notifies from index 0; taking the max keeps the public
+//     word monotone while, within one incarnation, notified indices are
+//     strictly increasing from 0 (the property tests pin this down);
+//   - FIFO per worker: submission sends every job to every worker's
+//     queue under one lock, so all workers see jobs in epoch order and
+//     the lowest unadmitted epoch only ever waits on workers that are
+//     actively running (or already past) the previous job.
+//
+// Fault semantics within a job match the Team exactly — same
+// incarnation loop (jobCore), kills unwind the graph, respawns carry op
+// ordinals across — but each job gets its own runState (kill flags,
+// counters), because two jobs are concurrently in flight.
+type Pipeline struct {
+	p        int
+	depth    int
+	countOps bool
+	jobs     []chan *pipeJob
+	workers  sync.WaitGroup
+
+	// submitMu serializes epoch assignment and the per-worker channel
+	// sends: both must happen atomically so every worker's queue holds
+	// the jobs in the same (epoch) order — the FIFO rule above.
+	submitMu sync.Mutex
+	epochs   int
+	closed   bool
+
+	// prog[pid] is worker pid's monotone progress word, written only by
+	// that worker (single-writer, so plain atomic stores suffice) and
+	// padded so neighbors don't share cache lines. progMu/cond exist
+	// only for blocked admissions; waiters is the Dekker flag that tells
+	// publishers whether anyone needs a wakeup (publish stores prog and
+	// then loads waiters, admit raises waiters and then rereads prog —
+	// both sequentially consistent, so one side always sees the other).
+	prog    []progWord
+	waiters atomic.Int32
+	progMu  sync.Mutex
+	cond    *sync.Cond
+	// minNeed (under progMu) is the smallest progress word any blocked
+	// admission is waiting for, maxInt64 when none. allAtLeast is
+	// monotone in its argument, so if the smallest need is unsatisfied
+	// every larger one is too — publishers skip the broadcast entirely
+	// unless the lowest waiter can actually proceed, instead of
+	// thundering every blocked worker awake on every publication.
+	minNeed int64
+}
+
+// progWord pads each worker's progress word to its own cache line.
+type progWord struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// progStride separates epochs in the progress encoding; any graph has
+// far fewer worker phases.
+const progStride = 1 << 20
+
+// enc encodes (epoch, completed-phases) as one monotone progress word.
+func enc(epoch, k int) int64 { return int64(epoch)*progStride + int64(k) }
+
+// PipeJob describes one phase-graph execution on a pipeline.
+type PipeJob struct {
+	// Graph is the phase graph every worker runs (core/lowcont sorters
+	// expose theirs via Graph()).
+	Graph *engine.Graph
+	// Mem is the job's shared memory. Concurrent jobs MUST have disjoint
+	// memories; the pooling layer's per-job contexts guarantee this.
+	Mem []Word
+	// Less is the input order consulted by Proc.Less; nil compares
+	// element indices.
+	Less func(i, j int) bool
+	// Seed determines per-worker RNG streams for this job.
+	Seed uint64
+	// Adversary, when non-nil, is the per-job fault plane; if it also
+	// implements Respawner, killed workers re-enter the graph with fresh
+	// incarnations.
+	Adversary model.Adversary
+	// Observer, when non-nil, records this job (one Observer per job).
+	Observer *obs.Observer
+}
+
+// pipeJob is a PipeJob in flight.
+type pipeJob struct {
+	PipeJob
+	jobCore
+	epoch  int
+	st     runState // per-job: overlapping jobs must not share kill flags or counters
+	stalls atomic.Int64
+	// done latches once any worker runs the whole graph to normal
+	// completion. Every phase's completion predicate held on that
+	// worker's way out, so the job's output is final and a worker that
+	// picks the job up afterwards may skip its sweep entirely — see the
+	// done-skip note in the type comment.
+	done atomic.Bool
+}
+
+// PipeRun is a submitted job, returned by Submit.
+type PipeRun struct {
+	pl *Pipeline
+	jb *pipeJob
+
+	start time.Time
+	// Elapsed is the job's wall-clock duration from submission, valid
+	// after Wait. It includes any time spent queued behind earlier jobs.
+	Elapsed time.Duration
+}
+
+// NewPipeline starts a resident pipelined crew of p workers. depth
+// bounds the per-worker job queue: Submit blocks once depth jobs are
+// queued beyond the one a worker is running. countOps enables per-job
+// per-worker operation counters. Close releases the workers.
+func NewPipeline(p, depth int, countOps bool) *Pipeline {
+	if p < 1 {
+		panic("native: NewPipeline needs p >= 1")
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	pl := &Pipeline{
+		p:        p,
+		depth:    depth,
+		countOps: countOps,
+		jobs:     make([]chan *pipeJob, p),
+		prog:     make([]progWord, p),
+	}
+	pl.cond = sync.NewCond(&pl.progMu)
+	pl.minNeed = maxInt64
+	for pid := range pl.prog {
+		pl.prog[pid].v.Store(-1)
+	}
+	for pid := 0; pid < p; pid++ {
+		ch := make(chan *pipeJob, depth)
+		pl.jobs[pid] = ch
+		pl.workers.Add(1)
+		go pl.worker(pid, ch)
+	}
+	return pl
+}
+
+// P returns the crew's worker count.
+func (pl *Pipeline) P() int { return pl.p }
+
+// Depth returns the per-worker job-queue bound.
+func (pl *Pipeline) Depth() int { return pl.depth }
+
+// Submit enqueues a job on every worker and returns its handle. Submit
+// blocks while the queue is full (depth jobs already queued) and panics
+// after Close. Jobs complete in bounded, roughly-submission order; call
+// Wait on the returned run to collect its metrics.
+func (pl *Pipeline) Submit(job PipeJob) *PipeRun {
+	if job.Graph == nil {
+		panic("native: PipeJob.Graph must be set")
+	}
+	if job.Less == nil {
+		job.Less = func(i, j int) bool { return i < j }
+	}
+	jb := &pipeJob{PipeJob: job}
+	jb.root = xrand.New(job.Seed)
+	jb.wg.Add(pl.p)
+	jb.st = runState{
+		mem:       job.Mem,
+		kill:      make([]atomic.Bool, pl.p),
+		ops:       make([]paddedCounter, pl.p),
+		p:         pl.p,
+		less:      job.Less,
+		countOps:  pl.countOps,
+		adversary: job.Adversary,
+		stalls:    &jb.stalls,
+	}
+
+	pl.submitMu.Lock()
+	if pl.closed {
+		pl.submitMu.Unlock()
+		panic("native: Pipeline.Submit after Close")
+	}
+	jb.epoch = pl.epochs
+	pl.epochs++
+	if ob := job.Observer; ob != nil {
+		ob.RunStart(pl.p)
+	}
+	run := &PipeRun{pl: pl, jb: jb, start: time.Now()}
+	// All p sends happen under submitMu so every worker's queue holds
+	// jobs in identical epoch order (the gate's FIFO assumption). A full
+	// queue blocks here — that is the pipeline's backpressure.
+	for pid := 0; pid < pl.p; pid++ {
+		pl.jobs[pid] <- jb
+	}
+	pl.submitMu.Unlock()
+	return run
+}
+
+// Run is Submit followed by Wait — the drop-in serial usage.
+func (pl *Pipeline) Run(job PipeJob) (*model.Metrics, error) {
+	return pl.Submit(job).Wait()
+}
+
+// Close releases the crew's workers after draining every queued job.
+// Concurrent Submits must have returned; Waits on submitted jobs remain
+// valid (workers finish all queued work before exiting). Idempotent.
+func (pl *Pipeline) Close() {
+	pl.submitMu.Lock()
+	if pl.closed {
+		pl.submitMu.Unlock()
+		return
+	}
+	pl.closed = true
+	for _, ch := range pl.jobs {
+		close(ch)
+	}
+	pl.submitMu.Unlock()
+	pl.workers.Wait()
+}
+
+// worker is one resident goroutine: pick up each job in epoch order,
+// publish pickup progress, wait for admission, run the graph through
+// the shared incarnation loop with per-phase progress notifications.
+func (pl *Pipeline) worker(pid int, ch <-chan *pipeJob) {
+	defer pl.workers.Done()
+	for jb := range ch {
+		// Pickup publishes before the admission wait: even if this worker
+		// then dies permanently inside the job, the next pickup's
+		// publication unblocks later epochs' gates.
+		pl.publish(pid, enc(jb.epoch, 0))
+		pl.admit(jb.epoch)
+		switch {
+		case jb.Adversary == nil && jb.done.Load():
+			// A peer already ran the whole graph to completion: every
+			// phase's completion predicate held, the output is final, and
+			// this worker's sweep would be all no-ops. Skip it, but still
+			// publish phase-1 passage — trivially true of a finished job —
+			// so the next epoch's gate sees this worker advance.
+			pl.publish(pid, enc(jb.epoch, 1))
+		case !jb.aborted.Load():
+			epoch := jb.epoch
+			graph := jb.Graph
+			completed := jb.runIncarnations(&jb.st, pid, func(p model.Proc) {
+				graph.RunNotify(p, func(k int) {
+					// The gate only reads enc(epoch, 1); later phase
+					// completions would be dead publications.
+					if k == 0 {
+						pl.publish(pid, enc(epoch, 1))
+					}
+				})
+			}, jb.Adversary, jb.Observer)
+			if completed {
+				jb.done.Store(true)
+			}
+		}
+		jb.wg.Done()
+	}
+}
+
+// publish raises worker pid's progress word to v (monotone max — a
+// respawned incarnation re-notifies from phase 0) and wakes admission
+// waiters, if any are blocked. Only worker pid writes prog[pid], so
+// the max and the store need no lock; the mutex is taken solely to
+// order the broadcast against a waiter parking on the condvar.
+func (pl *Pipeline) publish(pid int, v int64) {
+	if v <= pl.prog[pid].v.Load() {
+		return
+	}
+	pl.prog[pid].v.Store(v)
+	if pl.waiters.Load() > 0 {
+		pl.progMu.Lock()
+		if pl.allAtLeast(pl.minNeed) {
+			// Waiters past this need proceed; any that remain blocked
+			// re-register their needs before re-parking.
+			pl.minNeed = maxInt64
+			pl.cond.Broadcast()
+		}
+		pl.progMu.Unlock()
+	}
+}
+
+const maxInt64 = 1<<63 - 1
+
+// admit blocks until every worker has advanced past phase 1 of the
+// previous epoch: prog[q] >= enc(epoch-1, 1) for all q. A worker's own
+// pickup publication already satisfies this (enc(epoch, 0) > enc(epoch-1, 1)),
+// so it only ever waits on its peers.
+func (pl *Pipeline) admit(epoch int) {
+	if epoch == 0 {
+		return
+	}
+	need := enc(epoch-1, 1)
+	if pl.allAtLeast(need) { // lock-free fast path: gate already open
+		return
+	}
+	pl.progMu.Lock()
+	pl.waiters.Add(1)
+	// Recheck after raising the waiter flag: a publish that lands
+	// between the check and the Wait either sees the flag (and queues a
+	// broadcast behind our mutex hold) or happened before the flag was
+	// raised, in which case this reread observes it.
+	for !pl.allAtLeast(need) {
+		if need < pl.minNeed {
+			pl.minNeed = need
+		}
+		pl.cond.Wait()
+	}
+	pl.waiters.Add(-1)
+	pl.progMu.Unlock()
+}
+
+func (pl *Pipeline) allAtLeast(need int64) bool {
+	for i := range pl.prog {
+		if pl.prog[i].v.Load() < need {
+			return false
+		}
+	}
+	return true
+}
+
+// Wait blocks until every worker has finished (or permanently died in)
+// the job and returns its metrics, exactly as TeamRun.Wait does for the
+// serial team.
+func (r *PipeRun) Wait() (*model.Metrics, error) {
+	r.jb.wg.Wait()
+	r.Elapsed = time.Since(r.start)
+	if ob := r.jb.Observer; ob != nil {
+		ob.RunEnd()
+	}
+	met := &model.Metrics{
+		P:              r.pl.p,
+		Killed:         int(r.jb.killed.Load()),
+		Respawns:       int(r.jb.respawns.Load()),
+		InjectedStalls: r.jb.stalls.Load(),
+	}
+	if r.pl.countOps {
+		for i := range r.jb.st.ops {
+			met.Ops += atomic.LoadInt64(&r.jb.st.ops[i].n)
+			met.CASes += atomic.LoadInt64(&r.jb.st.ops[i].cas)
+			met.CASFailures += atomic.LoadInt64(&r.jb.st.ops[i].casFails)
+		}
+	}
+	if ob := r.jb.Observer; ob != nil {
+		ob.MergeInto(met)
+	}
+	r.jb.panicMu.Lock()
+	defer r.jb.panicMu.Unlock()
+	return met, r.jb.panicked
+}
+
+// Abort kills every worker of this job and suppresses revival, so Wait
+// returns promptly with the sort abandoned. The job's kill flags are
+// its own, so aborting one job never touches the jobs pipelined around
+// it; a job aborted while still queued is skipped at pickup. The job's
+// memory is left mid-flight garbage — the pooling layer resets contexts
+// before reuse. Abort after Wait is a no-op.
+func (r *PipeRun) Abort() {
+	r.jb.aborted.Store(true)
+	// Aborted must be visible before the kills land (see the respawn
+	// race note in jobCore.runIncarnations).
+	for pid := range r.jb.st.kill {
+		r.jb.st.kill[pid].Store(true)
+	}
+}
+
+// Aborted reports whether Abort was called on this run.
+func (r *PipeRun) Aborted() bool { return r.jb.aborted.Load() }
+
+// OpsPerProc returns, after Wait on a counting pipeline, the number of
+// shared-memory operations each worker executed on this job, summed
+// across incarnations — the per-processor quantity the chaos certifier
+// checks against its wait-freedom op ceiling.
+func (r *PipeRun) OpsPerProc() []int64 {
+	out := make([]int64, r.pl.p)
+	for i := range out {
+		out[i] = atomic.LoadInt64(&r.jb.st.ops[i].n)
+	}
+	return out
+}

@@ -61,14 +61,7 @@ type TeamJob struct {
 // teamJob is a TeamJob in flight.
 type teamJob struct {
 	TeamJob
-	root     *xrand.Rand
-	wg       sync.WaitGroup
-	aborted  atomic.Bool
-	killed   atomic.Int64
-	respawns atomic.Int64
-
-	panicMu  sync.Mutex
-	panicked error
+	jobCore
 }
 
 // TeamRun is a job in flight, returned by Start.
@@ -119,7 +112,8 @@ func (t *Team) Start(job TeamJob) *TeamRun {
 	if job.Less == nil {
 		job.Less = func(i, j int) bool { return i < j }
 	}
-	jb := &teamJob{TeamJob: job, root: xrand.New(job.Seed)}
+	jb := &teamJob{TeamJob: job}
+	jb.root = xrand.New(job.Seed)
 	jb.wg.Add(t.p)
 
 	t.mu.Lock()
@@ -253,53 +247,77 @@ func (t *Team) worker(pid int, ch <-chan *teamJob) {
 	}
 }
 
-// runJob executes one job on worker pid, re-entering the program after
-// each landed kill the adversary revives. The worker's own goroutine
-// manages its pid's deaths, so no lock is needed: incarnations of a
-// pid are serialized by construction.
+// runJob executes one job on worker pid through the shared incarnation
+// loop, against the team's (job-swapped) run state.
 func (t *Team) runJob(pid int, jb *teamJob) {
+	jb.runIncarnations(&t.st, pid, jb.Prog, jb.Adversary, jb.Observer)
+}
+
+// jobCore is the per-job fault and incarnation machinery shared by the
+// serial Team and the pipelined crew (pipeline.go): the job's RNG root,
+// completion group, abort latch, fault counters and first-panic record.
+type jobCore struct {
+	root     *xrand.Rand
+	wg       sync.WaitGroup
+	aborted  atomic.Bool
+	killed   atomic.Int64
+	respawns atomic.Int64
+
+	panicMu  sync.Mutex
+	panicked error
+}
+
+// runIncarnations executes prog for worker pid against st, re-entering
+// the program after each landed kill the adversary revives, with the
+// pid's op ordinal carried across incarnations. The worker's own
+// goroutine manages its pid's deaths, so no lock is needed:
+// incarnations of a pid are serialized by construction. It reports
+// whether the worker ran the program to normal completion — false when
+// it died without revival or panicked — which is the fact the
+// pipelined crew uses to mark a job globally done.
+func (jc *jobCore) runIncarnations(st *runState, pid int, prog model.Program, adversary model.Adversary, ob *obs.Observer) bool {
 	var startOps int64
 	deaths := 0
 	for {
 		pr := proc{
-			st:  &t.st,
+			st:  st,
 			id:  pid,
-			rng: jb.root.Fork(uint64(pid) | uint64(deaths)<<32),
+			rng: jc.root.Fork(uint64(pid) | uint64(deaths)<<32),
 			n:   startOps,
 		}
-		if ob := jb.Observer; ob != nil {
+		if ob != nil {
 			pr.ob = ob.StartIncarnation(pid, startOps)
 		}
-		rec := runProg(&pr, jb.Prog)
+		rec := runProg(&pr, prog)
 		if pr.ob != nil {
 			pr.ob.End(pr.n)
 		}
 		if rec == nil {
-			return
+			return true
 		}
 		if _, wasKill := rec.(model.Killed); !wasKill {
-			jb.panicMu.Lock()
-			if jb.panicked == nil {
-				jb.panicked = fmt.Errorf("native: processor %d panicked: %v", pid, rec)
+			jc.panicMu.Lock()
+			if jc.panicked == nil {
+				jc.panicked = fmt.Errorf("native: processor %d panicked: %v", pid, rec)
 			}
-			jb.panicMu.Unlock()
-			return
+			jc.panicMu.Unlock()
+			return false
 		}
-		jb.killed.Add(1)
+		jc.killed.Add(1)
 		deaths++
-		rs, ok := jb.Adversary.(Respawner)
+		rs, ok := adversary.(Respawner)
 		if !ok || !rs.Respawn(pid, deaths) {
-			return
+			return false
 		}
-		t.st.kill[pid].Store(false)
+		st.kill[pid].Store(false)
 		// An Abort between the kill landing and the flag clearing above
 		// must still win: its aborted store precedes its kill stores, so
 		// either our clear lost the race (the next op dies and the check
 		// below ends the loop then) or we observe aborted here.
-		if jb.aborted.Load() {
-			return
+		if jc.aborted.Load() {
+			return false
 		}
-		jb.respawns.Add(1)
+		jc.respawns.Add(1)
 		startOps = pr.n
 	}
 }

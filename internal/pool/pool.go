@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wfsort/internal/engine"
 	"wfsort/internal/model"
 	"wfsort/internal/sizeclass"
 )
@@ -33,6 +34,10 @@ type Runner interface {
 	// PlacesInto reads the final 1-based ranks of elements 1..len(dst)
 	// out of memory after a completed sort.
 	PlacesInto(mem []model.Word, dst []int)
+	// Graph returns the sorter's phase graph — the same program as
+	// Program, in the declarative form the pipelined crew needs for
+	// per-phase progress notifications and host-side introspection.
+	Graph() *engine.Graph
 }
 
 // Ctx is one reusable sort context.

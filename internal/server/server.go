@@ -38,6 +38,10 @@ type Config struct {
 	// Options is appended to the pool configuration — variant, layout,
 	// seed, fault planes (WithChurn/WithCrashes for soak and E22 runs).
 	Options []wfsort.Option
+	// PipelineDepth > 0 routes the pool's queued sorts through one
+	// resident phase-pipelined crew of that depth (wfsort.WithPipeline)
+	// instead of per-sort serial teams. 0 keeps serial teams.
+	PipelineDepth int
 	// MaxInFlight bounds admitted requests; excess get 429 (default 64).
 	MaxInFlight int
 	// MaxKeys rejects larger requests with 413 (default 1<<20).
@@ -146,6 +150,9 @@ func New(cfg Config) (*Server, error) {
 	opts := cfg.Options
 	if cfg.Workers > 0 {
 		opts = append([]wfsort.Option{wfsort.WithWorkers(cfg.Workers)}, opts...)
+	}
+	if cfg.PipelineDepth > 0 {
+		opts = append(opts, wfsort.WithPipeline(cfg.PipelineDepth))
 	}
 	pool, err := wfsort.NewPool(opts...)
 	if err != nil {

@@ -112,6 +112,46 @@ func TestServerSort(t *testing.T) {
 	}
 }
 
+// TestServerPipelined serves concurrent traffic through the
+// phase-pipelined crew (Config.PipelineDepth) and checks every
+// response — the serving path the pipeline was built for.
+func TestServerPipelined(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, PipelineDepth: 2})
+	rng := rand.New(rand.NewSource(17))
+
+	inputs := make([][]int64, 12)
+	for i := range inputs {
+		inputs[i] = randKeys(rng, 300+400*i)
+	}
+	var wg sync.WaitGroup
+	fails := make([]string, len(inputs))
+	for i, keys := range inputs {
+		wg.Add(1)
+		go func(i int, keys []int64) {
+			defer wg.Done()
+			resp, out := postSort(t, ts.URL, keys)
+			if resp.StatusCode != http.StatusOK {
+				fails[i] = fmt.Sprintf("status %d", resp.StatusCode)
+				return
+			}
+			want := append([]int64(nil), keys...)
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			for j := range out.Sorted {
+				if out.Sorted[j] != want[j] {
+					fails[i] = fmt.Sprintf("key %d: got %d want %d", j, out.Sorted[j], want[j])
+					return
+				}
+			}
+		}(i, keys)
+	}
+	wg.Wait()
+	for i, f := range fails {
+		if f != "" {
+			t.Fatalf("request %d (n=%d): %s", i, len(inputs[i]), f)
+		}
+	}
+}
+
 // TestServerBatchCoalescing fires a burst of small requests and checks
 // they were merged into fewer sorts than requests.
 func TestServerBatchCoalescing(t *testing.T) {

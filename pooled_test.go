@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"wfsort/internal/sizeclass"
@@ -303,6 +304,126 @@ func TestPoolTrim(t *testing.T) {
 	checkSorted(t, data2, orig2)
 	if got := s.Stats().Trims; got == 0 {
 		t.Fatal("Trim dropped nothing")
+	}
+}
+
+// TestSorterPipelined drives a phase-pipelined pooled sorter from
+// several goroutines at once — the regime the pipeline exists for —
+// and checks every output. Sequential sorts ride the same crew.
+func TestSorterPipelined(t *testing.T) {
+	s, err := NewSorter[int](WithWorkers(4), WithPipeline(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 6; i++ {
+		data := randSlice(rng, 100+200*i)
+		orig := append([]int(nil), data...)
+		if err := s.Sort(data); err != nil {
+			t.Fatalf("sequential sort %d: %v", i, err)
+		}
+		checkSorted(t, data, orig)
+	}
+
+	const clients = 4
+	inputs := make([][]int, clients*3)
+	origs := make([][]int, len(inputs))
+	for i := range inputs {
+		inputs[i] = randSlice(rng, 150+100*i)
+		origs[i] = append([]int(nil), inputs[i]...)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(inputs); i += clients {
+				if err := s.Sort(inputs[i]); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	for i := range inputs {
+		checkSorted(t, inputs[i], origs[i])
+	}
+}
+
+// TestSorterPipelinedChurn overlaps faulted sorts on the pipelined
+// crew: per-job kill flags mean one sort's churn never leaks into the
+// jobs pipelined around it.
+func TestSorterPipelinedChurn(t *testing.T) {
+	s, err := NewSorter[int](WithWorkers(4), WithPipeline(2), WithChurn(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 8; i++ {
+		data := randSlice(rng, 300+60*i)
+		orig := append([]int(nil), data...)
+		if err := s.Sort(data); err != nil {
+			t.Fatalf("pipelined churn sort %d: %v", i, err)
+		}
+		checkSorted(t, data, orig)
+	}
+}
+
+// TestSorterPipelinedContextCancel: aborting one pipelined sort leaves
+// the data untouched and the crew serving.
+func TestSorterPipelinedContextCancel(t *testing.T) {
+	s, err := NewSorter[int](WithWorkers(2), WithPipeline(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(12))
+	big := randSlice(rng, 200_000)
+	orig := append([]int(nil), big...)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.SortContext(ctx, big) }()
+	cancel()
+	switch err := <-done; {
+	case err == nil:
+		checkSorted(t, big, orig)
+	case errors.Is(err, context.Canceled):
+		for i := range big {
+			if big[i] != orig[i] {
+				t.Fatalf("aborted pipelined sort mutated data at %d", i)
+			}
+		}
+	default:
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	after := randSlice(rng, 1000)
+	origAfter := append([]int(nil), after...)
+	if err := s.Sort(after); err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, after, origAfter)
+}
+
+// TestWithPipelineOneShotRejected locks WithPipeline to pools: the
+// one-shot paths have exactly one job, so the option is a usage error.
+func TestWithPipelineOneShotRejected(t *testing.T) {
+	if err := Sort([]int{3, 1, 2}, WithPipeline(2)); err == nil {
+		t.Fatal("one-shot Sort accepted WithPipeline")
+	}
+	if _, err := Simulate([]int{3, 1, 2}, WithPipeline(2)); err == nil {
+		t.Fatal("Simulate accepted WithPipeline")
 	}
 }
 

@@ -41,6 +41,13 @@ type Pool struct {
 	mu     sync.Mutex
 	teams  []*native.Team
 	closed bool
+
+	// Pipeline state (WithPipeline only): one resident phase-pipelined
+	// crew shared by every sort on the pool, built lazily on first use.
+	// pipeBusy counts sorts in flight on it so Close can defer the crew
+	// teardown until the last one returns.
+	pipe     *native.Pipeline
+	pipeBusy int
 }
 
 // NewPool builds a context pool for the given sort configuration.
@@ -89,7 +96,9 @@ func (p *Pool) Stats() PoolStats { return p.ctxs.Stats() }
 
 // Trim drops every idle context and parks no more idle teams than
 // sorts in flight, returning memory and goroutines during quiet
-// periods.
+// periods. The pipelined crew, when one exists, stays resident: its
+// lifetime is the pool's, because rebuilding it mid-stream would drop
+// the cross-job progress words the admission gate relies on.
 func (p *Pool) Trim() {
 	p.ctxs.Trim()
 	p.mu.Lock()
@@ -108,11 +117,56 @@ func (p *Pool) Close() {
 	p.closed = true
 	teams := p.teams
 	p.teams = nil
+	var pl *native.Pipeline
+	if p.pipeBusy == 0 {
+		pl = p.pipe
+		p.pipe = nil
+	}
 	p.mu.Unlock()
 	for _, t := range teams {
 		t.Close()
 	}
+	if pl != nil {
+		pl.Close()
+	}
 	p.ctxs.Trim()
+}
+
+// borrowPipeline returns the pool's resident pipelined crew (building
+// it on first use) and registers one in-flight sort on it, or nil when
+// pipelining is off or the pool has closed — callers then fall back to
+// a serial team. Unlike teams, the crew is shared, not checked out:
+// overlapping sorts on it is the point.
+func (p *Pool) borrowPipeline() *native.Pipeline {
+	if p.c.pipeDepth == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	if p.pipe == nil {
+		p.pipe = native.NewPipeline(p.c.workers, p.c.pipeDepth, false)
+	}
+	p.pipeBusy++
+	return p.pipe
+}
+
+// releasePipeline retires one in-flight sort; the last one out closes
+// the crew if the pool shut down meanwhile.
+func (p *Pool) releasePipeline() {
+	p.mu.Lock()
+	p.pipeBusy--
+	var toClose *native.Pipeline
+	if p.closed && p.pipeBusy == 0 {
+		toClose = p.pipe
+		p.pipe = nil
+	}
+	p.mu.Unlock()
+	if toClose != nil {
+		toClose.Close()
+	}
 }
 
 // getTeam pops an idle resident team or starts one.
@@ -279,17 +333,29 @@ func (s *Sorter[E]) SortContext(ctx context.Context, data []E) error {
 		}
 	}
 
-	team := s.p.getTeam()
-	defer s.p.putTeam(team)
 	seq := s.p.seq.Add(1)
 	c := s.p.c
-	run := team.Start(native.TeamJob{
-		Prog:      pc.Runner.Program(),
-		Mem:       pc.Mem,
-		Less:      idxLess,
-		Seed:      c.seed + seq,
-		Adversary: c.adversary(seq),
-	})
+	var run sortRun
+	if pl := s.p.borrowPipeline(); pl != nil {
+		defer s.p.releasePipeline()
+		run = pl.Submit(native.PipeJob{
+			Graph:     pc.Runner.Graph(),
+			Mem:       pc.Mem,
+			Less:      idxLess,
+			Seed:      c.seed + seq,
+			Adversary: c.adversary(seq),
+		})
+	} else {
+		team := s.p.getTeam()
+		defer s.p.putTeam(team)
+		run = team.Start(native.TeamJob{
+			Prog:      pc.Runner.Program(),
+			Mem:       pc.Mem,
+			Less:      idxLess,
+			Seed:      c.seed + seq,
+			Adversary: c.adversary(seq),
+		})
+	}
 	var watcherDone chan struct{}
 	if ctx.Done() != nil {
 		watcherDone = make(chan struct{})
@@ -324,6 +390,15 @@ func (s *Sorter[E]) SortContext(ctx context.Context, data []E) error {
 	}
 	applyPermutation(data, input, places, c.workers)
 	return nil
+}
+
+// sortRun is the common handle over a serial team job (*native.TeamRun)
+// and a pipelined job (*native.PipeRun), so SortContext's wait, cancel
+// and certification logic exists once.
+type sortRun interface {
+	Wait() (*model.Metrics, error)
+	Abort()
+	Aborted() bool
 }
 
 // getBuf borrows an input-copy buffer with capacity >= n.

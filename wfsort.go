@@ -148,6 +148,7 @@ const (
 	setChurn
 	setCrashes
 	setPool
+	setPipeline
 )
 
 type config struct {
@@ -161,6 +162,7 @@ type config struct {
 	crashFrac   float64        // native only: fail-stop a seeded fraction
 	crashWindow int64          // op-ordinal window for crashFrac strikes
 	pool        *Pool          // NewSorter only
+	pipeDepth   int            // NewPool/NewSorter only: phase-pipelined crew depth
 	explicit    int            // set* bits
 }
 
@@ -234,6 +236,25 @@ func WithCrashes(frac float64, window int64) Option {
 	}
 }
 
+// WithPipeline routes a pool's queued sorts through one resident
+// phase-pipelined crew instead of per-sort serial teams: a worker that
+// finishes sort k moves straight to sort k+1, gated only by every
+// worker having cleared phase 1 of sort k, so the crew never idles
+// behind its slowest member at a job boundary. depth bounds how many
+// sorts may queue per worker beyond the one in flight; depth < 1 means
+// 1. Pools and pooled sorters only — one-shot Sort/SortFunc and
+// Simulate have exactly one job, so there is nothing to pipeline and
+// they reject the option.
+func WithPipeline(depth int) Option {
+	return func(c *config) {
+		if depth < 1 {
+			depth = 1
+		}
+		c.pipeDepth = depth
+		c.explicit |= setPipeline
+	}
+}
+
 // applyOptions folds opts over the defaults and validates everything
 // that does not depend on the input size.
 func applyOptions(opts []Option) (config, error) {
@@ -263,6 +284,9 @@ func buildConfig(n int, opts []Option) (config, error) {
 	}
 	if c.pool != nil {
 		return c, fmt.Errorf("wfsort: WithPool applies to NewSorter, not one-shot sorts")
+	}
+	if c.explicit&setPipeline != 0 {
+		return c, fmt.Errorf("wfsort: WithPipeline applies to NewPool/NewSorter, not one-shot sorts")
 	}
 	if c.workers > n {
 		c.workers = n // P <= N is the paper's regime; extra workers idle anyway
@@ -491,9 +515,12 @@ func newRunner(a model.Allocator, n int, c config, tun core.Tuning) (runner, err
 			return runner{core: core.NewSorterTuned(a, n, core.AllocRandomized, tun)}, nil
 		}
 		// The §3 research variant keeps the paper's own contention
-		// machinery; it benefits from the padded arena but not from the
-		// Section 2 fast-path tuning.
-		return runner{lc: lowcont.New(a, n, c.workers)}, nil
+		// machinery; of the Section 2 fast-path tuning it takes only the
+		// batched work-claim granularity (glue/shuffle LC-WAT jobs span
+		// Batch elements), which composes with the paper's machinery
+		// without altering it. Zero tuning (simulator, flat/padded
+		// layouts) means batch 1, the paper-faithful granularity.
+		return runner{lc: lowcont.NewTuned(a, n, c.workers, tun.Batch)}, nil
 	default:
 		return runner{}, fmt.Errorf("wfsort: unknown variant %v", c.variant)
 	}
