@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline pipeline-gate pipeline-gate-baseline sortd soak chaos chaos-quick experiments experiments-quick stress obs fmt vet lint cover
+.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline pipeline-gate pipeline-gate-baseline capacity-gate capacity-gate-baseline loadgen openloop sortd soak chaos chaos-quick experiments experiments-quick stress obs fmt vet lint cover
 
 all: vet test
 
@@ -38,6 +38,26 @@ pipeline-gate:
 
 pipeline-gate-baseline:
 	go run ./cmd/benchgate -pipeline -write
+
+# Gate serving capacity against BENCH_capacity.json: an open-loop
+# loadgen sweep finds the offered-load knee where p99 crosses the
+# 50 ms SLO; the knee must stay within tolerance of the baseline.
+capacity-gate:
+	go run ./cmd/benchgate -capacity
+
+capacity-gate-baseline:
+	go run ./cmd/benchgate -capacity -write
+
+# Open-loop load generator against a live service. See cmd/loadgen for
+# spec format, -record/-replay, and -capacity sweeps.
+loadgen:
+	go run ./cmd/loadgen -spec workload.json -url http://localhost:8080
+
+# In-process open-loop soak: mixed classes, a burst, worker churn, with
+# the server's per-class counters cross-checked against the client
+# ledger. Race detector on.
+openloop:
+	go test -race -run TestOpenLoopSoak -count=1 -v ./internal/server
 
 # The sort service: POST /sort on :8080, graceful drain on SIGTERM.
 sortd:

@@ -134,11 +134,18 @@ func run(w io.Writer, args []string) error {
 	tol := fs.Float64("tolerance", 0.10, "allowed fractional throughput regression")
 	serve := fs.Bool("serve", false, "gate the serving layer (pooled vs fresh, sortd req/s) instead of the native matrix")
 	pipeline := fs.Bool("pipeline", false, "gate phase-pipelined vs serial-team throughput on queued sorts instead of the native matrix")
+	capacity := fs.Bool("capacity", false, "gate the serving stack's capacity-curve knee (open-loop loadgen sweep vs an SLO) instead of the native matrix")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *serve && *pipeline {
-		return fmt.Errorf("-serve and -pipeline are mutually exclusive")
+	modes := 0
+	for _, m := range []bool{*serve, *pipeline, *capacity} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-serve, -pipeline and -capacity are mutually exclusive")
 	}
 	if *serve {
 		if *baseline == "BENCH_native.json" {
@@ -151,6 +158,12 @@ func run(w io.Writer, args []string) error {
 			*baseline = "BENCH_pipeline.json"
 		}
 		return runPipeline(w, *baseline, *out, *write, *quick, *runs, *tol)
+	}
+	if *capacity {
+		if *baseline == "BENCH_native.json" {
+			*baseline = "BENCH_capacity.json"
+		}
+		return runCapacity(w, *baseline, *out, *write, *quick, *tol)
 	}
 
 	// Read the baseline before measuring anything: a mistyped path
@@ -197,7 +210,7 @@ func run(w io.Writer, args []string) error {
 		return nil
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("%d gate(s) regressed beyond %.0f%%", len(failures), *tol*100)
+		return fmt.Errorf("%d gate(s) regressed beyond %.0f%% against baseline %s", len(failures), *tol*100, *baseline)
 	}
 	fmt.Fprintf(w, "gate passed: %d cells, geomeans within %.0f%% of baseline\n", len(rep.Results), *tol*100)
 	return nil

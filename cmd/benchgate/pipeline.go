@@ -112,7 +112,7 @@ func runPipeline(w io.Writer, baseline, out string, write, quick bool, runs int,
 		return nil
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("%d pipeline gate(s) failed", len(failures))
+		return fmt.Errorf("%d pipeline gate(s) failed against baseline %s", len(failures), baseline)
 	}
 	fmt.Fprintf(w, "pipeline gate passed: %d cells (pipelined/serial geomean >= 1, baselines within %.0f%%)\n",
 		len(rep.Results), tol*100)

@@ -108,7 +108,7 @@ func runServe(w io.Writer, baseline, out string, write, quick bool, runs int, to
 		return nil
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("%d serve gate(s) failed", len(failures))
+		return fmt.Errorf("%d serve gate(s) failed against baseline %s", len(failures), baseline)
 	}
 	fmt.Fprintf(w, "serve gate passed: %d cells (pooled/fresh geomean >= 1, baselines within %.0f%%)\n",
 		len(rep.Results), tol*100)

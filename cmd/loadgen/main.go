@@ -1,0 +1,217 @@
+// Command loadgen drives the sort service with open-loop traffic from
+// a declarative workload spec and reports per-class latency, shed and
+// fairness — or, in -capacity mode, sweeps offered load to find the
+// req/s knee where p99 crosses the SLO.
+//
+//	loadgen -spec workload.json -url http://localhost:8080
+//	loadgen -spec workload.json -inprocess -workers 4
+//	loadgen -spec workload.json -record trace.json        # plan only
+//	loadgen -replay trace.json -inprocess                 # byte-identical rerun
+//	loadgen -spec workload.json -inprocess -capacity -slo 50ms
+//
+// A spec is JSON (see internal/loadgen.Spec):
+//
+//	{
+//	  "seed": 7, "horizon_ms": 2000,
+//	  "classes": [
+//	    {"name": "small", "arrival": {"dist": "poisson", "rate": 200},
+//	     "size": {"dist": "fixed", "n": 64}, "keyspace": 100},
+//	    {"name": "bulk", "arrival": {"dist": "gamma", "rate": 20, "shape": 0.5},
+//	     "size": {"dist": "uniform", "min": 1000, "max": 8000}}
+//	  ],
+//	  "bursts": [{"start_ms": 500, "dur_ms": 200, "mult": 3}]
+//	}
+//
+// Runs are fully seeded: the same spec produces the same request
+// schedule, sizes and key contents on every host, and -record/-replay
+// pin a schedule to a file so an anomaly reproduces byte-for-byte.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"wfsort"
+	"wfsort/internal/loadgen"
+	"wfsort/internal/server"
+)
+
+// newPooledClient builds an HTTP client sized for open-loop fan-out:
+// the default transport's per-host idle cap (2) would force a fresh
+// TCP handshake onto most concurrent requests and bill it as latency.
+func newPooledClient(timeout time.Duration) *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 256
+	return &http.Client{Transport: tr, Timeout: timeout}
+}
+
+func jsonIndent(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		specPath  = fs.String("spec", "", "workload spec JSON file")
+		replay    = fs.String("replay", "", "replay a recorded trace instead of generating from -spec")
+		record    = fs.String("record", "", "write the generated trace here and exit without running")
+		url       = fs.String("url", "", "target service base URL (e.g. http://localhost:8080)")
+		inproc    = fs.Bool("inprocess", false, "boot internal/server in-process as the target")
+		workers   = fs.Int("workers", 0, "in-process server sort workers (0 = GOMAXPROCS)")
+		inflight  = fs.Int("max-inflight", 64, "in-process server admission bound")
+		churn     = fs.Int("churn", 0, "in-process server: kill+revive every non-zero worker this many times per sort")
+		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of a table")
+		capacity  = fs.Bool("capacity", false, "sweep offered load and report the SLO knee")
+		slo       = fs.Duration("slo", 50*time.Millisecond, "p99 SLO for -capacity")
+		shedFrac  = fs.Float64("max-shed", 0.05, "tolerated shed fraction per -capacity point")
+		rateSpec  = fs.String("rates", "", "comma-separated offered req/s points for -capacity (default: spec rate × {1,2,4,...,64})")
+		timeoutMs = fs.Int("client-timeout-ms", 30_000, "HTTP client timeout against -url targets")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*specPath == "") == (*replay == "") {
+		return fmt.Errorf("exactly one of -spec or -replay is required")
+	}
+	if *record == "" && (*url == "") == !*inproc {
+		return fmt.Errorf("exactly one of -url or -inprocess is required")
+	}
+
+	var trace *loadgen.Trace
+	if *replay != "" {
+		t, err := loadgen.LoadTrace(*replay)
+		if err != nil {
+			return err
+		}
+		trace = t
+	} else {
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		spec, err := loadgen.ParseSpec(b)
+		if err != nil {
+			return err
+		}
+		trace, err = loadgen.BuildTrace(spec)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *record != "" {
+		if err := loadgen.SaveTrace(*record, trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace recorded to %s (%d requests over %v)\n",
+			*record, len(trace.Reqs), trace.Spec.Horizon())
+		return nil
+	}
+
+	newTarget := func() (loadgen.Target, func(), error) {
+		if *url != "" {
+			client := newPooledClient(time.Duration(*timeoutMs) * time.Millisecond)
+			return &loadgen.HTTPTarget{URL: *url, Client: client}, func() {}, nil
+		}
+		cfg := server.Config{Workers: *workers, MaxInFlight: *inflight}
+		if *churn > 0 {
+			cfg.Options = []wfsort.Option{wfsort.WithChurn(*churn), wfsort.WithSeed(trace.Spec.Seed + 1)}
+		}
+		srv, err := server.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		stop := func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}
+		return &loadgen.HandlerTarget{Handler: srv.Handler()}, stop, nil
+	}
+
+	if *capacity {
+		rates, err := parseRates(*rateSpec, trace.Spec.TotalRate())
+		if err != nil {
+			return err
+		}
+		rep, err := loadgen.SweepCapacity(context.Background(), loadgen.CapacityConfig{
+			Base:        &trace.Spec,
+			Rates:       rates,
+			SLOMs:       float64(*slo) / float64(time.Millisecond),
+			MaxShedFrac: *shedFrac,
+			NewTarget:   newTarget,
+			Log:         w,
+		})
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			b, _ := jsonIndent(rep)
+			w.Write(b)
+			return nil
+		}
+		fmt.Fprintf(w, "knee: %.1f req/s offered (%.1f ok/s) under p99 <= %v\n",
+			rep.KneeRPS, rep.KneeOKRPS, *slo)
+		return nil
+	}
+
+	target, stop, err := newTarget()
+	if err != nil {
+		return err
+	}
+	res := loadgen.Run(context.Background(), trace, target)
+	stop()
+	rep := loadgen.BuildReport(res)
+	if *jsonOut {
+		w.Write(rep.JSON())
+		return nil
+	}
+	fmt.Fprint(w, rep.Table())
+	return nil
+}
+
+// parseRates reads the -rates list, or derives a doubling ladder from
+// the spec's own aggregate rate.
+func parseRates(s string, base float64) ([]float64, error) {
+	if s == "" {
+		var rates []float64
+		for m := 1.0; m <= 64; m *= 2 {
+			rates = append(rates, base*m)
+		}
+		return rates, nil
+	}
+	var rates []float64
+	for _, f := range strings.Split(s, ",") {
+		var r float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &r); err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad -rates entry %q", f)
+		}
+		rates = append(rates, r)
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] <= rates[i-1] {
+			return nil, fmt.Errorf("-rates must be strictly ascending")
+		}
+	}
+	return rates, nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testSpec = `{
+  "seed": 7, "horizon_ms": 300,
+  "classes": [
+    {"name": "small", "arrival": {"dist": "det", "rate": 200},
+     "size": {"dist": "fixed", "n": 32}, "keyspace": 16}
+  ]
+}
+`
+
+func writeSpec(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(p, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no spec", []string{"-inprocess"}, "-spec or -replay"},
+		{"both spec and replay", []string{"-spec", "a", "-replay", "b"}, "-spec or -replay"},
+		{"no target", []string{"-spec", "a"}, "-url or -inprocess"},
+		{"both targets", []string{"-spec", "a", "-url", "http://x", "-inprocess"}, "-url or -inprocess"},
+		{"bad rates", []string{"-spec", writeSpec(t), "-inprocess", "-capacity", "-rates", "10,abc"}, "bad -rates"},
+		{"descending rates", []string{"-spec", writeSpec(t), "-inprocess", "-capacity", "-rates", "20,10"}, "ascending"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(&buf, tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunRecordReplayRoundTrip(t *testing.T) {
+	spec := writeSpec(t)
+	trace := filepath.Join(t.TempDir(), "trace.json")
+
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-spec", spec, "-record", trace}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace recorded") {
+		t.Fatalf("record output: %q", buf.String())
+	}
+
+	// Replaying the recorded trace in-process completes every request.
+	buf.Reset()
+	if err := run(&buf, []string{"-replay", trace, "-inprocess", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"small", "total", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunInProcessJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-spec", writeSpec(t), "-inprocess", "-workers", "2", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"totals"`, `"p99_ms"`, `"unsorted": 0`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON report missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseRatesDefaultLadder(t *testing.T) {
+	rates, err := parseRates("", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100, 200, 400, 800, 1600, 3200, 6400}
+	if len(rates) != len(want) {
+		t.Fatalf("ladder %v, want %v", rates, want)
+	}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Fatalf("ladder %v, want %v", rates, want)
+		}
+	}
+}
+
+func TestParseRatesExplicit(t *testing.T) {
+	rates, err := parseRates(" 10, 25.5 ,100", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 3 || rates[1] != 25.5 {
+		t.Fatalf("rates = %v", rates)
+	}
+}

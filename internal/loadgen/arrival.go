@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// sampler draws interarrival gaps in seconds for one class. Samplers
+// are deterministic functions of their rand.Rand, so a seeded stream
+// reproduces the same gap sequence on every host.
+type sampler func(rng *rand.Rand) float64
+
+// newSampler builds the gap sampler for an already-validated arrival
+// spec. All four distributions share mean 1/rate, so the offered load
+// matches the spec's rate regardless of shape; the shape only moves
+// the variance (gamma k<1 and weibull k<1 are burstier than poisson,
+// k>1 smoother).
+func newSampler(a ArrivalSpec) sampler {
+	mean := 1 / a.Rate
+	switch a.Dist {
+	case DistDet:
+		return func(*rand.Rand) float64 { return mean }
+	case DistPoisson:
+		return func(rng *rand.Rand) float64 { return rng.ExpFloat64() * mean }
+	case DistGamma:
+		k := a.Shape
+		if k == 0 {
+			k = 1
+		}
+		// Gap ~ Gamma(k, theta) with k*theta = mean.
+		theta := mean / k
+		return func(rng *rand.Rand) float64 { return gammaSample(rng, k) * theta }
+	case DistWeibull:
+		k := a.Shape
+		if k == 0 {
+			k = 1
+		}
+		// Scale lambda so the mean lambda*Gamma(1+1/k) equals 1/rate.
+		lambda := mean / math.Gamma(1+1/k)
+		inv := 1 / k
+		return func(rng *rand.Rand) float64 {
+			// Inverse transform; 1-U keeps U=0 (possible) out of the log.
+			return lambda * math.Pow(-math.Log(1-rng.Float64()), inv)
+		}
+	default:
+		// Validate rejects everything else; a fallthrough here is a bug.
+		panic("loadgen: unvalidated arrival dist " + a.Dist)
+	}
+}
+
+// gammaSample draws from Gamma(shape k, scale 1) with the
+// Marsaglia–Tsang squeeze for k >= 1 and the Ahrens–Dieter boost
+// U^(1/k) * Gamma(k+1) for k < 1.
+func gammaSample(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// burstMult returns the rate multiplier in effect at offset t (in
+// milliseconds) under the spec's burst phases. Overlapping bursts
+// compound.
+func burstMult(bursts []BurstSpec, tMs float64) float64 {
+	m := 1.0
+	for _, b := range bursts {
+		if tMs >= b.StartMs && tMs < b.StartMs+b.DurMs {
+			m *= b.Mult
+		}
+	}
+	return m
+}

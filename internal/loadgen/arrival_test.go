@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSamplerMeans checks every distribution's empirical mean gap
+// lands near 1/rate — the invariant that makes "rate" mean the same
+// thing across shapes.
+func TestSamplerMeans(t *testing.T) {
+	const rate = 50.0
+	const n = 200_000
+	specs := []ArrivalSpec{
+		{Dist: DistDet, Rate: rate},
+		{Dist: DistPoisson, Rate: rate},
+		{Dist: DistGamma, Rate: rate, Shape: 0.5},
+		{Dist: DistGamma, Rate: rate, Shape: 4},
+		{Dist: DistWeibull, Rate: rate, Shape: 0.7},
+		{Dist: DistWeibull, Rate: rate, Shape: 2},
+	}
+	for _, a := range specs {
+		t.Run(a.Dist+"-shape", func(t *testing.T) {
+			gap := newSampler(a)
+			rng := rand.New(rand.NewSource(1))
+			var sum float64
+			for i := 0; i < n; i++ {
+				g := gap(rng)
+				if g < 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+					t.Fatalf("%s shape %v: bad gap %v", a.Dist, a.Shape, g)
+				}
+				sum += g
+			}
+			mean := sum / n
+			want := 1 / a.Rate
+			if mean < want*0.95 || mean > want*1.05 {
+				t.Fatalf("%s shape %v: mean gap %v, want ~%v", a.Dist, a.Shape, mean, want)
+			}
+		})
+	}
+}
+
+// TestSamplerDeterministic pins the seeded streams: the same seed must
+// produce the same gap sequence (the replay guarantee's foundation).
+func TestSamplerDeterministic(t *testing.T) {
+	for _, a := range []ArrivalSpec{
+		{Dist: DistPoisson, Rate: 10},
+		{Dist: DistGamma, Rate: 10, Shape: 0.3},
+		{Dist: DistWeibull, Rate: 10, Shape: 1.5},
+	} {
+		g1, g2 := newSampler(a), newSampler(a)
+		r1, r2 := rand.New(rand.NewSource(99)), rand.New(rand.NewSource(99))
+		for i := 0; i < 1000; i++ {
+			if a1, a2 := g1(r1), g2(r2); a1 != a2 {
+				t.Fatalf("%s: draw %d diverged: %v vs %v", a.Dist, i, a1, a2)
+			}
+		}
+	}
+}
+
+func TestGammaSampleSmallShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10_000; i++ {
+		if g := gammaSample(rng, 0.1); g < 0 || math.IsNaN(g) {
+			t.Fatalf("gammaSample(0.1) = %v", g)
+		}
+	}
+}
+
+func TestBurstMult(t *testing.T) {
+	bursts := []BurstSpec{
+		{StartMs: 100, DurMs: 50, Mult: 3},
+		{StartMs: 120, DurMs: 100, Mult: 2},
+	}
+	cases := []struct {
+		t, want float64
+	}{
+		{0, 1}, {99.9, 1}, {100, 3}, {119, 3}, {130, 6}, {150, 2}, {219, 2}, {220, 1},
+	}
+	for _, c := range cases {
+		if got := burstMult(bursts, c.t); got != c.want {
+			t.Fatalf("burstMult(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+// TestBurstRaisesCount checks a burst phase actually densifies the
+// schedule inside its window.
+func TestBurstRaisesCount(t *testing.T) {
+	base := &Spec{
+		Seed: 1, HorizonMs: 1000,
+		Classes: []ClassSpec{{
+			Name:    "a",
+			Arrival: ArrivalSpec{Dist: DistDet, Rate: 100},
+			Size:    SizeSpec{Dist: SizeFixed, N: 8},
+		}},
+		Bursts: []BurstSpec{{StartMs: 400, DurMs: 200, Mult: 4}},
+	}
+	tr, err := BuildTrace(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out := 0, 0
+	for _, r := range tr.Reqs {
+		ms := float64(r.AtNs) / 1e6
+		if ms >= 400 && ms < 600 {
+			in++
+		} else {
+			out++
+		}
+	}
+	// 200ms at 400/s ≈ 80 in-burst; 800ms at 100/s ≈ 80 outside.
+	if in < 60 || float64(in) < 2.5*float64(out)/4 {
+		t.Fatalf("burst window got %d requests vs %d outside — multiplier not applied", in, out)
+	}
+}

@@ -1,0 +1,68 @@
+package loadgen
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzWorkloadSpec feeds the spec parser arbitrary bytes: it must
+// never panic, and every rejection must be a typed *SpecError (the
+// contract that keeps cmd/loadgen's error reporting structured).
+// Accepted specs must additionally survive BuildTrace without
+// panicking — parsing is the only trust boundary.
+func FuzzWorkloadSpec(f *testing.F) {
+	seeds := []string{
+		validSpec,
+		``,
+		`{}`,
+		`null`,
+		`[1,2,3]`,
+		`{"horizon_ms": 1000, "classes": []}`,
+		`{"horizon_ms": 1e308, "classes": [{"name":"a","arrival":{"dist":"det","rate":1},"size":{"dist":"fixed","n":4}}]}`,
+		`{"horizon_ms": 100, "classes": [{"name":"a","arrival":{"dist":"poisson","rate":-3},"size":{"dist":"fixed","n":4}}]}`,
+		`{"horizon_ms": 100, "classes": [{"name":"a","arrival":{"dist":"gamma","rate":1,"shape":1e99},"size":{"dist":"fixed","n":4}}]}`,
+		`{"horizon_ms": 100, "classes": [{"name":"a","arrival":{"dist":"weibull","rate":1,"shape":0.0001},"size":{"dist":"fixed","n":4}}]}`,
+		`{"horizon_ms": 100, "classes": [{"name":"a","arrival":{"dist":"det","rate":1},"size":{"dist":"uniform","min":-5,"max":-1}}]}`,
+		`{"horizon_ms": 100, "max_requests": -1, "classes": [{"name":"a","arrival":{"dist":"det","rate":1},"size":{"dist":"fixed","n":4}}]}`,
+		`{"horizon_ms": 599999, "classes": [{"name":"a","arrival":{"dist":"det","rate":9999999},"size":{"dist":"fixed","n":4194304}}]}`,
+		`{"horizon_ms": 100, "classes": [{"name":"a","arrival":{"dist":"det","rate":1},"size":{"dist":"fixed","n":4}}], "bursts":[{"start_ms":0,"dur_ms":1e308,"mult":1e308}]}`,
+		`{"seed": 18446744073709551615, "horizon_ms": 1, "classes": [{"name":"a","arrival":{"dist":"det","rate":1},"size":{"dist":"fixed","n":1}}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("ParseSpec error is not a *SpecError: %T %v", err, err)
+			}
+			return
+		}
+		// A spec the parser accepted must be generable. Cap the work so
+		// the fuzzer explores structure, not CPU: shrink to a schedule
+		// preview rather than materializing minutes of traffic.
+		preview := *s
+		preview.MaxRequests = 10_000
+		if preview.HorizonMs > 1000 {
+			preview.HorizonMs = 1000
+		}
+		tr, err := BuildTrace(&preview)
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("BuildTrace error is not a *SpecError: %T %v", err, err)
+			}
+			return
+		}
+		for i, r := range tr.Reqs {
+			if r.AtNs < 0 || r.N < 1 {
+				t.Fatalf("planned request %d invalid: %+v", i, r)
+			}
+			if i > 0 && tr.Reqs[i-1].AtNs > r.AtNs {
+				t.Fatalf("schedule not sorted at %d", i)
+			}
+		}
+	})
+}

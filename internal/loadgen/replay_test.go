@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"wfsort/internal/model"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata goldens from current behavior")
+
+// replaySpec is the seeded workload the replay guarantees are pinned
+// on: ~200 planned requests across two classes, all four knobs in
+// play (poisson + gamma arrivals, fixed + uniform sizes, duplicates,
+// a burst).
+func replaySpec() *Spec {
+	return &Spec{
+		Seed:      7,
+		HorizonMs: 1000,
+		Classes: []ClassSpec{
+			{
+				Name:     "small",
+				Arrival:  ArrivalSpec{Dist: DistPoisson, Rate: 150},
+				Size:     SizeSpec{Dist: SizeFixed, N: 32},
+				KeySpace: 50,
+				Clients:  3,
+			},
+			{
+				Name:    "bulk",
+				Arrival: ArrivalSpec{Dist: DistGamma, Rate: 50, Shape: 0.5},
+				Size:    SizeSpec{Dist: SizeUniform, Min: 100, Max: 400},
+			},
+		},
+		Bursts: []BurstSpec{{StartMs: 500, DurMs: 200, Mult: 2}},
+	}
+}
+
+// TestReplayDeterministic is the replay golden: building the same
+// seeded trace twice yields identical per-request issue timestamps
+// (and sizes and key seeds), and the aggregate histograms over the
+// two schedules are identical bucket for bucket.
+func TestReplayDeterministic(t *testing.T) {
+	t1, err := BuildTrace(replaySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := BuildTrace(replaySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Reqs) < 150 || len(t1.Reqs) > 300 {
+		t.Fatalf("replay spec planned %d requests, want ~200", len(t1.Reqs))
+	}
+	if !reflect.DeepEqual(t1.Reqs, t2.Reqs) {
+		t.Fatal("two builds of the same seeded spec diverged")
+	}
+	for i := range t1.Reqs {
+		if t1.Reqs[i].AtNs != t2.Reqs[i].AtNs {
+			t.Fatalf("issue timestamp %d diverged: %d vs %d", i, t1.Reqs[i].AtNs, t2.Reqs[i].AtNs)
+		}
+	}
+	h1, h2 := scheduleHistograms(t1), scheduleHistograms(t2)
+	for k := range h1 {
+		if !reflect.DeepEqual(h1[k], h2[k]) {
+			t.Fatalf("aggregate %s histogram diverged between identical schedules", k)
+		}
+	}
+	// Key payloads replay byte-for-byte too.
+	for i := 0; i < 10; i++ {
+		k1 := t1.Reqs[i].Keys(t1.Spec.Classes[t1.Reqs[i].Class].KeySpace)
+		k2 := t2.Reqs[i].Keys(t2.Spec.Classes[t2.Reqs[i].Class].KeySpace)
+		if !reflect.DeepEqual(k1, k2) {
+			t.Fatalf("request %d keys diverged on replay", i)
+		}
+	}
+}
+
+// scheduleHistograms aggregates a schedule into its interarrival and
+// size histograms — the distributional fingerprint replay must
+// preserve exactly.
+func scheduleHistograms(tr *Trace) map[string]*model.Histogram {
+	gaps, sizes := &model.Histogram{}, &model.Histogram{}
+	for i, r := range tr.Reqs {
+		if i > 0 {
+			gaps.Observe(r.AtNs - tr.Reqs[i-1].AtNs)
+		}
+		sizes.Observe(int64(r.N))
+	}
+	return map[string]*model.Histogram{"interarrival": gaps, "size": sizes}
+}
+
+// TestReplayGoldenFile pins the trace bytes to a checked-in golden:
+// any change to the schedule generator that moves an issue timestamp
+// shows up as a diff here, not as an unexplained latency shift in a
+// capacity run.
+func TestReplayGoldenFile(t *testing.T) {
+	tr, err := BuildTrace(replaySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "trace_seed7.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace bytes diverged from %s (%d vs %d bytes) — rerun with -update only if the schedule change is intentional",
+			path, len(got), len(want))
+	}
+}
+
+// TestTraceSaveLoadRoundTrip checks a recorded trace survives the file
+// system byte-for-byte: load → re-marshal → identical bytes.
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	tr, err := BuildTrace(replaySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := SaveTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := tr.Marshal()
+	b2, _ := back.Marshal()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("trace did not round-trip byte-identically")
+	}
+}
+
+func TestLoadTraceRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"not json":    `{{{`,
+		"bad spec":    `{"spec": {"horizon_ms": 0, "classes": []}, "reqs": []}`,
+		"class range": `{"spec": {"horizon_ms": 10, "classes": [{"name":"a","arrival":{"dist":"det","rate":1},"size":{"dist":"fixed","n":4}}]}, "reqs": [{"class": 5, "at_ns": 1, "n": 4}]}`,
+		"negative at": `{"spec": {"horizon_ms": 10, "classes": [{"name":"a","arrival":{"dist":"det","rate":1},"size":{"dist":"fixed","n":4}}]}, "reqs": [{"class": 0, "at_ns": -1, "n": 4}]}`,
+		"zero-size":   `{"spec": {"horizon_ms": 10, "classes": [{"name":"a","arrival":{"dist":"det","rate":1},"size":{"dist":"fixed","n":4}}]}, "reqs": [{"class": 0, "at_ns": 1, "n": 0}]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := filepath.Join(dir, "t.json")
+			if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadTrace(p); err == nil {
+				t.Fatal("corrupt trace loaded without error")
+			}
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ClassReport aggregates one class's results (or, for Totals, the
+// whole run's).
+type ClassReport struct {
+	Name     string `json:"name"`
+	Requests int    `json:"requests"`
+	OK       int    `json:"ok"`
+	Shed     int    `json:"shed"`
+	Deadline int    `json:"deadline"`
+	Errors   int    `json:"errors"`
+	Unsorted int    `json:"unsorted"`
+	// Latency quantiles over OK requests, milliseconds, exact
+	// (computed from the full sample, not a bucketed histogram).
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	// Fairness is the Jain index (Σx)²/(n·Σx²) over per-virtual-client
+	// completion counts: 1.0 when every client got equal service,
+	// 1/clients when one client got everything. An empty class (no
+	// completions at all) reports 1 — uniform starvation is, strictly,
+	// fair.
+	Fairness float64 `json:"fairness"`
+	// OfferedRPS is the planned rate, AchievedRPS the completed-OK
+	// rate, both over the run's wall time.
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// MaxLagMs is the worst generator lag (actual minus planned issue
+	// instant): client-side scheduling debt, not server latency.
+	MaxLagMs float64 `json:"max_lag_ms"`
+	// SLOMs is the class's own p99 SLO carried from the spec (0 when
+	// the class inherits the sweep's global SLO).
+	SLOMs float64 `json:"slo_ms,omitempty"`
+}
+
+// Report is a full run's aggregation, JSON-ready.
+type Report struct {
+	HorizonMs float64       `json:"horizon_ms"`
+	WallMs    float64       `json:"wall_ms"`
+	Seed      uint64        `json:"seed"`
+	Classes   []ClassReport `json:"classes"`
+	Totals    ClassReport   `json:"totals"`
+}
+
+// BuildReport aggregates a run into per-class and total reports.
+func BuildReport(rr *RunResult) *Report {
+	t := rr.Trace
+	wallSec := float64(rr.WallNs) / 1e9
+	rep := &Report{
+		HorizonMs: t.Spec.HorizonMs,
+		WallMs:    float64(rr.WallNs) / 1e6,
+		Seed:      t.Spec.Seed,
+	}
+	perClass := make([][]ReqResult, len(t.Spec.Classes))
+	for _, r := range rr.Results {
+		perClass[r.Class] = append(perClass[r.Class], r)
+	}
+	for ci, c := range t.Spec.Classes {
+		cr := aggregate(c.Name, perClass[ci], c.clients(), wallSec)
+		cr.OfferedRPS = c.Arrival.Rate
+		cr.SLOMs = c.SLOMs
+		rep.Classes = append(rep.Classes, cr)
+	}
+	// The totals row's fairness domain is (class, client) pairs:
+	// remap each class's client ids past the previous classes' so two
+	// classes' client 0 don't share a bucket.
+	offsets := make([]int, len(t.Spec.Classes))
+	n := 0
+	for i := range t.Spec.Classes {
+		offsets[i] = n
+		n += t.Spec.Classes[i].clients()
+	}
+	remapped := make([]ReqResult, len(rr.Results))
+	for i, r := range rr.Results {
+		r.Client += offsets[r.Class]
+		remapped[i] = r
+	}
+	tot := aggregate("total", remapped, totalClients(&t.Spec), wallSec)
+	tot.OfferedRPS = t.Spec.TotalRate()
+	rep.Totals = tot
+	return rep
+}
+
+// totalClients gives the totals row a fairness domain: clients are
+// numbered per class, so the cross-class domain is (class, client)
+// pairs, realized by offsetting each class's client ids.
+func totalClients(s *Spec) int {
+	n := 0
+	for i := range s.Classes {
+		n += s.Classes[i].clients()
+	}
+	return n
+}
+
+func aggregate(name string, results []ReqResult, clients int, wallSec float64) ClassReport {
+	cr := ClassReport{Name: name, Requests: len(results), Fairness: 1}
+	if clients < 1 {
+		clients = 1
+	}
+	perClient := make([]float64, clients)
+	var lats []int64
+	var sum float64
+	for _, r := range results {
+		switch r.Outcome {
+		case OutcomeOK:
+			cr.OK++
+			perClient[r.Client%clients]++
+			lats = append(lats, r.LatencyNs)
+			sum += float64(r.LatencyNs)
+		case OutcomeShed:
+			cr.Shed++
+		case OutcomeDeadline:
+			cr.Deadline++
+		case OutcomeUnsorted:
+			cr.Unsorted++
+		default:
+			cr.Errors++
+		}
+		if lag := float64(r.IssuedNs-r.PlannedNs) / 1e6; lag > cr.MaxLagMs {
+			cr.MaxLagMs = lag
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		cr.P50Ms = float64(quantileNs(lats, 0.50)) / 1e6
+		cr.P99Ms = float64(quantileNs(lats, 0.99)) / 1e6
+		cr.P999Ms = float64(quantileNs(lats, 0.999)) / 1e6
+		cr.MeanMs = sum / float64(len(lats)) / 1e6
+		cr.MaxMs = float64(lats[len(lats)-1]) / 1e6
+		cr.Fairness = jain(perClient)
+	}
+	if wallSec > 0 {
+		cr.AchievedRPS = float64(cr.OK) / wallSec
+	}
+	return cr
+}
+
+// quantileNs is the nearest-rank quantile of an ascending sample.
+func quantileNs(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// jain is Jain's fairness index over per-client allocations: 1 for a
+// uniform split, 1/n for a single winner; all-zero allocations report
+// 1 (see ClassReport.Fairness).
+func jain(x []float64) float64 {
+	var s, sq float64
+	for _, v := range x {
+		s += v
+		sq += v * v
+	}
+	if sq == 0 {
+		return 1
+	}
+	return s * s / (float64(len(x)) * sq)
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() []byte {
+	b, _ := json.MarshalIndent(r, "", "  ")
+	return append(b, '\n')
+}
+
+// Table renders the report as an aligned human table, one row per
+// class plus the totals row.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %6s %6s %5s %5s %9s %9s %9s %7s %9s\n",
+		"class", "offered", "ok/s", "ok", "shed", "dl", "err",
+		"p50(ms)", "p99(ms)", "p999(ms)", "jain", "maxlag(ms)")
+	row := func(c ClassReport) {
+		fmt.Fprintf(&b, "%-12s %8.1f %8.1f %6d %6d %5d %5d %9.2f %9.2f %9.2f %7.3f %9.2f\n",
+			c.Name, c.OfferedRPS, c.AchievedRPS, c.OK, c.Shed, c.Deadline,
+			c.Errors+c.Unsorted, c.P50Ms, c.P99Ms, c.P999Ms, c.Fairness, c.MaxLagMs)
+	}
+	for _, c := range r.Classes {
+		row(c)
+	}
+	row(r.Totals)
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuantileNs(t *testing.T) {
+	lat := make([]int64, 1000)
+	for i := range lat {
+		lat[i] = int64(i + 1) // 1..1000, sorted
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 1}, {0.5, 500}, {0.99, 990}, {0.999, 999}, {1, 1000},
+	}
+	for _, c := range cases {
+		if got := quantileNs(lat, c.q); got != c.want {
+			t.Fatalf("quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if quantileNs(nil, 0.5) != 0 {
+		t.Fatal("empty sample must report 0")
+	}
+}
+
+func TestJain(t *testing.T) {
+	cases := []struct {
+		x    []float64
+		want float64
+	}{
+		{[]float64{10, 10, 10, 10}, 1},
+		{[]float64{40, 0, 0, 0}, 0.25},
+		{[]float64{0, 0}, 1}, // uniform starvation: no unfairness evidence
+		{[]float64{30, 10}, (40.0 * 40) / (2 * (900 + 100))},
+	}
+	for _, c := range cases {
+		if got := jain(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("jain(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBuildReportAggregates(t *testing.T) {
+	tr := quickTrace(t, 200, 100)
+	results := make([]ReqResult, 0, len(tr.Reqs))
+	for i := range tr.Reqs {
+		r := ReqResult{
+			Class:     0,
+			Client:    tr.Reqs[i].Client,
+			PlannedNs: tr.Reqs[i].AtNs,
+			IssuedNs:  tr.Reqs[i].AtNs + 1000,
+			LatencyNs: int64((i + 1)) * 1_000_000, // 1ms, 2ms, ...
+			Status:    200,
+			Outcome:   OutcomeOK,
+		}
+		if i%5 == 0 {
+			r.Outcome = OutcomeShed
+			r.Status = 429
+		}
+		results = append(results, r)
+	}
+	rep := BuildReport(&RunResult{Trace: tr, Results: results, WallNs: int64(100 * 1e6)})
+	tot := rep.Totals
+	if tot.Requests != len(results) || tot.Shed == 0 || tot.OK+tot.Shed != tot.Requests {
+		t.Fatalf("counts off: %+v", tot)
+	}
+	if tot.P50Ms <= 0 || tot.P99Ms < tot.P50Ms || tot.P999Ms < tot.P99Ms || tot.MaxMs < tot.P999Ms {
+		t.Fatalf("quantiles not monotone: %+v", tot)
+	}
+	if tot.AchievedRPS != float64(tot.OK)/0.1 {
+		t.Fatalf("achieved rps %v for %d ok in 100ms", tot.AchievedRPS, tot.OK)
+	}
+	if tot.MaxLagMs != 0.001 {
+		t.Fatalf("max lag %v ms, want 0.001", tot.MaxLagMs)
+	}
+	if len(rep.Classes) != 1 || rep.Classes[0].OK != tot.OK {
+		t.Fatalf("class rows off: %+v", rep.Classes)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	tr := quickTrace(t, 200, 100)
+	rep := BuildReport(&RunResult{Trace: tr, Results: []ReqResult{
+		{Outcome: OutcomeOK, LatencyNs: 1e6, Status: 200},
+	}, WallNs: 1e8})
+	tab := rep.Table()
+	if !strings.Contains(tab, "c") || !strings.Contains(tab, "total") || !strings.Contains(tab, "p99") {
+		t.Fatalf("table missing rows:\n%s", tab)
+	}
+	js := string(rep.JSON())
+	for _, want := range []string{`"p99_ms"`, `"fairness"`, `"totals"`} {
+		if !strings.Contains(js, want) {
+			t.Fatalf("JSON missing %s:\n%s", want, js)
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OutcomeOK: "ok", OutcomeShed: "shed", OutcomeDeadline: "deadline",
+		OutcomeError: "error", OutcomeUnsorted: "unsorted", Outcome(99): "unknown",
+	} {
+		if o.String() != want {
+			t.Fatalf("Outcome(%d).String() = %q, want %q", o, o, want)
+		}
+	}
+}

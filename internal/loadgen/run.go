@@ -1,0 +1,152 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Outcome classifies one issued request's fate.
+type Outcome int
+
+const (
+	// OutcomeOK is a 200 whose body verified (right length, sorted,
+	// same key multiset by sum/xor aggregate).
+	OutcomeOK Outcome = iota
+	// OutcomeShed is documented backpressure: 429 (at capacity) or
+	// 503 (draining).
+	OutcomeShed
+	// OutcomeDeadline is a 504 — admitted but aborted by the server's
+	// per-request deadline.
+	OutcomeDeadline
+	// OutcomeError is a transport failure or unexpected status.
+	OutcomeError
+	// OutcomeUnsorted is a 200 whose body failed verification — the
+	// one outcome that is never acceptable at any load.
+	OutcomeUnsorted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeDeadline:
+		return "deadline"
+	case OutcomeError:
+		return "error"
+	case OutcomeUnsorted:
+		return "unsorted"
+	}
+	return "unknown"
+}
+
+// ReqResult is one issued request's record.
+type ReqResult struct {
+	Class, Client int
+	// PlannedNs is the trace's issue offset; IssuedNs the measured one.
+	// Their difference is generator lag, reported so an overloaded
+	// client machine can't masquerade as server latency.
+	PlannedNs, IssuedNs int64
+	LatencyNs           int64
+	Status              int
+	Outcome             Outcome
+}
+
+// RunResult is a completed run: one ReqResult per issued request, in
+// trace order, plus the measured wall time.
+type RunResult struct {
+	Trace   *Trace
+	Results []ReqResult
+	WallNs  int64
+}
+
+// Run executes the trace open-loop against target: each request fires
+// at its planned offset from run start whether or not earlier ones
+// have answered, from its own goroutine. Cancel ctx to stop issuing
+// early; already-issued requests still complete and are recorded
+// (their contexts are not canceled — tearing down in-flight work is
+// the server's drain path, not the generator's job).
+func Run(ctx context.Context, t *Trace, target Target) *RunResult {
+	results := make([]ReqResult, len(t.Reqs))
+	issued := 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range t.Reqs {
+		r := &t.Reqs[i]
+		if d := time.Duration(r.AtNs) - time.Since(start); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		issued++
+		wg.Add(1)
+		go func(i int, r *PlannedReq) {
+			defer wg.Done()
+			results[i] = issueOne(t, r, target, start)
+		}(i, r)
+	}
+	wg.Wait()
+	return &RunResult{Trace: t, Results: results[:issued], WallNs: time.Since(start).Nanoseconds()}
+}
+
+func issueOne(t *Trace, r *PlannedReq, target Target, start time.Time) ReqResult {
+	c := &t.Spec.Classes[r.Class]
+	keys := r.Keys(c.KeySpace)
+	var sentSum, sentXor int64
+	for _, k := range keys {
+		sentSum += k
+		sentXor ^= k
+	}
+	issuedAt := time.Since(start)
+	sorted, status, err := target.Sort(context.Background(), c.Name, keys)
+	lat := time.Since(start) - issuedAt
+	res := ReqResult{
+		Class:     r.Class,
+		Client:    r.Client,
+		PlannedNs: r.AtNs,
+		IssuedNs:  issuedAt.Nanoseconds(),
+		LatencyNs: lat.Nanoseconds(),
+		Status:    status,
+	}
+	switch {
+	case err != nil:
+		res.Outcome = OutcomeError
+	case status == 200:
+		res.Outcome = verifySorted(keys, sorted, sentSum, sentXor)
+	case status == 429 || status == 503:
+		res.Outcome = OutcomeShed
+	case status == 504:
+		res.Outcome = OutcomeDeadline
+	default:
+		res.Outcome = OutcomeError
+	}
+	return res
+}
+
+// verifySorted checks length, non-decreasing order and the sum/xor
+// multiset aggregate — O(n), no allocation, cheap enough to keep on
+// during capacity sweeps where a per-request map would perturb the
+// measurement.
+func verifySorted(sent, got []int64, sentSum, sentXor int64) Outcome {
+	if len(got) != len(sent) {
+		return OutcomeUnsorted
+	}
+	var gotSum, gotXor int64
+	for i, k := range got {
+		if i > 0 && got[i-1] > k {
+			return OutcomeUnsorted
+		}
+		gotSum += k
+		gotXor ^= k
+	}
+	if gotSum != sentSum || gotXor != sentXor {
+		return OutcomeUnsorted
+	}
+	return OutcomeOK
+}

@@ -1,0 +1,321 @@
+// Package loadgen is the open-loop workload engine for the serving
+// stack: declarative workload specs (interarrival process, size and
+// duplicate mix, burst phases, virtual clients per class), fully
+// seeded schedule generation with trace record/replay, an issue engine
+// that drives any Target (the live HTTP service or internal/server's
+// handler in-process), per-class latency/fairness reports, and a
+// capacity sweep that finds the offered-load knee where p99 crosses an
+// SLO.
+//
+// Open-loop means the generator never waits for a response before
+// issuing the next request: issue instants come from the spec's
+// interarrival process alone, so a slow server accumulates in-flight
+// work exactly as real independent clients would pile on — the regime
+// where closed-loop benchmarks flatter the server most.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// SpecError is the typed error every spec parsing or validation
+// failure surfaces as. Field names the offending spec location in
+// dotted form ("classes[2].arrival.rate").
+type SpecError struct {
+	Field string
+	Msg   string
+}
+
+func (e *SpecError) Error() string {
+	if e.Field == "" {
+		return "workload spec: " + e.Msg
+	}
+	return "workload spec: " + e.Field + ": " + e.Msg
+}
+
+func specErrf(field, format string, args ...any) *SpecError {
+	return &SpecError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Arrival distribution names accepted by ArrivalSpec.Dist.
+const (
+	DistDet     = "det"     // deterministic: every gap exactly 1/rate
+	DistPoisson = "poisson" // exponential gaps (memoryless)
+	DistGamma   = "gamma"   // gamma gaps, Shape k (k=1 is poisson)
+	DistWeibull = "weibull" // weibull gaps, Shape k (k<1 is bursty)
+)
+
+// ArrivalSpec declares a class's interarrival process.
+type ArrivalSpec struct {
+	// Dist is one of det, poisson, gamma, weibull.
+	Dist string `json:"dist"`
+	// Rate is the mean offered rate in requests/second.
+	Rate float64 `json:"rate"`
+	// Shape is the gamma/weibull shape parameter (default 1; must be
+	// absent or 0 for det and poisson, where it has no meaning).
+	Shape float64 `json:"shape,omitempty"`
+}
+
+// Size distribution names accepted by SizeSpec.Dist.
+const (
+	SizeFixed   = "fixed"
+	SizeUniform = "uniform"
+)
+
+// SizeSpec declares a class's request-size (key count) distribution.
+type SizeSpec struct {
+	// Dist is fixed or uniform.
+	Dist string `json:"dist"`
+	// N is the fixed size (fixed only).
+	N int `json:"n,omitempty"`
+	// Min and Max bound the uniform size, inclusive (uniform only).
+	Min int `json:"min,omitempty"`
+	Max int `json:"max,omitempty"`
+}
+
+// ClassSpec is one traffic class: its own arrival process, size and
+// duplicate mix, client fan-out and SLO.
+type ClassSpec struct {
+	// Name labels the class in reports and in the X-Sort-Class header.
+	Name string `json:"name"`
+	// Arrival is the class's interarrival process.
+	Arrival ArrivalSpec `json:"arrival"`
+	// Size is the class's request-size distribution.
+	Size SizeSpec `json:"size"`
+	// KeySpace controls the duplicate (stability) mix: 0 sends a
+	// distinct permutation, k > 0 draws keys from [0, k) — small
+	// keyspaces mean heavy duplicates, the regime that stresses the
+	// stable-sort and batching demux paths.
+	KeySpace int `json:"keyspace,omitempty"`
+	// Clients is the number of virtual clients the class's requests
+	// round-robin over (default 4). The Jain fairness index is computed
+	// over per-client completions.
+	Clients int `json:"clients,omitempty"`
+	// SLOMs is the class's p99 latency SLO in milliseconds (default
+	// inherited from the capacity sweep's global SLO; informational in
+	// plain runs).
+	SLOMs float64 `json:"slo_ms,omitempty"`
+}
+
+// BurstSpec multiplies every class's offered rate by Mult during
+// [StartMs, StartMs+DurMs) of the run.
+type BurstSpec struct {
+	StartMs float64 `json:"start_ms"`
+	DurMs   float64 `json:"dur_ms"`
+	Mult    float64 `json:"mult"`
+}
+
+// Spec is a complete workload description. A Spec plus a seed
+// determines the full request schedule byte-for-byte.
+type Spec struct {
+	// Seed fixes every randomized choice (interarrival gaps, sizes,
+	// key contents). Two runs of the same spec are identical.
+	Seed uint64 `json:"seed"`
+	// HorizonMs is the schedule length in milliseconds.
+	HorizonMs float64 `json:"horizon_ms"`
+	// MaxRequests caps the total planned requests across classes
+	// (default 1e6); generation stops at whichever of horizon or cap
+	// comes first.
+	MaxRequests int `json:"max_requests,omitempty"`
+	// Classes are the traffic classes (at least one).
+	Classes []ClassSpec `json:"classes"`
+	// Bursts are optional rate-multiplier phases.
+	Bursts []BurstSpec `json:"bursts,omitempty"`
+}
+
+// specLimits bound absurd inputs: a spec is a test input, and the
+// fuzzer will find every overflow a missing bound allows.
+const (
+	maxHorizonMs   = 10 * 60 * 1000 // 10 minutes
+	maxRate        = 1e7            // req/s per class
+	maxSize        = 1 << 22        // keys per request
+	maxClasses     = 64
+	maxBursts      = 64
+	maxClients     = 1 << 16
+	maxMult        = 1e4
+	maxShape       = 1e4
+	hardMaxPlanned = 4 << 20 // absolute cap on planned requests
+)
+
+// ParseSpec decodes and validates a workload spec. Every failure —
+// malformed JSON included — returns a *SpecError; it never panics.
+func ParseSpec(b []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, specErrf("", "invalid JSON: %v", err)
+	}
+	// Trailing garbage after the spec object is a malformed spec, not
+	// an extended one.
+	if dec.More() {
+		return nil, specErrf("", "trailing data after spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec's semantic constraints, returning a
+// *SpecError naming the first offending field.
+func (s *Spec) Validate() error {
+	if !isFinite(s.HorizonMs) || s.HorizonMs <= 0 {
+		return specErrf("horizon_ms", "must be a finite duration > 0, got %v", s.HorizonMs)
+	}
+	if s.HorizonMs > maxHorizonMs {
+		return specErrf("horizon_ms", "%v exceeds the %d ms limit", s.HorizonMs, maxHorizonMs)
+	}
+	if s.MaxRequests < 0 {
+		return specErrf("max_requests", "must be >= 0, got %d", s.MaxRequests)
+	}
+	if s.MaxRequests > hardMaxPlanned {
+		return specErrf("max_requests", "%d exceeds the %d cap", s.MaxRequests, hardMaxPlanned)
+	}
+	if len(s.Classes) == 0 {
+		return specErrf("classes", "at least one class is required")
+	}
+	if len(s.Classes) > maxClasses {
+		return specErrf("classes", "%d classes exceeds the %d limit", len(s.Classes), maxClasses)
+	}
+	names := make(map[string]bool, len(s.Classes))
+	for i := range s.Classes {
+		if err := s.Classes[i].validate(fmt.Sprintf("classes[%d]", i)); err != nil {
+			return err
+		}
+		if names[s.Classes[i].Name] {
+			return specErrf(fmt.Sprintf("classes[%d].name", i), "duplicate class name %q", s.Classes[i].Name)
+		}
+		names[s.Classes[i].Name] = true
+	}
+	if len(s.Bursts) > maxBursts {
+		return specErrf("bursts", "%d bursts exceeds the %d limit", len(s.Bursts), maxBursts)
+	}
+	for i, b := range s.Bursts {
+		f := fmt.Sprintf("bursts[%d]", i)
+		if !isFinite(b.StartMs) || b.StartMs < 0 {
+			return specErrf(f+".start_ms", "must be finite and >= 0, got %v", b.StartMs)
+		}
+		if !isFinite(b.DurMs) || b.DurMs <= 0 {
+			return specErrf(f+".dur_ms", "must be finite and > 0, got %v", b.DurMs)
+		}
+		if !isFinite(b.Mult) || b.Mult <= 0 || b.Mult > maxMult {
+			return specErrf(f+".mult", "must be in (0, %v], got %v", float64(maxMult), b.Mult)
+		}
+	}
+	return nil
+}
+
+func (c *ClassSpec) validate(field string) error {
+	if c.Name == "" {
+		return specErrf(field+".name", "must be non-empty")
+	}
+	if len(c.Name) > 64 || strings.ContainsAny(c.Name, " \t\n\r\"") {
+		return specErrf(field+".name", "must be <= 64 chars with no whitespace or quotes")
+	}
+	a := c.Arrival
+	switch a.Dist {
+	case DistDet, DistPoisson:
+		if a.Shape != 0 {
+			return specErrf(field+".arrival.shape", "has no meaning for %q", a.Dist)
+		}
+	case DistGamma, DistWeibull:
+		if !isFinite(a.Shape) || a.Shape < 0 || a.Shape > maxShape {
+			return specErrf(field+".arrival.shape", "must be in [0, %v], got %v", float64(maxShape), a.Shape)
+		}
+	case "":
+		return specErrf(field+".arrival.dist", "is required (det, poisson, gamma, weibull)")
+	default:
+		return specErrf(field+".arrival.dist", "unknown distribution %q (want det, poisson, gamma, weibull)", a.Dist)
+	}
+	if !isFinite(a.Rate) || a.Rate <= 0 {
+		return specErrf(field+".arrival.rate", "must be finite and > 0, got %v", a.Rate)
+	}
+	if a.Rate > maxRate {
+		return specErrf(field+".arrival.rate", "%v exceeds the %v req/s limit", a.Rate, float64(maxRate))
+	}
+	sz := c.Size
+	switch sz.Dist {
+	case SizeFixed:
+		if sz.N <= 0 || sz.N > maxSize {
+			return specErrf(field+".size.n", "must be in [1, %d], got %d", maxSize, sz.N)
+		}
+		if sz.Min != 0 || sz.Max != 0 {
+			return specErrf(field+".size", "min/max have no meaning for fixed")
+		}
+	case SizeUniform:
+		if sz.Min <= 0 || sz.Max < sz.Min || sz.Max > maxSize {
+			return specErrf(field+".size", "need 1 <= min <= max <= %d, got [%d, %d]", maxSize, sz.Min, sz.Max)
+		}
+		if sz.N != 0 {
+			return specErrf(field+".size.n", "has no meaning for uniform")
+		}
+	case "":
+		return specErrf(field+".size.dist", "is required (fixed, uniform)")
+	default:
+		return specErrf(field+".size.dist", "unknown distribution %q (want fixed, uniform)", sz.Dist)
+	}
+	if c.KeySpace < 0 {
+		return specErrf(field+".keyspace", "must be >= 0, got %d", c.KeySpace)
+	}
+	if c.Clients < 0 || c.Clients > maxClients {
+		return specErrf(field+".clients", "must be in [0, %d], got %d", maxClients, c.Clients)
+	}
+	if !isFinite(c.SLOMs) || c.SLOMs < 0 {
+		return specErrf(field+".slo_ms", "must be finite and >= 0, got %v", c.SLOMs)
+	}
+	return nil
+}
+
+// clients returns the class's virtual-client fan-out with the default
+// applied.
+func (c *ClassSpec) clients() int {
+	if c.Clients <= 0 {
+		return 4
+	}
+	return c.Clients
+}
+
+// Horizon returns the schedule length as a duration.
+func (s *Spec) Horizon() time.Duration {
+	return time.Duration(s.HorizonMs * float64(time.Millisecond))
+}
+
+// maxRequests returns the planned-request cap with defaults and the
+// hard ceiling applied.
+func (s *Spec) maxRequests() int {
+	m := s.MaxRequests
+	if m == 0 {
+		m = 1 << 20
+	}
+	return min(m, hardMaxPlanned)
+}
+
+// Scaled returns a copy of the spec with every class's rate multiplied
+// by f — the capacity sweep's lever. The copy is deep enough that
+// mutating it never aliases the original.
+func (s *Spec) Scaled(f float64) *Spec {
+	out := *s
+	out.Classes = append([]ClassSpec(nil), s.Classes...)
+	out.Bursts = append([]BurstSpec(nil), s.Bursts...)
+	for i := range out.Classes {
+		out.Classes[i].Arrival.Rate *= f
+	}
+	return &out
+}
+
+// TotalRate is the spec's aggregate mean offered rate in req/s
+// (bursts excluded).
+func (s *Spec) TotalRate() float64 {
+	var r float64
+	for _, c := range s.Classes {
+		r += c.Arrival.Rate
+	}
+	return r
+}
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const validSpec = `{
+  "seed": 7, "horizon_ms": 1000,
+  "classes": [
+    {"name": "small", "arrival": {"dist": "poisson", "rate": 200},
+     "size": {"dist": "fixed", "n": 64}, "keyspace": 100},
+    {"name": "bulk", "arrival": {"dist": "gamma", "rate": 20, "shape": 0.5},
+     "size": {"dist": "uniform", "min": 1000, "max": 8000}}
+  ],
+  "bursts": [{"start_ms": 200, "dur_ms": 100, "mult": 3}]
+}`
+
+func TestParseSpecValid(t *testing.T) {
+	s, err := ParseSpec([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Classes) != 2 || s.Classes[0].Name != "small" || s.Classes[1].Arrival.Shape != 0.5 {
+		t.Fatalf("spec mis-parsed: %+v", s)
+	}
+	if got := s.TotalRate(); got != 220 {
+		t.Fatalf("TotalRate = %v, want 220", got)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		name, body, wantField string
+	}{
+		{"empty", ``, ""},
+		{"not json", `{{{`, ""},
+		{"trailing garbage", validSpec + `{"more": 1}`, ""},
+		{"unknown field", `{"horizon_ms": 1, "classes": [], "bogus": true}`, ""},
+		{"no classes", `{"horizon_ms": 1000, "classes": []}`, "classes"},
+		{"zero horizon", `{"horizon_ms": 0, "classes": []}`, "horizon_ms"},
+		{"negative horizon", `{"horizon_ms": -5, "classes": []}`, "horizon_ms"},
+		{"huge horizon", `{"horizon_ms": 1e12, "classes": []}`, "horizon_ms"},
+		{"negative rate", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "poisson", "rate": -1},
+			 "size": {"dist": "fixed", "n": 4}}]}`, "classes[0].arrival.rate"},
+		{"zero rate", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "det", "rate": 0},
+			 "size": {"dist": "fixed", "n": 4}}]}`, "classes[0].arrival.rate"},
+		{"absurd rate", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "det", "rate": 1e18},
+			 "size": {"dist": "fixed", "n": 4}}]}`, "classes[0].arrival.rate"},
+		{"unknown dist", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "pareto", "rate": 1},
+			 "size": {"dist": "fixed", "n": 4}}]}`, "classes[0].arrival.dist"},
+		{"shape on poisson", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "poisson", "rate": 1, "shape": 2},
+			 "size": {"dist": "fixed", "n": 4}}]}`, "classes[0].arrival.shape"},
+		{"negative shape", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "weibull", "rate": 1, "shape": -1},
+			 "size": {"dist": "fixed", "n": 4}}]}`, "classes[0].arrival.shape"},
+		{"zero size", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "det", "rate": 1},
+			 "size": {"dist": "fixed", "n": 0}}]}`, "classes[0].size.n"},
+		{"inverted uniform", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "det", "rate": 1},
+			 "size": {"dist": "uniform", "min": 10, "max": 5}}]}`, "classes[0].size"},
+		{"dup names", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "det", "rate": 1}, "size": {"dist": "fixed", "n": 4}},
+			{"name": "a", "arrival": {"dist": "det", "rate": 1}, "size": {"dist": "fixed", "n": 4}}]}`,
+			"classes[1].name"},
+		{"nan rate", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "det", "rate": 1e999},
+			 "size": {"dist": "fixed", "n": 4}}]}`, ""},
+		{"burst zero mult", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "det", "rate": 1}, "size": {"dist": "fixed", "n": 4}}],
+			"bursts": [{"start_ms": 0, "dur_ms": 10, "mult": 0}]}`, "bursts[0].mult"},
+		{"negative keyspace", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "det", "rate": 1},
+			 "size": {"dist": "fixed", "n": 4}, "keyspace": -2}]}`, "classes[0].keyspace"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.body))
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %v is not a *SpecError", err)
+			}
+			if tc.wantField != "" && se.Field != tc.wantField {
+				t.Fatalf("error field %q, want %q (err: %v)", se.Field, tc.wantField, err)
+			}
+		})
+	}
+}
+
+func TestScaledIsDeepAndProportional(t *testing.T) {
+	s, err := ParseSpec([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Scaled(2.5)
+	if d.Classes[0].Arrival.Rate != 500 || d.Classes[1].Arrival.Rate != 50 {
+		t.Fatalf("scaled rates wrong: %v, %v", d.Classes[0].Arrival.Rate, d.Classes[1].Arrival.Rate)
+	}
+	if s.Classes[0].Arrival.Rate != 200 {
+		t.Fatal("Scaled mutated the original")
+	}
+	d.Classes[0].Name = "mutated"
+	if s.Classes[0].Name != "small" {
+		t.Fatal("Scaled aliases the original's class slice")
+	}
+}
+
+func TestSpecErrorMessageNamesField(t *testing.T) {
+	err := specErrf("classes[3].size.n", "must be positive")
+	if !strings.Contains(err.Error(), "classes[3].size.n") {
+		t.Fatalf("error %q does not name the field", err.Error())
+	}
+}

@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+)
+
+// ClassHeader carries the request's traffic class to the server, which
+// keys its per-class counters on it.
+const ClassHeader = "X-Sort-Class"
+
+// Target is the seam the issue engine fires requests through. Sort
+// posts one request and returns the sorted keys (nil unless the status
+// is 200) plus the HTTP status code. Transport-level failures return
+// an error; application-level rejections (429/503/504/...) are a
+// status, not an error — the runner classifies them.
+//
+// Implementations must be safe for concurrent use: the open-loop
+// engine issues from many goroutines at once.
+type Target interface {
+	Sort(ctx context.Context, class string, keys []int64) (sorted []int64, status int, err error)
+}
+
+type sortRequestBody struct {
+	Keys []int64 `json:"keys"`
+}
+
+type sortResponseBody struct {
+	Sorted []int64 `json:"sorted"`
+}
+
+// HTTPTarget drives a live sort service over the network.
+type HTTPTarget struct {
+	// URL is the service base ("http://host:port"); /sort is appended.
+	URL string
+	// Client is the HTTP client (default http.DefaultClient). Give it
+	// a generous Timeout: the open-loop engine must never block on a
+	// slow response, and per-request deadlines belong to the server.
+	Client *http.Client
+}
+
+func (t *HTTPTarget) Sort(ctx context.Context, class string, keys []int64) ([]int64, int, error) {
+	body, err := json.Marshal(sortRequestBody{Keys: keys})
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.URL+"/sort", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ClassHeader, class)
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode, nil
+	}
+	var out sortResponseBody
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("decoding response: %w", err)
+	}
+	return out.Sorted, resp.StatusCode, nil
+}
+
+// HandlerTarget drives an http.Handler in-process — no sockets, no
+// real HTTP stack — which is what makes race-detector runs of the full
+// serving path cheap. internal/server's Handler() plugs in directly.
+type HandlerTarget struct {
+	Handler http.Handler
+}
+
+func (t *HandlerTarget) Sort(ctx context.Context, class string, keys []int64) ([]int64, int, error) {
+	body, err := json.Marshal(sortRequestBody{Keys: keys})
+	if err != nil {
+		return nil, 0, err
+	}
+	req := httptest.NewRequest(http.MethodPost, "/sort", bytes.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ClassHeader, class)
+	rec := httptest.NewRecorder()
+	t.Handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, rec.Code, nil
+	}
+	var out sortResponseBody
+	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
+		return nil, rec.Code, fmt.Errorf("decoding response: %w", err)
+	}
+	return out.Sorted, rec.Code, nil
+}

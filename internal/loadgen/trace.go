@@ -1,0 +1,173 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+)
+
+// PlannedReq is one scheduled request: when it fires, what it carries.
+// Together with the spec it came from, a PlannedReq reproduces its
+// request body byte-for-byte: keys are regenerated from KeySeed, not
+// stored, so traces stay small enough to check in.
+type PlannedReq struct {
+	// Class indexes the spec's Classes.
+	Class int `json:"class"`
+	// Client is the virtual client within the class issuing it.
+	Client int `json:"client"`
+	// AtNs is the planned issue instant as an offset from run start.
+	AtNs int64 `json:"at_ns"`
+	// N is the key count.
+	N int `json:"n"`
+	// KeySeed regenerates the keys (with the class's KeySpace).
+	KeySeed int64 `json:"key_seed"`
+}
+
+// Trace is a fully materialized schedule: the spec that produced it
+// plus every planned request in issue order. Saving and re-loading a
+// trace replays the identical workload — same instants, same sizes,
+// same key contents.
+type Trace struct {
+	Spec Spec         `json:"spec"`
+	Reqs []PlannedReq `json:"reqs"`
+}
+
+// BuildTrace expands a validated spec into its schedule. Each class
+// draws gaps from its own seeded stream (seed ⊕ class index), so
+// adding a class never perturbs another's schedule; burst phases
+// shrink the in-phase gaps by the phase multiplier. The merged
+// schedule is sorted by issue instant with (class, client) as the
+// tie-break, which makes the order total and the trace deterministic.
+func BuildTrace(s *Spec) (*Trace, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	horizonNs := s.Horizon().Nanoseconds()
+	reqCap := s.maxRequests()
+	var reqs []PlannedReq
+	for ci := range s.Classes {
+		c := &s.Classes[ci]
+		rng := rand.New(rand.NewSource(int64(s.Seed ^ 0x9e3779b97f4a7c15*uint64(ci+1))))
+		gap := newSampler(c.Arrival)
+		clients := c.clients()
+		var tNs int64
+		for i := 0; ; i++ {
+			g := gap(rng) * 1e9 // seconds -> ns
+			if m := burstMult(s.Bursts, float64(tNs)/1e6); m != 1 {
+				g /= m
+			}
+			// Degenerate but validatable parameters (e.g. a weibull shape
+			// tiny enough that the mean-normalizing scale underflows) can
+			// yield NaN gaps; clamp rather than let int64(NaN) poison the
+			// clock. Inf (or any gap past the horizon) just ends the class.
+			if math.IsNaN(g) {
+				g = 0
+			}
+			if g < 1 {
+				g = 1 // a zero gap would freeze the clock on degenerate draws
+			}
+			if g >= float64(horizonNs-tNs) {
+				break
+			}
+			tNs += int64(g)
+			reqs = append(reqs, PlannedReq{
+				Class:   ci,
+				Client:  i % clients,
+				AtNs:    tNs,
+				N:       sampleSize(rng, c.Size),
+				KeySeed: rng.Int63(),
+			})
+			if len(reqs) > reqCap {
+				return nil, specErrf("", "schedule exceeds the %d-request cap (rate*horizon too large)", reqCap)
+			}
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].AtNs != reqs[j].AtNs {
+			return reqs[i].AtNs < reqs[j].AtNs
+		}
+		if reqs[i].Class != reqs[j].Class {
+			return reqs[i].Class < reqs[j].Class
+		}
+		return reqs[i].Client < reqs[j].Client
+	})
+	return &Trace{Spec: *s, Reqs: reqs}, nil
+}
+
+func sampleSize(rng *rand.Rand, s SizeSpec) int {
+	switch s.Dist {
+	case SizeFixed:
+		return s.N
+	case SizeUniform:
+		return s.Min + rng.Intn(s.Max-s.Min+1)
+	default:
+		panic("loadgen: unvalidated size dist " + s.Dist)
+	}
+}
+
+// Keys regenerates the request's key payload. KeySpace == 0 sends a
+// distinct permutation of 0..n-1; k > 0 draws from [0, k), so small
+// keyspaces stress the duplicate/stability paths.
+func (r PlannedReq) Keys(keySpace int) []int64 {
+	rng := rand.New(rand.NewSource(r.KeySeed))
+	keys := make([]int64, r.N)
+	if keySpace == 0 {
+		for i, v := range rng.Perm(r.N) {
+			keys[i] = int64(v)
+		}
+		return keys
+	}
+	for i := range keys {
+		keys[i] = int64(rng.Intn(keySpace))
+	}
+	return keys
+}
+
+// Marshal renders the trace as indented JSON, the byte-stable form the
+// replay golden test pins down.
+func (t *Trace) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// SaveTrace writes the trace to path.
+func SaveTrace(path string, t *Trace) error {
+	b, err := t.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadTrace reads and re-validates a recorded trace.
+func LoadTrace(path string) (*Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Trace
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := t.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for i, r := range t.Reqs {
+		if r.Class < 0 || r.Class >= len(t.Spec.Classes) {
+			return nil, fmt.Errorf("%s: reqs[%d]: class %d out of range", path, i, r.Class)
+		}
+		if r.N < 1 || r.N > maxSize {
+			return nil, fmt.Errorf("%s: reqs[%d]: n %d out of range", path, i, r.N)
+		}
+		if r.AtNs < 0 {
+			return nil, fmt.Errorf("%s: reqs[%d]: negative issue offset", path, i)
+		}
+	}
+	return &t, nil
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"wfsort/internal/model"
+)
+
+// ClassCounters is one traffic class's serving-side record: outcome
+// counts plus an atomic log2-bucketed latency histogram (the atomic
+// twin of model.Histogram — same buckets, so snapshots reuse its
+// quantile math). Every update is a single atomic add, so recording
+// on the serving path stays wait-free like the rest of the plane.
+type ClassCounters struct {
+	Requests atomic.Int64
+	OK       atomic.Int64
+	Shed     atomic.Int64 // 429 + 503
+	Canceled atomic.Int64 // 504
+	Errors   atomic.Int64
+
+	buckets [64]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// ObserveLatency records one request latency in nanoseconds.
+func (c *ClassCounters) ObserveLatency(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	c.buckets[bits.Len64(uint64(ns))].Add(1)
+	c.count.Add(1)
+	c.sum.Add(ns)
+}
+
+// Histogram snapshots the latency record into a model.Histogram for
+// quantile estimates. The snapshot is not atomic across buckets —
+// concurrent writers may land between loads — which is fine for a
+// metrics surface.
+func (c *ClassCounters) Histogram() *model.Histogram {
+	h := &model.Histogram{}
+	for b := range c.buckets {
+		h.Buckets[b] = c.buckets[b].Load()
+	}
+	h.Count = c.count.Load()
+	h.Sum = c.sum.Load()
+	return h
+}
+
+// ClassStats is one class's JSON-ready snapshot.
+type ClassStats struct {
+	Requests int64   `json:"requests"`
+	OK       int64   `json:"ok"`
+	Shed     int64   `json:"shed"`
+	Canceled int64   `json:"canceled"`
+	Errors   int64   `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+// ClassSet is a registry of per-class counters keyed by class name.
+// The hot path (Get on a known class) is lock-free: one atomic map
+// load and a read-only lookup. Inserting a new class copies the map
+// under a mutex — rare by construction, since class cardinality is
+// capped: once Limit distinct names exist, unknown names all land on
+// the "other" class rather than letting a client mint unbounded
+// counter sets.
+type ClassSet struct {
+	limit int
+	m     atomic.Pointer[map[string]*ClassCounters]
+	mu    sync.Mutex
+}
+
+// Overflow is the class name absorbing registrations past the limit.
+const Overflow = "other"
+
+// NewClassSet builds a registry capped at limit classes (limit < 1
+// means 32). The overflow class counts against the cap.
+func NewClassSet(limit int) *ClassSet {
+	if limit < 1 {
+		limit = 32
+	}
+	s := &ClassSet{limit: limit}
+	empty := map[string]*ClassCounters{}
+	s.m.Store(&empty)
+	return s
+}
+
+// Get returns the counters for name, creating them on first sight
+// (or the overflow class's once the cap is hit).
+func (s *ClassSet) Get(name string) *ClassCounters {
+	if name == "" {
+		name = "default"
+	}
+	m := *s.m.Load()
+	if c, ok := m[name]; ok {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m = *s.m.Load()
+	if c, ok := m[name]; ok {
+		return c
+	}
+	if len(m) >= s.limit {
+		name = Overflow
+		if c, ok := m[name]; ok {
+			return c
+		}
+	}
+	next := make(map[string]*ClassCounters, len(m)+1)
+	for k, v := range m {
+		next[k] = v
+	}
+	c := &ClassCounters{}
+	next[name] = c
+	s.m.Store(&next)
+	return c
+}
+
+// Snapshot renders every class's current stats, JSON-ready.
+func (s *ClassSet) Snapshot() map[string]ClassStats {
+	m := *s.m.Load()
+	out := make(map[string]ClassStats, len(m))
+	for name, c := range m {
+		h := c.Histogram()
+		out[name] = ClassStats{
+			Requests: c.Requests.Load(),
+			OK:       c.OK.Load(),
+			Shed:     c.Shed.Load(),
+			Canceled: c.Canceled.Load(),
+			Errors:   c.Errors.Load(),
+			P50Ms:    float64(h.Quantile(0.50)) / 1e6,
+			P99Ms:    float64(h.Quantile(0.99)) / 1e6,
+			MeanMs:   float64(h.Mean()) / 1e6,
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestClassSetGetAndSnapshot(t *testing.T) {
+	s := NewClassSet(0) // default limit
+	a := s.Get("a")
+	if s.Get("a") != a {
+		t.Fatal("Get is not stable for a known class")
+	}
+	if s.Get("") != s.Get("default") {
+		t.Fatal("empty class name must alias default")
+	}
+	a.Requests.Add(3)
+	a.OK.Add(2)
+	a.Shed.Add(1)
+	a.ObserveLatency(1_500_000) // 1.5ms
+	a.ObserveLatency(3_000_000)
+
+	snap := s.Snapshot()
+	st, ok := snap["a"]
+	if !ok {
+		t.Fatalf("snapshot missing class a: %v", snap)
+	}
+	if st.Requests != 3 || st.OK != 2 || st.Shed != 1 {
+		t.Fatalf("counter snapshot off: %+v", st)
+	}
+	if st.P50Ms <= 0 || st.MeanMs <= 0 {
+		t.Fatalf("latency snapshot off: %+v", st)
+	}
+}
+
+func TestClassSetOverflowCap(t *testing.T) {
+	s := NewClassSet(3)
+	s.Get("a")
+	s.Get("b")
+	s.Get("c")
+	// Cap hit: every unknown name lands on the shared overflow class.
+	d := s.Get("d")
+	if d != s.Get("e") || d != s.Get(Overflow) {
+		t.Fatal("past the cap, unknown classes must share the overflow counters")
+	}
+	// Known classes still resolve to their own counters.
+	if s.Get("a") == d {
+		t.Fatal("known class lost its counters after overflow")
+	}
+	snap := s.Snapshot()
+	if _, ok := snap[Overflow]; !ok {
+		t.Fatalf("snapshot missing overflow class: %v", snap)
+	}
+	if _, ok := snap["d"]; ok {
+		t.Fatal("overflowed name minted its own class")
+	}
+}
+
+func TestClassSetConcurrent(t *testing.T) {
+	s := NewClassSet(8)
+	const goroutines = 16
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// 20 distinct names against a cap of 8: insertion,
+				// lock-free lookup, and overflow all race here.
+				c := s.Get(fmt.Sprintf("class-%d", (g+i)%20))
+				c.Requests.Add(1)
+				c.OK.Add(1)
+				c.ObserveLatency(int64(i) * 1000)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, st := range s.Snapshot() {
+		total += st.Requests
+	}
+	if total != goroutines*perG {
+		t.Fatalf("requests lost under concurrency: %d of %d", total, goroutines*perG)
+	}
+}
+
+func TestClassCountersHistogram(t *testing.T) {
+	var c ClassCounters
+	c.ObserveLatency(-5) // clamped, not a panic
+	for i := 0; i < 100; i++ {
+		c.ObserveLatency(1 << 20) // ~1ms
+	}
+	h := c.Histogram()
+	if h.Count != 101 {
+		t.Fatalf("count %d, want 101", h.Count)
+	}
+	q := h.Quantile(0.5)
+	if q < 1<<19 || q > 1<<22 {
+		t.Fatalf("p50 %d outside the 1ms bucket", q)
+	}
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"wfsort"
+	"wfsort/internal/loadgen"
+)
+
+// TestOpenLoopSoak drives the full serving path with the open-loop
+// workload engine — mixed traffic classes, a mid-run burst, worker
+// churn inside every sort — entirely in-process, so the whole run is
+// race-detector-clean. The engine verifies every 200 body (sorted +
+// same multiset); the test then asserts zero corrupt responses, a
+// bounded shed rate, and that the server's per-class counters agree
+// exactly with the client-side ledger — the two sides observed the
+// same requests, classified the same way.
+func TestOpenLoopSoak(t *testing.T) {
+	horizon := 5000.0
+	if testing.Short() {
+		horizon = 1200
+	}
+	spec := &loadgen.Spec{
+		Seed:      99,
+		HorizonMs: horizon,
+		Classes: []loadgen.ClassSpec{
+			{
+				Name:     "small",
+				Arrival:  loadgen.ArrivalSpec{Dist: loadgen.DistPoisson, Rate: 60},
+				Size:     loadgen.SizeSpec{Dist: loadgen.SizeFixed, N: 64},
+				KeySpace: 16, // heavy duplicates: the stability/batching regime
+				Clients:  4,
+			},
+			{
+				Name:    "bulk",
+				Arrival: loadgen.ArrivalSpec{Dist: loadgen.DistGamma, Rate: 10, Shape: 0.5},
+				Size:    loadgen.SizeSpec{Dist: loadgen.SizeUniform, Min: 512, Max: 4096},
+				Clients: 2,
+			},
+		},
+		// A 2x burst through the middle fifth: admission control must
+		// shed, not corrupt.
+		Bursts: []loadgen.BurstSpec{{StartMs: horizon / 2, DurMs: horizon / 5, Mult: 2}},
+	}
+	tr, err := loadgen.BuildTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{
+		Workers:     4,
+		MaxInFlight: 64,
+		BatchWindow: 2 * time.Millisecond,
+		Options:     []wfsort.Option{wfsort.WithChurn(2), wfsort.WithSeed(7)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := loadgen.BuildReport(loadgen.Run(context.Background(),
+		tr, &loadgen.HandlerTarget{Handler: s.Handler()}))
+
+	if rep.Totals.Unsorted != 0 {
+		t.Fatalf("%d corrupt (unsorted/wrong-multiset) responses", rep.Totals.Unsorted)
+	}
+	if rep.Totals.Errors != 0 {
+		t.Fatalf("%d hard errors: %+v", rep.Totals.Errors, rep.Totals)
+	}
+	if rep.Totals.OK == 0 {
+		t.Fatal("soak produced no successful sorts")
+	}
+	// Backpressure (429/503/504) is legitimate under the burst, but the
+	// server must still do most of the work at these rates.
+	sheds := rep.Totals.Shed + rep.Totals.Deadline
+	if frac := float64(sheds) / float64(rep.Totals.Requests); frac > 0.5 {
+		t.Fatalf("shed+deadline fraction %.2f exceeds 0.5 (%d of %d)",
+			frac, sheds, rep.Totals.Requests)
+	}
+
+	// The serving-side per-class counters must match the client-side
+	// ledger request for request: same totals, same outcome split. This
+	// is the instrumentation seam the capacity gate trusts.
+	snap := s.Classes().Snapshot()
+	for _, c := range rep.Classes {
+		got, ok := snap[c.Name]
+		if !ok {
+			t.Fatalf("server counters missing class %q (have %v)", c.Name, snap)
+		}
+		if got.Requests != int64(c.Requests) || got.OK != int64(c.OK) ||
+			got.Shed != int64(c.Shed) || got.Canceled != int64(c.Deadline) ||
+			got.Errors != int64(c.Errors) {
+			t.Fatalf("class %q: server counters %+v disagree with client ledger %+v",
+				c.Name, got, c)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain after soak: %v", err)
+	}
+	t.Logf("open-loop soak: %s", rep.Table())
+}

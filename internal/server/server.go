@@ -63,6 +63,10 @@ type Config struct {
 	StuckAfter time.Duration
 	// SpanDepth sizes the /requests ring (default 256).
 	SpanDepth int
+	// ClassLimit caps how many distinct traffic classes (the
+	// X-Sort-Class request header) get their own counter set before
+	// newcomers fold into "other" (default 32).
+	ClassLimit int
 }
 
 func (c *Config) fill() {
@@ -117,10 +121,11 @@ type batchResult struct {
 
 // Server is one sort service instance.
 type Server struct {
-	cfg    Config
-	pool   *wfsort.Pool
-	sorter *wfsort.Sorter[kv]
-	spans  *obs.SpanLog
+	cfg     Config
+	pool    *wfsort.Pool
+	sorter  *wfsort.Sorter[kv]
+	spans   *obs.SpanLog
+	classes *obs.ClassSet
 
 	sem     chan struct{}   // admission tokens
 	batchCh chan batchEntry // batcher inbox; capacity doubles as its queue bound
@@ -168,6 +173,7 @@ func New(cfg Config) (*Server, error) {
 		pool:    pool,
 		sorter:  sorter,
 		spans:   obs.NewSpanLog(cfg.SpanDepth),
+		classes: obs.NewClassSet(cfg.ClassLimit),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		batchCh: make(chan batchEntry, cfg.MaxInFlight),
 		starts:  make(map[uint64]time.Time),
@@ -206,9 +212,26 @@ type sortResponse struct {
 	Batched bool    `json:"batched,omitempty"`
 }
 
+// classOf extracts the request's traffic class from the X-Sort-Class
+// header, bounding hostile names before they reach the registry (the
+// registry additionally caps distinct-class cardinality).
+func classOf(r *http.Request) string {
+	c := r.Header.Get("X-Sort-Class")
+	if c == "" {
+		return "default"
+	}
+	if len(c) > 64 {
+		return obs.Overflow
+	}
+	return c
+}
+
 func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
+	cc := s.classes.Get(classOf(r))
+	cc.Requests.Add(1)
 	if s.draining.Load() {
 		s.drained.Add(1)
+		cc.Shed.Add(1)
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -216,6 +239,7 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 	default:
 		s.rejected.Add(1)
+		cc.Shed.Add(1)
 		httpError(w, http.StatusTooManyRequests, "at capacity")
 		return
 	}
@@ -224,12 +248,14 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 	var req sortRequest
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(&req); err != nil {
+		cc.Errors.Add(1)
 		httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
 		return
 	}
 	n := len(req.Keys)
 	if n > s.cfg.MaxKeys {
 		s.tooLarge.Add(1)
+		cc.Errors.Add(1)
 		httpError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("n=%d exceeds the %d-key limit", n, s.cfg.MaxKeys))
 		return
@@ -269,6 +295,7 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		s.canceled.Add(1)
+		cc.Canceled.Add(1)
 		span.Outcome = "canceled"
 		s.spans.Append(span)
 		// 504 covers both: a closed client connection never reads it.
@@ -276,11 +303,14 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		return
 	default:
 		s.errCount.Add(1)
+		cc.Errors.Add(1)
 		span.Outcome = "error"
 		s.spans.Append(span)
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	cc.OK.Add(1)
+	cc.ObserveLatency(span.Duration.Nanoseconds())
 	s.spans.Append(span)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(sortResponse{Sorted: sorted, N: n, Batched: span.Batched == 1})
@@ -417,6 +447,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"server":     s.Stats(),
 		"pool":       s.pool.Stats(),
 		"latency_ms": hist,
+		"classes":    s.classes.Snapshot(),
 	})
 }
 
@@ -462,6 +493,12 @@ func (s *Server) Stats() Stats {
 
 // Spans exposes the request span log (for sortd and tests).
 func (s *Server) Spans() *obs.SpanLog { return s.spans }
+
+// Classes exposes the per-class counter registry — the serving-side
+// half of the load-test instrumentation seam: loadgen measures from
+// the client's clock, these counters from the server's, and a capacity
+// run can cross-check the two.
+func (s *Server) Classes() *obs.ClassSet { return s.classes }
 
 // PoolStats exposes the backing pool's counters.
 func (s *Server) PoolStats() wfsort.PoolStats { return s.pool.Stats() }
