@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline pipeline-gate pipeline-gate-baseline capacity-gate capacity-gate-baseline loadgen openloop sortd soak chaos chaos-quick experiments experiments-quick stress obs fmt vet lint cover
+.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline pipeline-gate pipeline-gate-baseline capacity-gate capacity-gate-baseline qos-gate qos-gate-baseline loadgen openloop sortd soak chaos chaos-quick experiments experiments-quick stress obs fmt vet lint cover
 
 all: vet test
 
@@ -47,6 +47,16 @@ capacity-gate:
 
 capacity-gate-baseline:
 	go run ./cmd/benchgate -capacity -write
+
+# Gate the QoS plane: one two-class overload trace replayed FIFO vs
+# QoS-scheduled; the latency class's p99 must drop to <= 0.7x FIFO
+# while bulk keeps >= 0.8x of its FIFO throughput. Self-relative, so
+# it holds on any host; BENCH_qos.json is the certification record.
+qos-gate:
+	go run ./cmd/benchgate -qos
+
+qos-gate-baseline:
+	go run ./cmd/benchgate -qos -write
 
 # Open-loop load generator against a live service. See cmd/loadgen for
 # spec format, -record/-replay, and -capacity sweeps.

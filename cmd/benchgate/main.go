@@ -14,6 +14,11 @@
 // BENCH_serve.json — see serve.go). With -pipeline it targets the
 // phase-pipelined crew (pipelined vs serial-team throughput on queued
 // mixed-size sorts, baseline BENCH_pipeline.json — see pipeline.go).
+// With -capacity it sweeps open-loop load for the SLO knee (baseline
+// BENCH_capacity.json — see capacity.go), and with -qos it replays a
+// two-class overload FIFO vs QoS-scheduled and gates the priority
+// plane's latency win and starvation floor (baseline BENCH_qos.json —
+// see qos.go).
 //
 // Three gates run, strongest applicable first; all act on geometric
 // means over the whole matrix because individual wall-time cells are
@@ -135,17 +140,18 @@ func run(w io.Writer, args []string) error {
 	serve := fs.Bool("serve", false, "gate the serving layer (pooled vs fresh, sortd req/s) instead of the native matrix")
 	pipeline := fs.Bool("pipeline", false, "gate phase-pipelined vs serial-team throughput on queued sorts instead of the native matrix")
 	capacity := fs.Bool("capacity", false, "gate the serving stack's capacity-curve knee (open-loop loadgen sweep vs an SLO) instead of the native matrix")
+	qosMode := fs.Bool("qos", false, "gate the QoS plane (priority scheduling vs FIFO on a two-class overload) instead of the native matrix")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	modes := 0
-	for _, m := range []bool{*serve, *pipeline, *capacity} {
+	for _, m := range []bool{*serve, *pipeline, *capacity, *qosMode} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-serve, -pipeline and -capacity are mutually exclusive")
+		return fmt.Errorf("-serve, -pipeline, -capacity and -qos are mutually exclusive")
 	}
 	if *serve {
 		if *baseline == "BENCH_native.json" {
@@ -164,6 +170,12 @@ func run(w io.Writer, args []string) error {
 			*baseline = "BENCH_capacity.json"
 		}
 		return runCapacity(w, *baseline, *out, *write, *quick, *tol)
+	}
+	if *qosMode {
+		if *baseline == "BENCH_native.json" {
+			*baseline = "BENCH_qos.json"
+		}
+		return runQoS(w, *baseline, *out, *write, *quick)
 	}
 
 	// Read the baseline before measuring anything: a mistyped path

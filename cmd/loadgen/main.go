@@ -85,6 +85,7 @@ func run(w io.Writer, args []string) error {
 		slo       = fs.Duration("slo", 50*time.Millisecond, "p99 SLO for -capacity")
 		shedFrac  = fs.Float64("max-shed", 0.05, "tolerated shed fraction per -capacity point")
 		rateSpec  = fs.String("rates", "", "comma-separated offered req/s points for -capacity (default: spec rate × {1,2,4,...,64})")
+		totalRate = fs.Float64("total-rate", 0, "rescale class rates to this aggregate req/s, split by each class's weight")
 		timeoutMs = fs.Int("client-timeout-ms", 30_000, "HTTP client timeout against -url targets")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -112,6 +113,11 @@ func run(w io.Writer, args []string) error {
 		spec, err := loadgen.ParseSpec(b)
 		if err != nil {
 			return err
+		}
+		if *totalRate != 0 {
+			if spec, err = spec.ScaledToTotal(*totalRate); err != nil {
+				return err
+			}
 		}
 		trace, err = loadgen.BuildTrace(spec)
 		if err != nil {

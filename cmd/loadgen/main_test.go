@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -86,6 +87,44 @@ func TestRunInProcessJSON(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("JSON report missing %s:\n%s", want, out)
 		}
+	}
+}
+
+func TestRunTotalRateRescalesSpec(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+
+	// -total-rate rescales the spec before the trace is built: at 4x
+	// the spec's own 200 req/s over the same 300 ms horizon, the
+	// recorded trace carries ~4x the requests.
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-spec", writeSpec(t), "-record", trace, "-total-rate", "800"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		Spec struct {
+			Classes []struct {
+				Arrival struct {
+					Rate float64 `json:"rate"`
+				} `json:"arrival"`
+			} `json:"classes"`
+		} `json:"spec"`
+	}
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spec.Classes) != 1 || tr.Spec.Classes[0].Arrival.Rate != 800 {
+		t.Fatalf("recorded trace spec not rescaled: %+v", tr.Spec)
+	}
+
+	// A bad total is the rescaler's typed error, surfaced as a flag
+	// failure rather than a generated schedule.
+	buf.Reset()
+	if err := run(&buf, []string{"-spec", writeSpec(t), "-record", trace, "-total-rate", "-10"}); err == nil {
+		t.Fatal("negative -total-rate accepted")
 	}
 }
 

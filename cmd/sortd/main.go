@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"wfsort"
+	"wfsort/internal/qos"
 	"wfsort/internal/server"
 )
 
@@ -52,9 +53,21 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		pipeline    = fs.Int("pipeline", 0, "phase-pipeline queued sorts through one crew with this queue depth (0 = serial teams)")
 		churn       = fs.Int("churn", 0, "kill+revive every non-zero worker this many times per sort")
 		crashFrac   = fs.Float64("crash-frac", 0, "fail-stop this fraction of workers per sort (chaos mode)")
+		qosPath     = fs.String("qos", "", "QoS config JSON: per-class token buckets, priorities, deadlines (see internal/qos)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var qosCfg *qos.Config
+	if *qosPath != "" {
+		b, err := os.ReadFile(*qosPath)
+		if err != nil {
+			return err
+		}
+		if qosCfg, err = qos.ParseConfig(b); err != nil {
+			return err
+		}
 	}
 
 	var opts []wfsort.Option
@@ -88,6 +101,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		BatchMaxKeys:  *batchKeys,
 		BatchWindow:   *batchWindow,
 		Timeout:       *timeout,
+		QoS:           qosCfg,
 	})
 	if err != nil {
 		return err
@@ -98,8 +112,12 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		return err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(out, "sortd: serving on %s (workers=%d variant=%s churn=%d crash-frac=%g)\n",
-		ln.Addr(), *workers, *variant, *churn, *crashFrac)
+	qosNote := "off"
+	if qosCfg != nil {
+		qosNote = fmt.Sprintf("%d classes", len(qosCfg.Classes))
+	}
+	fmt.Fprintf(out, "sortd: serving on %s (workers=%d variant=%s churn=%d crash-frac=%g qos=%s)\n",
+		ln.Addr(), *workers, *variant, *churn, *crashFrac, qosNote)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -7,12 +7,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"wfsort"
 	"wfsort/internal/chaos"
+	"wfsort/internal/qos"
 	"wfsort/internal/server"
 )
 
@@ -157,22 +159,24 @@ func fuzzServer() (*server.Server, error) {
 
 // FuzzServer throws arbitrary bodies at the sort endpoint — malformed
 // JSON, wrong shapes, zero and huge key counts, duplicate-heavy keys —
-// plus mid-request cancellations, and checks the service's contract:
-// no panic, only documented status codes, and every 200 carries a
-// stable sort of exactly the keys posted.
+// plus mid-request cancellations and fuzzer-chosen X-Sort-Class header
+// values, and checks the service's contract: no panic, only documented
+// status codes, a malformed class name always answers 400, every 429
+// carries a Retry-After, and every 200 carries a stable sort of
+// exactly the keys posted.
 func FuzzServer(f *testing.F) {
-	f.Add([]byte(`{"keys":[3,1,2]}`), uint8(0), uint16(0))
-	f.Add([]byte(`{"keys":[]}`), uint8(0), uint16(0))
-	f.Add([]byte(`{"keys":[5,5,5,5,5,5,5,5]}`), uint8(0), uint16(0))
-	f.Add([]byte(`{`), uint8(0), uint16(0))
-	f.Add([]byte(`null`), uint8(0), uint16(0))
-	f.Add([]byte(`{"keys":"nope"}`), uint8(0), uint16(0))
-	f.Add([]byte(`{"keys":[1e999]}`), uint8(0), uint16(0))
-	f.Add([]byte(`{"keys":null,"pad":"x"}`), uint8(0), uint16(0))
-	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(1), uint16(40))
-	f.Add(bytes.Repeat([]byte{1, 200}, 300), uint8(1), uint16(0))
-	f.Add([]byte{1, 2, 3}, uint8(2), uint16(10))
-	f.Fuzz(func(t *testing.T, raw []byte, mode uint8, cancelAfterUS uint16) {
+	f.Add([]byte(`{"keys":[3,1,2]}`), uint8(0), uint16(0), "")
+	f.Add([]byte(`{"keys":[]}`), uint8(0), uint16(0), "lat")
+	f.Add([]byte(`{"keys":[5,5,5,5,5,5,5,5]}`), uint8(0), uint16(0), "two words")
+	f.Add([]byte(`{`), uint8(0), uint16(0), `qu"ote`)
+	f.Add([]byte(`null`), uint8(0), uint16(0), strings.Repeat("x", 65))
+	f.Add([]byte(`{"keys":"nope"}`), uint8(0), uint16(0), "ok-class")
+	f.Add([]byte(`{"keys":[1e999]}`), uint8(0), uint16(0), "")
+	f.Add([]byte(`{"keys":null,"pad":"x"}`), uint8(0), uint16(0), "p1")
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(1), uint16(40), "bulk")
+	f.Add(bytes.Repeat([]byte{1, 200}, 300), uint8(1), uint16(0), "")
+	f.Add([]byte{1, 2, 3}, uint8(2), uint16(10), "\tlead")
+	f.Fuzz(func(t *testing.T, raw []byte, mode uint8, cancelAfterUS uint16, class string) {
 		srv, err := fuzzServer()
 		if err != nil {
 			t.Fatal(err)
@@ -204,17 +208,28 @@ func FuzzServer(f *testing.F) {
 		}
 
 		req := httptest.NewRequest("POST", "/sort", bytes.NewReader(body)).WithContext(ctx)
+		if class != "" {
+			req.Header.Set("X-Sort-Class", class)
+		}
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req) // must not panic, whatever the body
 
+		badClass := class != "" && !qos.ValidClassName(class)
 		switch rec.Code {
 		case http.StatusOK:
+			if badClass {
+				t.Fatalf("malformed class %q was served a 200", class)
+			}
 		case http.StatusBadRequest, http.StatusRequestEntityTooLarge,
-			http.StatusTooManyRequests, http.StatusServiceUnavailable,
-			http.StatusGatewayTimeout:
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return
+		case http.StatusTooManyRequests:
+			if rec.Header().Get("Retry-After") == "" {
+				t.Fatal("429 without a Retry-After header")
+			}
 			return
 		default:
-			t.Fatalf("undocumented status %d for body %q", rec.Code, body)
+			t.Fatalf("undocumented status %d for body %q class %q", rec.Code, body, class)
 		}
 		if keys == nil {
 			// A raw body that happened to parse: decode it the same way

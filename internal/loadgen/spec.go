@@ -99,6 +99,11 @@ type ClassSpec struct {
 	// inherited from the capacity sweep's global SLO; informational in
 	// plain runs).
 	SLOMs float64 `json:"slo_ms,omitempty"`
+	// Weight is the class's share when the spec is rescaled to an
+	// aggregate offered rate (ScaledToTotal / loadgen -total-rate): the
+	// class receives total * Weight / sum-of-weights. 0 counts as 1, so
+	// an unweighted spec splits evenly.
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // BurstSpec multiplies every class's offered rate by Mult during
@@ -138,6 +143,7 @@ const (
 	maxClients     = 1 << 16
 	maxMult        = 1e4
 	maxShape       = 1e4
+	maxWeight      = 1e6
 	hardMaxPlanned = 4 << 20 // absolute cap on planned requests
 )
 
@@ -268,6 +274,9 @@ func (c *ClassSpec) validate(field string) error {
 	if !isFinite(c.SLOMs) || c.SLOMs < 0 {
 		return specErrf(field+".slo_ms", "must be finite and >= 0, got %v", c.SLOMs)
 	}
+	if !isFinite(c.Weight) || c.Weight < 0 || c.Weight > maxWeight {
+		return specErrf(field+".weight", "must be in [0, %v], got %v", float64(maxWeight), c.Weight)
+	}
 	return nil
 }
 
@@ -316,6 +325,41 @@ func (s *Spec) TotalRate() float64 {
 		r += c.Arrival.Rate
 	}
 	return r
+}
+
+// weight is the class's rescaling share with the default applied.
+func (c *ClassSpec) weight() float64 {
+	if c.Weight <= 0 {
+		return 1
+	}
+	return c.Weight
+}
+
+// ScaledToTotal returns a copy whose class rates are redistributed to
+// sum to total req/s, split by each class's Weight (unset weights
+// count as 1). Arrival distributions and shapes are untouched — only
+// the rates move, so a single -total-rate knob sweeps a fixed traffic
+// mix across offered loads.
+func (s *Spec) ScaledToTotal(total float64) (*Spec, error) {
+	if !isFinite(total) || total <= 0 {
+		return nil, specErrf("total_rate", "must be finite and > 0, got %v", total)
+	}
+	var sum float64
+	for i := range s.Classes {
+		sum += s.Classes[i].weight()
+	}
+	out := *s
+	out.Classes = append([]ClassSpec(nil), s.Classes...)
+	out.Bursts = append([]BurstSpec(nil), s.Bursts...)
+	for i := range out.Classes {
+		r := total * out.Classes[i].weight() / sum
+		if r > maxRate {
+			return nil, specErrf(fmt.Sprintf("classes[%d].arrival.rate", i),
+				"rescaled rate %v exceeds the %v req/s limit", r, float64(maxRate))
+		}
+		out.Classes[i].Arrival.Rate = r
+	}
+	return &out, nil
 }
 
 func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

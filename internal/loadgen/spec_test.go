@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"testing"
 )
@@ -79,6 +80,15 @@ func TestParseSpecRejects(t *testing.T) {
 		{"negative keyspace", `{"horizon_ms": 100, "classes": [
 			{"name": "a", "arrival": {"dist": "det", "rate": 1},
 			 "size": {"dist": "fixed", "n": 4}, "keyspace": -2}]}`, "classes[0].keyspace"},
+		{"negative weight", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "det", "rate": 1},
+			 "size": {"dist": "fixed", "n": 4}, "weight": -0.5}]}`, "classes[0].weight"},
+		{"huge weight", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "det", "rate": 1},
+			 "size": {"dist": "fixed", "n": 4}, "weight": 1e7}]}`, "classes[0].weight"},
+		{"nan weight", `{"horizon_ms": 100, "classes": [
+			{"name": "a", "arrival": {"dist": "det", "rate": 1},
+			 "size": {"dist": "fixed", "n": 4}, "weight": 1e999}]}`, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -112,6 +122,67 @@ func TestScaledIsDeepAndProportional(t *testing.T) {
 	d.Classes[0].Name = "mutated"
 	if s.Classes[0].Name != "small" {
 		t.Fatal("Scaled aliases the original's class slice")
+	}
+}
+
+func TestScaledToTotalSplitsByWeight(t *testing.T) {
+	s, err := ParseSpec([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unset weights count as 1 each: an even split.
+	d, err := s.ScaledToTotal(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes[0].Arrival.Rate != 150 || d.Classes[1].Arrival.Rate != 150 {
+		t.Fatalf("even split rates: %v, %v", d.Classes[0].Arrival.Rate, d.Classes[1].Arrival.Rate)
+	}
+	if got := d.TotalRate(); got != 300 {
+		t.Fatalf("TotalRate after rescale = %v, want 300", got)
+	}
+	if s.Classes[0].Arrival.Rate != 200 || s.Classes[1].Arrival.Rate != 20 {
+		t.Fatal("ScaledToTotal mutated the original")
+	}
+	d.Classes[0].Name = "mutated"
+	if s.Classes[0].Name != "small" {
+		t.Fatal("ScaledToTotal aliases the original's class slice")
+	}
+
+	// Explicit weights split proportionally; a zero weight still
+	// counts as 1, so 3-vs-unset is a 3:1 split.
+	s.Classes[0].Weight = 3
+	d, err = s.ScaledToTotal(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes[0].Arrival.Rate != 300 || d.Classes[1].Arrival.Rate != 100 {
+		t.Fatalf("3:1 split rates: %v, %v", d.Classes[0].Arrival.Rate, d.Classes[1].Arrival.Rate)
+	}
+
+	// Distribution shape rides along untouched.
+	if d.Classes[1].Arrival.Dist != DistGamma || d.Classes[1].Arrival.Shape != 0.5 {
+		t.Fatalf("arrival shape changed: %+v", d.Classes[1].Arrival)
+	}
+}
+
+func TestScaledToTotalRejects(t *testing.T) {
+	s, err := ParseSpec([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, total := range []float64{0, -5, math.Inf(1), math.NaN()} {
+		if _, err := s.ScaledToTotal(total); err == nil {
+			t.Fatalf("total %v accepted", total)
+		}
+	}
+	// A rescaled per-class rate past the limit is a *SpecError naming
+	// the class, not a silently clamped schedule.
+	_, err = s.ScaledToTotal(3e7)
+	var se *SpecError
+	if !errors.As(err, &se) || !strings.Contains(se.Field, "arrival.rate") {
+		t.Fatalf("overdriven rescale: err = %v", err)
 	}
 }
 

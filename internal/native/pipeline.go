@@ -72,19 +72,43 @@ import (
 // incarnation loop (jobCore), kills unwind the graph, respawns carry op
 // ordinals across — but each job gets its own runState (kill flags,
 // counters), because two jobs are concurrently in flight.
+//
+// # Ordered queue and the dispatcher
+//
+// Submitted jobs land in a bounded pending queue drained by a single
+// dispatcher goroutine. A pluggable QueuePolicy decides, at each
+// dispatch, which pending job goes next and which pending jobs to shed
+// (ErrDeadlineShed, before they consume a crew slot); a nil policy is
+// strict FIFO with no shedding. Epochs — the admission gate's ordering
+// — are assigned at dispatch, not submission, so reordering the queue
+// never perturbs the gate's invariants: from the workers' point of
+// view the dispatcher is just a submitter that happens to choose the
+// order. Only the dispatcher sends on the worker channels, so all
+// workers still see jobs in identical epoch order (the FIFO rule
+// below). Worker channels hold two jobs each: the phase-overlap window
+// is at most two adjacent jobs anyway (the admission rule), so deeper
+// per-worker buffers would only move jobs out of the scheduler's reach
+// earlier for no throughput gain.
 type Pipeline struct {
 	p        int
 	depth    int
 	countOps bool
+	policy   QueuePolicy
+	wall     time.Time // clock base for JobView instants
 	jobs     []chan *pipeJob
 	workers  sync.WaitGroup
+	dispDone chan struct{}
 
-	// submitMu serializes epoch assignment and the per-worker channel
-	// sends: both must happen atomically so every worker's queue holds
-	// the jobs in the same (epoch) order — the FIFO rule above.
-	submitMu sync.Mutex
-	epochs   int
-	closed   bool
+	// qmu guards the pending queue; qcond wakes the dispatcher (queue
+	// became non-empty, or closed) and blocked Submits (a slot freed).
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	pending []*pipeJob
+	seq     uint64
+	closed  bool
+
+	// epochs is owned by the dispatcher goroutine alone.
+	epochs int
 
 	// prog[pid] is worker pid's monotone progress word, written only by
 	// that worker (single-writer, so plain atomic stores suffice) and
@@ -138,15 +162,26 @@ type PipeJob struct {
 	Adversary model.Adversary
 	// Observer, when non-nil, records this job (one Observer per job).
 	Observer *obs.Observer
+	// QoS is the job's scheduling envelope, consulted by the pipeline's
+	// QueuePolicy. The zero value is "best tier, no deadline".
+	QoS JobQoS
 }
 
 // pipeJob is a PipeJob in flight.
 type pipeJob struct {
 	PipeJob
 	jobCore
-	epoch  int
-	st     runState // per-job: overlapping jobs must not share kill flags or counters
-	stalls atomic.Int64
+	epoch int
+	// seq, queuedNs and deadlineNs are the scheduler-visible identity
+	// (JobView); shedded is set by the dispatcher before it releases the
+	// job's WaitGroup, so Wait (which runs after wg.Wait) reads it with
+	// a happens-before edge and no atomics.
+	seq        uint64
+	queuedNs   int64
+	deadlineNs int64
+	shedded    bool
+	st         runState // per-job: overlapping jobs must not share kill flags or counters
+	stalls     atomic.Int64
 	// done latches once any worker runs the whole graph to normal
 	// completion. Every phase's completion predicate held on that
 	// worker's way out, so the job's output is final and a worker that
@@ -166,11 +201,19 @@ type PipeRun struct {
 	Elapsed time.Duration
 }
 
-// NewPipeline starts a resident pipelined crew of p workers. depth
-// bounds the per-worker job queue: Submit blocks once depth jobs are
-// queued beyond the one a worker is running. countOps enables per-job
-// per-worker operation counters. Close releases the workers.
+// NewPipeline starts a resident pipelined crew of p workers with the
+// default FIFO queue. depth bounds the pending job queue: Submit
+// blocks once depth jobs are queued beyond those already committed to
+// workers. countOps enables per-job per-worker operation counters.
+// Close releases the workers.
 func NewPipeline(p, depth int, countOps bool) *Pipeline {
+	return NewPipelinePolicy(p, depth, countOps, nil)
+}
+
+// NewPipelinePolicy is NewPipeline with a pluggable ordered queue:
+// policy decides dispatch order and deadline shedding over the pending
+// jobs (nil means strict FIFO, no shedding).
+func NewPipelinePolicy(p, depth int, countOps bool, policy QueuePolicy) *Pipeline {
 	if p < 1 {
 		panic("native: NewPipeline needs p >= 1")
 	}
@@ -181,22 +224,30 @@ func NewPipeline(p, depth int, countOps bool) *Pipeline {
 		p:        p,
 		depth:    depth,
 		countOps: countOps,
+		policy:   policy,
+		wall:     time.Now(),
 		jobs:     make([]chan *pipeJob, p),
 		prog:     make([]progWord, p),
+		dispDone: make(chan struct{}),
 	}
 	pl.cond = sync.NewCond(&pl.progMu)
+	pl.qcond = sync.NewCond(&pl.qmu)
 	pl.minNeed = maxInt64
 	for pid := range pl.prog {
 		pl.prog[pid].v.Store(-1)
 	}
 	for pid := 0; pid < p; pid++ {
-		ch := make(chan *pipeJob, depth)
+		ch := make(chan *pipeJob, 2)
 		pl.jobs[pid] = ch
 		pl.workers.Add(1)
 		go pl.worker(pid, ch)
 	}
+	go pl.dispatch()
 	return pl
 }
+
+// now is the pipeline's monotonic clock: nanoseconds since creation.
+func (pl *Pipeline) now() int64 { return time.Since(pl.wall).Nanoseconds() }
 
 // P returns the crew's worker count.
 func (pl *Pipeline) P() int { return pl.p }
@@ -204,10 +255,12 @@ func (pl *Pipeline) P() int { return pl.p }
 // Depth returns the per-worker job-queue bound.
 func (pl *Pipeline) Depth() int { return pl.depth }
 
-// Submit enqueues a job on every worker and returns its handle. Submit
-// blocks while the queue is full (depth jobs already queued) and panics
-// after Close. Jobs complete in bounded, roughly-submission order; call
-// Wait on the returned run to collect its metrics.
+// Submit enqueues a job on the pending queue and returns its handle.
+// Submit blocks while the queue is full (depth jobs pending beyond
+// those committed to workers) and panics after Close. With the default
+// FIFO policy jobs complete in bounded, roughly-submission order; a
+// QueuePolicy may reorder or shed them. Call Wait on the returned run
+// to collect its metrics.
 func (pl *Pipeline) Submit(job PipeJob) *PipeRun {
 	if job.Graph == nil {
 		panic("native: PipeJob.Graph must be set")
@@ -229,25 +282,123 @@ func (pl *Pipeline) Submit(job PipeJob) *PipeRun {
 		stalls:    &jb.stalls,
 	}
 
-	pl.submitMu.Lock()
+	pl.qmu.Lock()
+	for len(pl.pending) >= pl.depth && !pl.closed {
+		pl.qcond.Wait()
+	}
 	if pl.closed {
-		pl.submitMu.Unlock()
+		pl.qmu.Unlock()
 		panic("native: Pipeline.Submit after Close")
 	}
-	jb.epoch = pl.epochs
-	pl.epochs++
+	jb.seq = pl.seq
+	pl.seq++
+	jb.queuedNs = pl.now()
+	if dl := job.QoS.Deadline; !dl.IsZero() {
+		jb.deadlineNs = dl.Sub(pl.wall).Nanoseconds()
+	}
 	if ob := job.Observer; ob != nil {
 		ob.RunStart(pl.p)
 	}
 	run := &PipeRun{pl: pl, jb: jb, start: time.Now()}
-	// All p sends happen under submitMu so every worker's queue holds
-	// jobs in identical epoch order (the gate's FIFO assumption). A full
-	// queue blocks here — that is the pipeline's backpressure.
-	for pid := 0; pid < pl.p; pid++ {
-		pl.jobs[pid] <- jb
-	}
-	pl.submitMu.Unlock()
+	pl.pending = append(pl.pending, jb)
+	pl.qcond.Broadcast()
+	pl.qmu.Unlock()
 	return run
+}
+
+// view snapshots the job's scheduler-visible metadata.
+func (jb *pipeJob) view() JobView {
+	return JobView{
+		Seq:        jb.seq,
+		Class:      jb.QoS.Class,
+		Priority:   jb.QoS.Priority,
+		EstCost:    jb.QoS.EstCost,
+		DeadlineNs: jb.deadlineNs,
+		QueuedNs:   jb.queuedNs,
+	}
+}
+
+// dispatch is the queue-draining goroutine: shed what the policy says
+// cannot meet its deadline, pick the next job, assign its epoch, and
+// send it to every worker. Being the only sender on the worker
+// channels, it preserves the gate's FIFO-per-worker assumption no
+// matter how the policy reorders the pending queue.
+func (pl *Pipeline) dispatch() {
+	var views []JobView
+	var shed []*pipeJob
+	for {
+		pl.qmu.Lock()
+		for len(pl.pending) == 0 && !pl.closed {
+			pl.qcond.Wait()
+		}
+		if len(pl.pending) == 0 {
+			pl.qmu.Unlock()
+			break // closed and drained
+		}
+		now := pl.now()
+		shed = shed[:0]
+		if pl.policy != nil {
+			// Shed pass first: a doomed job must never reach Pick, let
+			// alone a crew slot. Aborted jobs are dispatched regardless —
+			// workers skip them at pickup and release their WaitGroup.
+			kept := pl.pending[:0]
+			for _, jb := range pl.pending {
+				if !jb.aborted.Load() && pl.policy.Shed(now, jb.view()) {
+					shed = append(shed, jb)
+				} else {
+					kept = append(kept, jb)
+				}
+			}
+			for i := len(kept); i < len(pl.pending); i++ {
+				pl.pending[i] = nil
+			}
+			pl.pending = kept
+		}
+		var jb *pipeJob
+		if n := len(pl.pending); n > 0 {
+			pick := 0
+			if pl.policy != nil {
+				// Consulted even for a single pending job: Pick doubles as
+				// the policy's dispatch notification (queue-wait accounting
+				// rides on it), so skipping it would blind the observer
+				// exactly when the queue is shallow.
+				views = views[:0]
+				for _, j := range pl.pending {
+					views = append(views, j.view())
+				}
+				pick = pl.policy.Pick(now, views)
+				if pick < 0 || pick >= n {
+					pick = 0
+				}
+			}
+			jb = pl.pending[pick]
+			copy(pl.pending[pick:], pl.pending[pick+1:])
+			pl.pending[n-1] = nil
+			pl.pending = pl.pending[:n-1]
+		}
+		pl.qcond.Broadcast() // slots freed: wake blocked Submits
+		pl.qmu.Unlock()
+
+		for _, s := range shed {
+			// The job never reached a worker: release its Wait directly.
+			// shedded is written before the final Done, so Wait observes
+			// it through the WaitGroup's happens-before edge.
+			s.shedded = true
+			s.wg.Add(-pl.p)
+		}
+		if jb == nil {
+			continue
+		}
+		jb.epoch = pl.epochs
+		pl.epochs++
+		for pid := 0; pid < pl.p; pid++ {
+			pl.jobs[pid] <- jb
+		}
+	}
+	for _, ch := range pl.jobs {
+		close(ch)
+	}
+	close(pl.dispDone)
 }
 
 // Run is Submit followed by Wait — the drop-in serial usage.
@@ -257,18 +408,19 @@ func (pl *Pipeline) Run(job PipeJob) (*model.Metrics, error) {
 
 // Close releases the crew's workers after draining every queued job.
 // Concurrent Submits must have returned; Waits on submitted jobs remain
-// valid (workers finish all queued work before exiting). Idempotent.
+// valid (the dispatcher dispatches all pending work — a QueuePolicy may
+// still shed doomed jobs during the drain — and workers finish it
+// before exiting). Idempotent.
 func (pl *Pipeline) Close() {
-	pl.submitMu.Lock()
+	pl.qmu.Lock()
 	if pl.closed {
-		pl.submitMu.Unlock()
+		pl.qmu.Unlock()
 		return
 	}
 	pl.closed = true
-	for _, ch := range pl.jobs {
-		close(ch)
-	}
-	pl.submitMu.Unlock()
+	pl.qcond.Broadcast()
+	pl.qmu.Unlock()
+	<-pl.dispDone
 	pl.workers.Wait()
 }
 
@@ -380,6 +532,11 @@ func (r *PipeRun) Wait() (*model.Metrics, error) {
 	r.Elapsed = time.Since(r.start)
 	if ob := r.jb.Observer; ob != nil {
 		ob.RunEnd()
+	}
+	if r.jb.shedded {
+		// The queue policy dropped the job before dispatch: no worker
+		// ran, no ops were executed, the metrics are structurally zero.
+		return &model.Metrics{P: r.pl.p}, ErrDeadlineShed
 	}
 	met := &model.Metrics{
 		P:              r.pl.p,

@@ -1,8 +1,10 @@
 package native
 
 import (
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"wfsort/internal/core"
 	"wfsort/internal/model"
@@ -307,4 +309,159 @@ func TestPipelinePanics(t *testing.T) {
 		job, _, _ := pipeSortJob([]int{3, 1, 2}, 1)
 		pl.Submit(job)
 	})
+}
+
+// testPolicy is a minimal QueuePolicy for seam tests: lowest Priority
+// tier first (Seq tie-break), shedding any job whose deadline already
+// passed.
+type testPolicy struct{}
+
+func (testPolicy) Shed(now int64, j JobView) bool {
+	return j.DeadlineNs != 0 && j.DeadlineNs <= now
+}
+
+func (testPolicy) Pick(now int64, pending []JobView) int {
+	best := 0
+	for i, j := range pending {
+		b := pending[best]
+		if j.Priority < b.Priority || (j.Priority == b.Priority && j.Seq < b.Seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// TestPipelinePolicyReorders proves the policy reorders the pending
+// queue. A blocker job parks the single worker inside its comparator,
+// bounding the committed window at exactly four jobs (one running, two
+// in the worker channel, one in the dispatcher's hand) no matter how
+// the goroutines interleave. Five low-priority jobs and one
+// high-priority job are then queued; when the blocker releases, at
+// least two low-priority jobs are still pending alongside the
+// high-priority one, so the policy must dispatch — and with P=1,
+// complete — the high-priority job before them: "hi" cannot be last.
+func TestPipelinePolicyReorders(t *testing.T) {
+	pl := NewPipelinePolicy(1, 16, false, testPolicy{})
+	defer pl.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	blocker, _, _ := pipeSortJob(mkN(96), 7)
+	innerLess := blocker.Less
+	blocker.Less = func(i, j int) bool {
+		once.Do(func() { close(started) })
+		<-release
+		return innerLess(i, j)
+	}
+
+	const slow = 5
+	jobs := make([]PipeJob, 0, slow+1)
+	for j := 0; j < slow; j++ {
+		job, _, _ := pipeSortJob(mkN(300), uint64(j))
+		job.QoS = JobQoS{Class: "lo", Priority: 5}
+		jobs = append(jobs, job)
+	}
+	hiJob, s, mem := pipeSortJob(mkN(120), 99)
+	hiJob.QoS = JobQoS{Class: "hi", Priority: 0}
+	jobs = append(jobs, hiJob)
+
+	blockRun := pl.Submit(blocker)
+	<-started // the worker is parked inside the blocker's comparator
+	runs := make([]*PipeRun, 0, len(jobs))
+	for _, job := range jobs {
+		runs = append(runs, pl.Submit(job))
+	}
+	close(release)
+	if _, err := blockRun.Wait(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	// Dispatch order is the epoch order (assigned by the dispatcher, not
+	// perturbed by Wait-wakeup scheduling): the high-priority job must
+	// have been dispatched before at least one low-priority job.
+	hiEpoch, maxLoEpoch := -1, -1
+	for i, run := range runs {
+		if _, err := run.Wait(); err != nil {
+			t.Fatalf("%s: %v", jobs[i].QoS.Class, err)
+		}
+		if jobs[i].QoS.Class == "hi" {
+			hiEpoch = run.jb.epoch
+		} else if run.jb.epoch > maxLoEpoch {
+			maxLoEpoch = run.jb.epoch
+		}
+	}
+	if hiEpoch < 0 || maxLoEpoch < 0 {
+		t.Fatalf("missing epochs: hi=%d maxLo=%d", hiEpoch, maxLoEpoch)
+	}
+	if hiEpoch > maxLoEpoch {
+		t.Fatalf("high-priority job dispatched last (epoch %d) despite pending low-priority jobs (max epoch %d)",
+			hiEpoch, maxLoEpoch)
+	}
+	checkRanks(t, mkN(120), s, mem)
+}
+
+func mkN(n int) []int {
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = (i * 48271) % 7919
+	}
+	return keys
+}
+
+// TestPipelineShedNeverTouchesCrew queues a job with an already-expired
+// deadline behind a running job: its Wait must return ErrDeadlineShed,
+// its op counters must be exactly zero (no worker ever picked it up),
+// and the jobs around it must complete sorted.
+func TestPipelineShedNeverTouchesCrew(t *testing.T) {
+	pl := NewPipelinePolicy(2, 8, true, testPolicy{})
+	defer pl.Close()
+
+	keysA := mkN(4000)
+	jobA, sA, memA := pipeSortJob(keysA, 41)
+	runA := pl.Submit(jobA)
+
+	doomed, _, _ := pipeSortJob(mkN(300), 42)
+	doomed.QoS = JobQoS{Class: "doomed", Deadline: time.Now().Add(-time.Second)}
+	runDoomed := pl.Submit(doomed)
+
+	keysC := mkN(350)
+	jobC, sC, memC := pipeSortJob(keysC, 43)
+	runC := pl.Submit(jobC)
+
+	met, err := runDoomed.Wait()
+	if !errors.Is(err, ErrDeadlineShed) {
+		t.Fatalf("doomed job: err = %v, want ErrDeadlineShed", err)
+	}
+	if met.Ops != 0 || met.Killed != 0 || met.Respawns != 0 {
+		t.Fatalf("shed job has non-zero metrics: %+v", met)
+	}
+	for pid, ops := range runDoomed.OpsPerProc() {
+		if ops != 0 {
+			t.Fatalf("shed job executed %d ops on worker %d", ops, pid)
+		}
+	}
+	if _, err := runA.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runC.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	checkRanks(t, keysA, sA, memA)
+	checkRanks(t, keysC, sC, memC)
+}
+
+// TestPipelineMeetableDeadlineNotShed submits jobs whose deadlines are
+// comfortably in the future: none may be shed, all must sort.
+func TestPipelineMeetableDeadlineNotShed(t *testing.T) {
+	pl := NewPipelinePolicy(2, 8, false, testPolicy{})
+	defer pl.Close()
+	for j := 0; j < 6; j++ {
+		keys := mkN(200 + j*37)
+		job, s, mem := pipeSortJob(keys, uint64(50+j))
+		job.QoS = JobQoS{Deadline: time.Now().Add(time.Minute)}
+		if _, err := pl.Submit(job).Wait(); err != nil {
+			t.Fatalf("job %d: %v", j, err)
+		}
+		checkRanks(t, keys, s, mem)
+	}
 }

@@ -8,11 +8,43 @@ import (
 	"wfsort/internal/model"
 )
 
+// AtomicHist is the wait-free twin of model.Histogram: the same log2
+// buckets, every update one atomic add, so the serving path records
+// without locks and snapshots reuse model's quantile math.
+type AtomicHist struct {
+	buckets [64]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one nanosecond sample.
+func (h *AtomicHist) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Snapshot copies the record into a model.Histogram for quantile
+// estimates. The copy is not atomic across buckets — concurrent
+// writers may land between loads — which is fine for a metrics
+// surface.
+func (h *AtomicHist) Snapshot() *model.Histogram {
+	out := &model.Histogram{}
+	for b := range h.buckets {
+		out.Buckets[b] = h.buckets[b].Load()
+	}
+	out.Count = h.count.Load()
+	out.Sum = h.sum.Load()
+	return out
+}
+
 // ClassCounters is one traffic class's serving-side record: outcome
-// counts plus an atomic log2-bucketed latency histogram (the atomic
-// twin of model.Histogram — same buckets, so snapshots reuse its
-// quantile math). Every update is a single atomic add, so recording
-// on the serving path stays wait-free like the rest of the plane.
+// counts, QoS-plane decision counts, and atomic latency + queue-wait
+// histograms. Every update is a single atomic add, so recording on
+// the serving path stays wait-free like the rest of the plane.
 type ClassCounters struct {
 	Requests atomic.Int64
 	OK       atomic.Int64
@@ -20,34 +52,26 @@ type ClassCounters struct {
 	Canceled atomic.Int64 // 504
 	Errors   atomic.Int64
 
-	buckets [64]atomic.Int64
-	count   atomic.Int64
-	sum     atomic.Int64
+	// QoS-plane decisions (zero unless the QoS plane is enabled).
+	Admitted     atomic.Int64 // token-bucket admissions
+	Aged         atomic.Int64 // dispatches won through aging
+	DeadlineDrop atomic.Int64 // queued jobs shed, deadline unmeetable
+
+	latency AtomicHist
+	qwait   AtomicHist
 }
 
 // ObserveLatency records one request latency in nanoseconds.
-func (c *ClassCounters) ObserveLatency(ns int64) {
-	if ns < 0 {
-		ns = 0
-	}
-	c.buckets[bits.Len64(uint64(ns))].Add(1)
-	c.count.Add(1)
-	c.sum.Add(ns)
-}
+func (c *ClassCounters) ObserveLatency(ns int64) { c.latency.Observe(ns) }
 
-// Histogram snapshots the latency record into a model.Histogram for
-// quantile estimates. The snapshot is not atomic across buckets —
-// concurrent writers may land between loads — which is fine for a
-// metrics surface.
-func (c *ClassCounters) Histogram() *model.Histogram {
-	h := &model.Histogram{}
-	for b := range c.buckets {
-		h.Buckets[b] = c.buckets[b].Load()
-	}
-	h.Count = c.count.Load()
-	h.Sum = c.sum.Load()
-	return h
-}
+// ObserveQueueWait records one pipeline queue wait in nanoseconds.
+func (c *ClassCounters) ObserveQueueWait(ns int64) { c.qwait.Observe(ns) }
+
+// Histogram snapshots the latency record.
+func (c *ClassCounters) Histogram() *model.Histogram { return c.latency.Snapshot() }
+
+// QueueWaitHistogram snapshots the queue-wait record.
+func (c *ClassCounters) QueueWaitHistogram() *model.Histogram { return c.qwait.Snapshot() }
 
 // ClassStats is one class's JSON-ready snapshot.
 type ClassStats struct {
@@ -59,6 +83,14 @@ type ClassStats struct {
 	P50Ms    float64 `json:"p50_ms"`
 	P99Ms    float64 `json:"p99_ms"`
 	MeanMs   float64 `json:"mean_ms"`
+
+	// QoS-plane fields, omitted while idle so pre-QoS scrapes keep
+	// their shape.
+	Admitted     int64   `json:"admitted,omitempty"`
+	Aged         int64   `json:"aged,omitempty"`
+	DeadlineDrop int64   `json:"deadline_dropped,omitempty"`
+	QWaitP50Ms   float64 `json:"qwait_p50_ms,omitempty"`
+	QWaitP99Ms   float64 `json:"qwait_p99_ms,omitempty"`
 }
 
 // ClassSet is a registry of per-class counters keyed by class name.
@@ -127,16 +159,24 @@ func (s *ClassSet) Snapshot() map[string]ClassStats {
 	out := make(map[string]ClassStats, len(m))
 	for name, c := range m {
 		h := c.Histogram()
-		out[name] = ClassStats{
-			Requests: c.Requests.Load(),
-			OK:       c.OK.Load(),
-			Shed:     c.Shed.Load(),
-			Canceled: c.Canceled.Load(),
-			Errors:   c.Errors.Load(),
-			P50Ms:    float64(h.Quantile(0.50)) / 1e6,
-			P99Ms:    float64(h.Quantile(0.99)) / 1e6,
-			MeanMs:   float64(h.Mean()) / 1e6,
+		st := ClassStats{
+			Requests:     c.Requests.Load(),
+			OK:           c.OK.Load(),
+			Shed:         c.Shed.Load(),
+			Canceled:     c.Canceled.Load(),
+			Errors:       c.Errors.Load(),
+			P50Ms:        float64(h.Quantile(0.50)) / 1e6,
+			P99Ms:        float64(h.Quantile(0.99)) / 1e6,
+			MeanMs:       float64(h.Mean()) / 1e6,
+			Admitted:     c.Admitted.Load(),
+			Aged:         c.Aged.Load(),
+			DeadlineDrop: c.DeadlineDrop.Load(),
 		}
+		if qh := c.QueueWaitHistogram(); qh.Count > 0 {
+			st.QWaitP50Ms = float64(qh.Quantile(0.50)) / 1e6
+			st.QWaitP99Ms = float64(qh.Quantile(0.99)) / 1e6
+		}
+		out[name] = st
 	}
 	return out
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"wfsort/internal/model"
 )
 
 func TestClassSetGetAndSnapshot(t *testing.T) {
@@ -99,5 +101,59 @@ func TestClassCountersHistogram(t *testing.T) {
 	q := h.Quantile(0.5)
 	if q < 1<<19 || q > 1<<22 {
 		t.Fatalf("p50 %d outside the 1ms bucket", q)
+	}
+}
+
+// TestClassCountersQoS exercises the QoS-plane additions: decision
+// counters and the queue-wait histogram, including their snapshot
+// rendering and omission while idle.
+func TestClassCountersQoS(t *testing.T) {
+	s := NewClassSet(8)
+	c := s.Get("lat")
+	c.Admitted.Add(5)
+	c.Aged.Add(2)
+	c.DeadlineDrop.Add(1)
+	for i := 0; i < 100; i++ {
+		c.ObserveQueueWait(int64(i) * 1e6)
+	}
+	st := s.Snapshot()["lat"]
+	if st.Admitted != 5 || st.Aged != 2 || st.DeadlineDrop != 1 {
+		t.Fatalf("qos counters = %+v", st)
+	}
+	if st.QWaitP50Ms <= 0 || st.QWaitP99Ms < st.QWaitP50Ms {
+		t.Fatalf("queue-wait quantiles p50=%v p99=%v", st.QWaitP50Ms, st.QWaitP99Ms)
+	}
+	h := c.QueueWaitHistogram()
+	if h.Count != 100 {
+		t.Fatalf("queue-wait count = %d, want 100", h.Count)
+	}
+	// A class that never touched the QoS plane renders without the
+	// optional fields.
+	idle := s.Get("plain")
+	idle.ObserveLatency(1e6)
+	st = s.Snapshot()["plain"]
+	if st.Admitted != 0 || st.QWaitP50Ms != 0 || st.QWaitP99Ms != 0 {
+		t.Fatalf("idle class leaked qos fields: %+v", st)
+	}
+}
+
+// TestAtomicHistMatchesModel pins AtomicHist to its model.Histogram
+// twin: identical samples, identical quantiles.
+func TestAtomicHistMatchesModel(t *testing.T) {
+	var ah AtomicHist
+	var mh model.Histogram
+	for i := int64(1); i <= 1000; i++ {
+		ns := i * i * 1000
+		ah.Observe(ns)
+		mh.Observe(ns)
+	}
+	got := ah.Snapshot()
+	if got.Count != mh.Count || got.Sum != mh.Sum {
+		t.Fatalf("count/sum diverged: %d/%d vs %d/%d", got.Count, got.Sum, mh.Count, mh.Sum)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got.Quantile(q) != mh.Quantile(q) {
+			t.Fatalf("quantile %v diverged: %d vs %d", q, got.Quantile(q), mh.Quantile(q))
+		}
 	}
 }

@@ -1,0 +1,198 @@
+package qos
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBucketStartsFull(t *testing.T) {
+	b := NewBucket(100, 5) // 10ms/token
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.Take(0, 1); !ok {
+			t.Fatalf("take %d of burst 5 denied", i)
+		}
+	}
+	ok, retry := b.Take(0, 1)
+	if ok {
+		t.Fatal("6th take admitted past burst 5")
+	}
+	if want := int64(10_000_000); retry != want {
+		t.Fatalf("retry hint = %d ns, want %d (one token period)", retry, want)
+	}
+}
+
+// TestBucketRetryHintIsExact drains the bucket, then verifies the
+// denied Take's hint is tight: one nanosecond early still denies, the
+// hinted instant admits.
+func TestBucketRetryHintIsExact(t *testing.T) {
+	b := NewBucket(1000, 3) // 1ms/token
+	now := int64(5_000_000)
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Take(now, 1); !ok {
+			t.Fatalf("burst take %d denied", i)
+		}
+	}
+	ok, retry := b.Take(now, 1)
+	if ok || retry <= 0 {
+		t.Fatalf("expected denial with positive hint, got ok=%v retry=%d", ok, retry)
+	}
+	if ok, _ := b.Take(now+retry-1, 1); ok {
+		t.Fatal("admitted one ns before the hinted instant")
+	}
+	if ok, _ := b.Take(now+retry, 1); !ok {
+		t.Fatal("denied at the hinted instant")
+	}
+}
+
+func TestBucketBurstZeroDeniesAll(t *testing.T) {
+	b := NewBucket(1000, 0)
+	for _, now := range []int64{0, 1, 1e9, 1e15} {
+		if ok, retry := b.Take(now, 1); ok || retry <= 0 {
+			t.Fatalf("burst=0 at now=%d: ok=%v retry=%d, want denial with positive hint", now, ok, retry)
+		}
+	}
+}
+
+func TestBucketBadRateDeniesAll(t *testing.T) {
+	for _, rate := range []float64{0, -5, math.NaN(), math.Inf(-1)} {
+		b := NewBucket(rate, 5)
+		if ok, _ := b.Take(0, 1); ok {
+			t.Fatalf("rate=%v admitted", rate)
+		}
+		if ok, _ := b.Take(1e18, 1); ok {
+			t.Fatalf("rate=%v admitted after an epoch of refill", rate)
+		}
+	}
+}
+
+func TestBucketNTokens(t *testing.T) {
+	b := NewBucket(1000, 10)
+	if ok, _ := b.Take(0, 7); !ok {
+		t.Fatal("n=7 of burst 10 denied")
+	}
+	if ok, _ := b.Take(0, 4); ok {
+		t.Fatal("n=4 with 3 left admitted")
+	}
+	if ok, _ := b.Take(0, 3); !ok {
+		t.Fatal("n=3 with 3 left denied")
+	}
+	if ok, _ := b.Take(0, 0); !ok {
+		t.Fatal("n=0 must be a free admit")
+	}
+}
+
+// TestBucketOverflowNearMax parks the virtual-time word near the int64
+// edge and verifies arithmetic saturates instead of wrapping: the
+// bucket degrades to denial with a sane positive hint, never to a
+// sign-flipped free-for-all.
+func TestBucketOverflowNearMax(t *testing.T) {
+	b := NewBucket(1, 1) // 1s/token
+	b.vt.v.Store(math.MaxInt64 - 10)
+	ok, retry := b.Take(1e9, 1)
+	if ok {
+		t.Fatal("admitted with vt at the int64 edge")
+	}
+	if retry <= 0 {
+		t.Fatalf("retry hint wrapped: %d", retry)
+	}
+	if vt := b.vt.v.Load(); vt != math.MaxInt64-10 {
+		t.Fatalf("denied Take moved vt: %d", vt)
+	}
+
+	// A huge n saturates need instead of wrapping it into a free admit.
+	b2 := NewBucket(1e-3, 1000) // 1000s/token
+	ok, retry = b2.Take(0, math.MaxInt32)
+	if ok || retry <= 0 {
+		t.Fatalf("huge n: ok=%v retry=%d, want saturated denial", ok, retry)
+	}
+}
+
+// TestBucketClockMonotonicity feeds a stalled and then a regressing
+// clock: a frozen now admits exactly the burst, and a backwards step
+// never panics, never frees extra budget, and keeps hints positive.
+func TestBucketClockMonotonicity(t *testing.T) {
+	b := NewBucket(10, 4) // 100ms/token
+	now := int64(1e9)
+	admits := 0
+	for i := 0; i < 20; i++ {
+		if ok, _ := b.Take(now, 1); ok {
+			admits++
+		}
+	}
+	if admits != 4 {
+		t.Fatalf("frozen clock admitted %d, want exactly burst 4", admits)
+	}
+	for _, back := range []int64{now - 1, now / 2, 0} {
+		if ok, retry := b.Take(back, 1); ok || retry <= 0 {
+			t.Fatalf("regressed clock to %d: ok=%v retry=%d", back, ok, retry)
+		}
+	}
+	// The clock recovering still refills at the configured rate.
+	if ok, _ := b.Take(now+100_000_000, 1); !ok {
+		t.Fatal("denied after one full token period")
+	}
+}
+
+func TestBucketSteadyRate(t *testing.T) {
+	b := NewBucket(1e6, 1) // 1µs/token
+	for k := int64(0); k < 1000; k++ {
+		if ok, _ := b.Take(k*1000, 1); !ok {
+			t.Fatalf("on-rate take %d denied", k)
+		}
+	}
+	if ok, _ := b.Take(999*1000+500, 1); ok {
+		t.Fatal("half-period take admitted: bucket is over-refilling")
+	}
+}
+
+// TestBucketConcurrentTake hammers one bucket from many goroutines at
+// a frozen instant: exactly burst tokens may be admitted in total, no
+// matter the interleaving. Run under -race this is also the data-race
+// certificate for the single-word CAS design.
+func TestBucketConcurrentTake(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 500
+		burst   = 100
+	)
+	b := NewBucket(1000, burst)
+	var wg sync.WaitGroup
+	admitted := make([]int, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if ok, _ := b.Take(0, 1); ok {
+					admitted[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range admitted {
+		total += n
+	}
+	if total != burst {
+		t.Fatalf("concurrent takes admitted %d, want exactly burst %d", total, burst)
+	}
+}
+
+func TestBucketTokens(t *testing.T) {
+	b := NewBucket(1000, 10)
+	if got := b.Tokens(0); got != 10 {
+		t.Fatalf("fresh bucket reports %d tokens, want 10", got)
+	}
+	b.Take(0, 4)
+	if got := b.Tokens(0); got != 6 {
+		t.Fatalf("after taking 4: %d tokens, want 6", got)
+	}
+	if got := b.Tokens(2_000_000); got != 8 {
+		t.Fatalf("after 2ms refill: %d tokens, want 8", got)
+	}
+	if got := b.Tokens(1e12); got != 10 {
+		t.Fatalf("long idle: %d tokens, want burst 10", got)
+	}
+}

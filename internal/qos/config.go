@@ -1,0 +1,204 @@
+package qos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Limits on what a config may ask for. They bound resource commitments
+// (one bucket per class) and keep every number in integer-nanosecond
+// range; a config outside them is rejected with a *ConfigError, never
+// clamped silently.
+const (
+	maxClasses    = 64
+	maxRate       = 1e9 // tokens/second; 1 ns/token resolution floor
+	maxBurst      = 1e6 // tokens
+	maxPriority   = 16  // tiers 0 (most urgent) .. 16
+	maxDeadlineMs = 1e7 // ~2.8 hours
+	maxAgingMs    = 1e6 // ~17 minutes per tier promotion
+	maxFloorMs    = 1e6
+
+	// DefaultAgingMs is the per-tier aging interval when the config
+	// leaves aging_ms at 0: a queued job gains one priority tier per
+	// interval, which bounds every job's wait (see DESIGN §13).
+	DefaultAgingMs = 100
+)
+
+// ClassQoS configures one traffic class: its admission bucket and the
+// scheduling attributes every job it submits carries.
+type ClassQoS struct {
+	// Name keys the class; requests select it via X-Sort-Class. Same
+	// syntax rule as loadgen class names: <= 64 chars, no whitespace
+	// or quotes.
+	Name string `json:"name"`
+	// Rate is the admission refill in requests/second.
+	Rate float64 `json:"rate"`
+	// Burst is the bucket depth in requests, >= 1.
+	Burst int `json:"burst"`
+	// Priority is the strict-priority tier, 0 (most urgent) .. 16.
+	Priority int `json:"priority"`
+	// DeadlineMs, when > 0, caps each request's queue+service time;
+	// the scheduler sheds a queued job once the deadline cannot be
+	// met. 0 means no deadline.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+}
+
+// Config is the QoS plane's whole configuration.
+type Config struct {
+	// Classes lists every known traffic class. Requests naming any
+	// other class are rejected (400), not folded into an overflow
+	// bucket — admission control over an open class namespace would
+	// be no admission control at all.
+	Classes []ClassQoS `json:"classes"`
+	// AgingMs is the starvation-prevention interval: a queued job's
+	// effective priority improves one tier per AgingMs waited.
+	// 0 means DefaultAgingMs.
+	AgingMs float64 `json:"aging_ms,omitempty"`
+	// FloorMs is the minimum feasible service floor for deadline
+	// shedding: a queued job is shed once deadline − now < FloorMs.
+	// 0 (the default) sheds only already-expired deadlines — the
+	// conservative rule with provably no false positives.
+	FloorMs float64 `json:"floor_ms,omitempty"`
+}
+
+// ConfigError is the typed error every config parsing or validation
+// failure returns, naming the first offending field.
+type ConfigError struct {
+	Field string
+	Msg   string
+}
+
+func (e *ConfigError) Error() string {
+	if e.Field == "" {
+		return "qos config: " + e.Msg
+	}
+	return "qos config: " + e.Field + ": " + e.Msg
+}
+
+func cfgErrf(field, format string, args ...any) *ConfigError {
+	return &ConfigError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseConfig decodes and validates a JSON config. Every failure mode
+// — malformed JSON included — returns a *ConfigError; it never panics.
+func ParseConfig(b []byte) (*Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return nil, cfgErrf("", "invalid JSON: %v", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err == nil || trailing != nil {
+		return nil, cfgErrf("", "trailing data after config object")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Validate checks every limit and cross-field rule, returning a
+// *ConfigError naming the first offending field.
+func (c *Config) Validate() error {
+	if len(c.Classes) == 0 {
+		return cfgErrf("classes", "at least one class is required")
+	}
+	if len(c.Classes) > maxClasses {
+		return cfgErrf("classes", "%d classes exceeds the %d limit", len(c.Classes), maxClasses)
+	}
+	seen := make(map[string]bool, len(c.Classes))
+	for i := range c.Classes {
+		if err := c.Classes[i].validate(fmt.Sprintf("classes[%d]", i)); err != nil {
+			return err
+		}
+		if seen[c.Classes[i].Name] {
+			return cfgErrf(fmt.Sprintf("classes[%d].name", i), "duplicate class name %q", c.Classes[i].Name)
+		}
+		seen[c.Classes[i].Name] = true
+	}
+	if !finite(c.AgingMs) || c.AgingMs < 0 {
+		return cfgErrf("aging_ms", "must be finite and >= 0, got %v", c.AgingMs)
+	}
+	if c.AgingMs > maxAgingMs {
+		return cfgErrf("aging_ms", "%v exceeds the %v ms limit", c.AgingMs, float64(maxAgingMs))
+	}
+	if !finite(c.FloorMs) || c.FloorMs < 0 {
+		return cfgErrf("floor_ms", "must be finite and >= 0, got %v", c.FloorMs)
+	}
+	if c.FloorMs > maxFloorMs {
+		return cfgErrf("floor_ms", "%v exceeds the %v ms limit", c.FloorMs, float64(maxFloorMs))
+	}
+	return nil
+}
+
+func (q *ClassQoS) validate(field string) error {
+	if q.Name == "" {
+		return cfgErrf(field+".name", "must be non-empty")
+	}
+	if !ValidClassName(q.Name) {
+		return cfgErrf(field+".name", "must be <= 64 chars with no whitespace or quotes")
+	}
+	if !finite(q.Rate) || q.Rate <= 0 {
+		return cfgErrf(field+".rate", "must be finite and > 0, got %v", q.Rate)
+	}
+	if q.Rate > maxRate {
+		return cfgErrf(field+".rate", "%v exceeds the %v/s limit", q.Rate, float64(maxRate))
+	}
+	if q.Burst < 1 {
+		return cfgErrf(field+".burst", "must be >= 1, got %d", q.Burst)
+	}
+	if q.Burst > maxBurst {
+		return cfgErrf(field+".burst", "%d exceeds the %v limit", q.Burst, float64(maxBurst))
+	}
+	if q.Priority < 0 || q.Priority > maxPriority {
+		return cfgErrf(field+".priority", "must be in [0, %d], got %d", maxPriority, q.Priority)
+	}
+	if !finite(q.DeadlineMs) || q.DeadlineMs < 0 {
+		return cfgErrf(field+".deadline_ms", "must be finite and >= 0, got %v", q.DeadlineMs)
+	}
+	if q.DeadlineMs > maxDeadlineMs {
+		return cfgErrf(field+".deadline_ms", "%v exceeds the %v ms limit", q.DeadlineMs, float64(maxDeadlineMs))
+	}
+	return nil
+}
+
+// ValidClassName reports whether name satisfies the class-name syntax
+// shared with loadgen specs: non-empty, <= 64 chars, no whitespace or
+// quotes. The server rejects any X-Sort-Class value outside it with a
+// 400 before the name reaches a map key or a metrics label.
+func ValidClassName(name string) bool {
+	return name != "" && len(name) <= 64 && !strings.ContainsAny(name, " \t\n\r\"")
+}
+
+// Class returns the config for name, or nil when unknown.
+func (c *Config) Class(name string) *ClassQoS {
+	for i := range c.Classes {
+		if c.Classes[i].Name == name {
+			return &c.Classes[i]
+		}
+	}
+	return nil
+}
+
+// agingNs is the effective aging interval in nanoseconds.
+func (c *Config) agingNs() int64 {
+	ms := c.AgingMs
+	if ms == 0 {
+		ms = DefaultAgingMs
+	}
+	return int64(ms * float64(time.Millisecond))
+}
+
+// floorNs is the effective shed floor in nanoseconds.
+func (c *Config) floorNs() int64 {
+	return int64(c.FloorMs * float64(time.Millisecond))
+}
+
+func finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

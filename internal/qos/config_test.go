@@ -1,0 +1,143 @@
+package qos
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+const validConfig = `{
+  "classes": [
+    {"name": "lat", "rate": 200, "burst": 50, "priority": 0, "deadline_ms": 100},
+    {"name": "bulk", "rate": 50, "burst": 10, "priority": 3}
+  ],
+  "aging_ms": 50
+}`
+
+func TestParseConfigValid(t *testing.T) {
+	cfg, err := ParseConfig([]byte(validConfig))
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if len(cfg.Classes) != 2 {
+		t.Fatalf("parsed %d classes, want 2", len(cfg.Classes))
+	}
+	if c := cfg.Class("lat"); c == nil || c.Priority != 0 || c.DeadlineMs != 100 {
+		t.Fatalf("lat class = %+v", c)
+	}
+	if cfg.Class("nope") != nil {
+		t.Fatal("unknown class lookup returned non-nil")
+	}
+	if got := cfg.agingNs(); got != int64(50*time.Millisecond) {
+		t.Fatalf("agingNs = %d, want 50ms", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := &Config{Classes: []ClassQoS{{Name: "a", Rate: 1, Burst: 1}}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("minimal config rejected: %v", err)
+	}
+	if got := cfg.agingNs(); got != int64(DefaultAgingMs*time.Millisecond) {
+		t.Fatalf("default agingNs = %d, want %dms", got, int64(DefaultAgingMs))
+	}
+	if got := cfg.floorNs(); got != 0 {
+		t.Fatalf("default floorNs = %d, want 0", got)
+	}
+}
+
+func TestParseConfigRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		json  string
+		field string // required prefix of ConfigError.Field ("" = any)
+	}{
+		{"empty object", `{}`, "classes"},
+		{"no classes", `{"classes": []}`, "classes"},
+		{"bad json", `{"classes": [`, ""},
+		{"trailing data", `{"classes":[{"name":"a","rate":1,"burst":1}]} {"x":1}`, ""},
+		{"unknown field", `{"classes":[{"name":"a","rate":1,"burst":1}], "bogus": 1}`, ""},
+		{"unknown class field", `{"classes":[{"name":"a","rate":1,"burst":1,"weight":2}]}`, ""},
+		{"empty name", `{"classes":[{"name":"","rate":1,"burst":1}]}`, "classes[0].name"},
+		{"long name", `{"classes":[{"name":"` + strings.Repeat("x", 65) + `","rate":1,"burst":1}]}`, "classes[0].name"},
+		{"name with space", `{"classes":[{"name":"a b","rate":1,"burst":1}]}`, "classes[0].name"},
+		{"duplicate name", `{"classes":[{"name":"a","rate":1,"burst":1},{"name":"a","rate":2,"burst":1}]}`, "classes[1].name"},
+		{"zero rate", `{"classes":[{"name":"a","rate":0,"burst":1}]}`, "classes[0].rate"},
+		{"negative rate", `{"classes":[{"name":"a","rate":-1,"burst":1}]}`, "classes[0].rate"},
+		{"huge rate", `{"classes":[{"name":"a","rate":1e12,"burst":1}]}`, "classes[0].rate"},
+		{"zero burst", `{"classes":[{"name":"a","rate":1,"burst":0}]}`, "classes[0].burst"},
+		{"huge burst", `{"classes":[{"name":"a","rate":1,"burst":10000000}]}`, "classes[0].burst"},
+		{"negative priority", `{"classes":[{"name":"a","rate":1,"burst":1,"priority":-1}]}`, "classes[0].priority"},
+		{"huge priority", `{"classes":[{"name":"a","rate":1,"burst":1,"priority":17}]}`, "classes[0].priority"},
+		{"negative deadline", `{"classes":[{"name":"a","rate":1,"burst":1,"deadline_ms":-5}]}`, "classes[0].deadline_ms"},
+		{"huge deadline", `{"classes":[{"name":"a","rate":1,"burst":1,"deadline_ms":1e9}]}`, "classes[0].deadline_ms"},
+		{"negative aging", `{"classes":[{"name":"a","rate":1,"burst":1}], "aging_ms": -1}`, "aging_ms"},
+		{"huge aging", `{"classes":[{"name":"a","rate":1,"burst":1}], "aging_ms": 1e9}`, "aging_ms"},
+		{"negative floor", `{"classes":[{"name":"a","rate":1,"burst":1}], "floor_ms": -1}`, "floor_ms"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseConfig([]byte(tc.json))
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is %T, want *ConfigError: %v", err, err)
+			}
+			if tc.field != "" && !strings.HasPrefix(ce.Field, tc.field) {
+				t.Fatalf("error names field %q, want prefix %q (%v)", ce.Field, tc.field, ce)
+			}
+		})
+	}
+}
+
+func TestValidClassName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"lat":                   true,
+		"bulk-v2":               true,
+		strings.Repeat("x", 64): true,
+		"":                      false,
+		strings.Repeat("x", 65): false,
+		"a b":                   false,
+		"a\tb":                  false,
+		"a\nb":                  false,
+		`a"b`:                   false,
+	} {
+		if got := ValidClassName(name); got != want {
+			t.Errorf("ValidClassName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// FuzzQoSConfig mirrors FuzzWorkloadSpec: ParseConfig must never
+// panic, every rejection must be a typed *ConfigError, and every
+// accepted config must survive a marshal/re-parse round trip.
+func FuzzQoSConfig(f *testing.F) {
+	f.Add([]byte(validConfig))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"classes":[{"name":"a","rate":1,"burst":1}]}`))
+	f.Add([]byte(`{"classes":[{"name":"a","rate":1e308,"burst":99}]}`))
+	f.Add([]byte(`{"classes":[{"name":"a","rate":1,"burst":1,"priority":16,"deadline_ms":1}],"aging_ms":0.5,"floor_ms":2}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`nul`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("rejection is %T, want *ConfigError: %v", err, err)
+			}
+			return
+		}
+		out, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("accepted config does not marshal: %v", err)
+		}
+		if _, err := ParseConfig(out); err != nil {
+			t.Fatalf("accepted config does not re-parse: %v\n%s", err, out)
+		}
+	})
+}

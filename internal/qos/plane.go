@@ -1,0 +1,92 @@
+package qos
+
+import "time"
+
+// Plane is the admission side of the QoS plane: one token bucket per
+// configured class, sharing a single monotonic clock. The serving
+// layer asks Admit once per request, before any memory is committed.
+type Plane struct {
+	cfg     *Config
+	start   time.Time
+	classes map[string]*planeClass
+}
+
+type planeClass struct {
+	cfg    *ClassQoS
+	bucket *Bucket
+}
+
+// Decision is the outcome of one admission check.
+type Decision struct {
+	// Known is false when the class is not configured: reject the
+	// request (400), don't count it against any bucket.
+	Known bool
+	// OK is true when a token was taken and the request may proceed.
+	OK bool
+	// RetryAfter, on a denied-but-known decision, is how long until
+	// the class's bucket would admit this request absent competing
+	// traffic — the Retry-After header, rounded up by the caller.
+	RetryAfter time.Duration
+	// Class is the admitted or denied class's config (nil when
+	// !Known): the caller derives the job's priority and deadline
+	// from it.
+	Class *ClassQoS
+}
+
+// NewPlane builds the per-class buckets for a validated config.
+func NewPlane(cfg *Config) *Plane {
+	p := &Plane{
+		cfg:     cfg,
+		start:   time.Now(),
+		classes: make(map[string]*planeClass, len(cfg.Classes)),
+	}
+	for i := range cfg.Classes {
+		cc := &cfg.Classes[i]
+		p.classes[cc.Name] = &planeClass{cfg: cc, bucket: NewBucket(cc.Rate, cc.Burst)}
+	}
+	return p
+}
+
+// Now is the plane's monotonic clock: nanoseconds since creation.
+func (p *Plane) Now() int64 { return time.Since(p.start).Nanoseconds() }
+
+// Admit runs the token-bucket admission check for class. Wait-free on
+// the steady path: one bucket CAS, zero allocations.
+func (p *Plane) Admit(class string) Decision {
+	pc, ok := p.classes[class]
+	if !ok {
+		return Decision{}
+	}
+	admitted, retryNs := pc.bucket.Take(p.Now(), 1)
+	d := Decision{Known: true, OK: admitted, Class: pc.cfg}
+	if !admitted {
+		d.RetryAfter = time.Duration(retryNs)
+	}
+	return d
+}
+
+// ClassSnapshot is one class's admission state for /metrics.
+type ClassSnapshot struct {
+	Rate     float64 `json:"rate"`
+	Burst    int     `json:"burst"`
+	Priority int     `json:"priority"`
+	Deadline float64 `json:"deadline_ms,omitempty"`
+	Tokens   int64   `json:"tokens"`
+}
+
+// Snapshot reports every class's configuration and current token
+// count, keyed by class name.
+func (p *Plane) Snapshot() map[string]ClassSnapshot {
+	now := p.Now()
+	out := make(map[string]ClassSnapshot, len(p.classes))
+	for name, pc := range p.classes {
+		out[name] = ClassSnapshot{
+			Rate:     pc.cfg.Rate,
+			Burst:    pc.cfg.Burst,
+			Priority: pc.cfg.Priority,
+			Deadline: pc.cfg.DeadlineMs,
+			Tokens:   pc.bucket.Tokens(now),
+		}
+	}
+	return out
+}

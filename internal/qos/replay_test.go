@@ -1,0 +1,148 @@
+package qos
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wfsort/internal/loadgen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata goldens from current behavior")
+
+// goldenSpec/goldenCfg produce a schedule that exercises every event
+// kind: admits, bucket denials (tight lat bucket), deadline sheds
+// (short bulk deadline under backlog), priority reordering, and a
+// rejected unknown class.
+func goldenSpec() *loadgen.Spec {
+	return &loadgen.Spec{
+		Seed:      7,
+		HorizonMs: 120,
+		Classes: []loadgen.ClassSpec{
+			{Name: "lat", Arrival: loadgen.ArrivalSpec{Dist: "poisson", Rate: 300}, Size: loadgen.SizeSpec{Dist: "fixed", N: 128}},
+			{Name: "bulk", Arrival: loadgen.ArrivalSpec{Dist: "det", Rate: 100}, Size: loadgen.SizeSpec{Dist: "uniform", Min: 512, Max: 2048}},
+			{Name: "ghost", Arrival: loadgen.ArrivalSpec{Dist: "det", Rate: 25}, Size: loadgen.SizeSpec{Dist: "fixed", N: 64}},
+		},
+	}
+}
+
+func goldenCfg() *Config {
+	return &Config{
+		Classes: []ClassQoS{
+			{Name: "lat", Rate: 200, Burst: 5, Priority: 0},
+			{Name: "bulk", Rate: 150, Burst: 20, Priority: 3, DeadlineMs: 40},
+		},
+		AgingMs: 10,
+	}
+}
+
+func goldenEvents(t *testing.T) []Event {
+	t.Helper()
+	trace, err := loadgen.BuildTrace(goldenSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := Replay(trace, goldenCfg(), int64(2*time.Millisecond), int64(4*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestReplayDeterministic is the scheduling determinism certificate:
+// two independent replays of one recorded trace — fresh buckets, fresh
+// scheduler — produce byte-identical admission/shed/dispatch schedules.
+func TestReplayDeterministic(t *testing.T) {
+	a := FormatEvents(goldenEvents(t))
+	b := FormatEvents(goldenEvents(t))
+	if a != b {
+		t.Fatal("two replays of the same trace diverged")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+}
+
+// TestReplayGoldenFile pins the schedule bytes to a checked-in golden,
+// extending the PR 6 trace goldens one layer up: not just the same
+// arrivals, the same decisions about them.
+func TestReplayGoldenFile(t *testing.T) {
+	got := []byte(FormatEvents(goldenEvents(t)))
+	path := filepath.Join("testdata", "replay_qos.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("schedule diverged from %s (%d vs %d bytes) — rerun with -update only if the scheduling change is intentional",
+			path, len(got), len(want))
+	}
+}
+
+// TestReplayEventMix asserts the golden workload actually exercises
+// every decision kind, so the golden can't silently degenerate into an
+// admit-and-dispatch-only transcript.
+func TestReplayEventMix(t *testing.T) {
+	kinds := map[string]int{}
+	for _, e := range goldenEvents(t) {
+		kinds[e.Kind]++
+	}
+	for _, kind := range []string{"admit", "deny", "dispatch", "shed", "reject"} {
+		if kinds[kind] == 0 {
+			t.Errorf("golden schedule has no %q events: %v", kind, kinds)
+		}
+	}
+	// The ghost class is not configured: every one of its arrivals is a
+	// reject, and none may leak into the queue.
+	for _, e := range goldenEvents(t) {
+		if e.Class == "ghost" && e.Kind != "reject" {
+			t.Fatalf("unknown class produced a %s event", e.Kind)
+		}
+	}
+}
+
+// TestReplayLedger cross-checks conservation: every admitted request
+// either dispatches or sheds, exactly once.
+func TestReplayLedger(t *testing.T) {
+	seen := map[int]string{}
+	for _, e := range goldenEvents(t) {
+		switch e.Kind {
+		case "admit":
+			if prev, dup := seen[e.Seq]; dup {
+				t.Fatalf("seq %d admitted after %s", e.Seq, prev)
+			}
+			seen[e.Seq] = "admit"
+		case "dispatch", "shed":
+			if seen[e.Seq] != "admit" {
+				t.Fatalf("seq %d %s without a pending admit (state %q)", e.Seq, e.Kind, seen[e.Seq])
+			}
+			seen[e.Seq] = e.Kind
+		}
+	}
+	for seq, state := range seen {
+		if state == "admit" {
+			t.Fatalf("seq %d admitted but never dispatched or shed", seq)
+		}
+	}
+}
+
+func TestReplayRejectsBadConfig(t *testing.T) {
+	trace, err := loadgen.BuildTrace(goldenSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(trace, &Config{}, 1, 0); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,321 @@
+package qos
+
+import (
+	"testing"
+	"time"
+
+	"wfsort/internal/loadgen"
+	"wfsort/internal/native"
+)
+
+func schedFor(t testing.TB, agingMs, floorMs float64) *Sched {
+	t.Helper()
+	cfg := &Config{
+		Classes: []ClassQoS{{Name: "x", Rate: 1, Burst: 1}},
+		AgingMs: agingMs,
+		FloorMs: floorMs,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("test config invalid: %v", err)
+	}
+	return NewSched(cfg, nil)
+}
+
+func jv(seq uint64, prio int, est int64, queuedNs int64) native.JobView {
+	return native.JobView{Seq: seq, Class: "x", Priority: prio, EstCost: est, QueuedNs: queuedNs}
+}
+
+func TestSchedPriorityOrder(t *testing.T) {
+	s := schedFor(t, 100, 0)
+	pending := []native.JobView{jv(0, 5, 10, 0), jv(1, 2, 10, 0), jv(2, 8, 10, 0)}
+	if got := s.Pick(0, pending); got != 1 {
+		t.Fatalf("Pick = %d, want 1 (priority 2)", got)
+	}
+}
+
+func TestSchedSJFWithinTier(t *testing.T) {
+	s := schedFor(t, 100, 0)
+	pending := []native.JobView{jv(0, 3, 4096, 0), jv(1, 3, 256, 0), jv(2, 3, 1024, 0)}
+	if got := s.Pick(0, pending); got != 1 {
+		t.Fatalf("Pick = %d, want 1 (smallest EstCost)", got)
+	}
+	// EstCost 0 means unknown: it must sort last in its tier, not first.
+	pending = []native.JobView{jv(0, 3, 0, 0), jv(1, 3, 4096, 0)}
+	if got := s.Pick(0, pending); got != 1 {
+		t.Fatalf("Pick = %d, want 1 (known cost beats unknown)", got)
+	}
+	// Full tie: submission order.
+	pending = []native.JobView{jv(7, 3, 512, 0), jv(4, 3, 512, 0)}
+	if got := s.Pick(0, pending); got != 1 {
+		t.Fatalf("Pick = %d, want 1 (lower Seq)", got)
+	}
+}
+
+// TestSchedAgingPromotes walks the clock and watches a low-priority
+// job overtake a perpetually-refreshed high-priority stream: at tier
+// distance 5 with 100ms aging the crossover lands in (400ms, 600ms]
+// (ties break toward the smaller job, which is the flood's).
+func TestSchedAgingPromotes(t *testing.T) {
+	s := schedFor(t, 100, 0)
+	ms := int64(time.Millisecond)
+	lo := jv(0, 5, 4096, 0)
+	for _, tc := range []struct {
+		nowMs int64
+		want  int
+	}{
+		{0, 1},    // fresh: flood wins
+		{400, 1},  // lo at tier 5-4=1, flood at 0: flood wins
+		{500, 1},  // lo at tier 0, tie; flood's smaller EstCost wins
+		{501, 1},  // still tier 0 vs 0
+		{600, 0},  // lo at tier -1: aging wins outright
+		{1200, 0}, // and keeps winning
+	} {
+		hi := jv(100, 0, 256, tc.nowMs*ms) // freshly arrived tier-0 job
+		got := s.Pick(tc.nowMs*ms, []native.JobView{lo, hi})
+		if got != tc.want {
+			t.Fatalf("at %dms: Pick = %d, want %d", tc.nowMs, got, tc.want)
+		}
+	}
+}
+
+func TestSchedShedRule(t *testing.T) {
+	ms := int64(time.Millisecond)
+	for _, tc := range []struct {
+		name    string
+		floorMs float64
+		dlNs    int64
+		nowNs   int64
+		want    bool
+	}{
+		{"no deadline never sheds", 0, 0, 1 << 60, false},
+		{"future deadline kept", 0, 100 * ms, 50 * ms, false},
+		{"boundary now==deadline kept", 0, 100 * ms, 100 * ms, false},
+		{"expired sheds", 0, 100 * ms, 100*ms + 1, true},
+		{"floor: remaining==floor kept", 10, 100 * ms, 90 * ms, false},
+		{"floor: remaining just under sheds", 10, 100 * ms, 90*ms + 1, true},
+		{"floor: ample remaining kept", 10, 100 * ms, 50 * ms, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := schedFor(t, 100, tc.floorMs)
+			j := jv(0, 0, 256, 0)
+			j.DeadlineNs = tc.dlNs
+			if got := s.Shed(tc.nowNs, j); got != tc.want {
+				t.Fatalf("Shed(now=%d, dl=%d, floor=%v) = %v, want %v",
+					tc.nowNs, tc.dlNs, tc.floorMs, got, tc.want)
+			}
+		})
+	}
+}
+
+type recObserver struct {
+	dispatched []string
+	waits      []int64
+	aged       []string
+	dropped    []string
+}
+
+func (r *recObserver) JobDispatched(class string, waitNs int64) {
+	r.dispatched = append(r.dispatched, class)
+	r.waits = append(r.waits, waitNs)
+}
+func (r *recObserver) JobAged(class string)            { r.aged = append(r.aged, class) }
+func (r *recObserver) JobDeadlineDropped(class string) { r.dropped = append(r.dropped, class) }
+
+func TestSchedObserverEvents(t *testing.T) {
+	rec := &recObserver{}
+	cfg := &Config{Classes: []ClassQoS{{Name: "x", Rate: 1, Burst: 1}}, AgingMs: 100}
+	s := NewSched(cfg, rec)
+	ms := int64(time.Millisecond)
+
+	// A pick where aging decided: the old prio-5 job beats a fresh
+	// prio-0 job, so JobAged must fire alongside JobDispatched.
+	old := jv(0, 5, 256, 0)
+	old.Class = "bulk"
+	fresh := jv(1, 0, 256, 600*ms)
+	fresh.Class = "lat"
+	if got := s.Pick(600*ms, []native.JobView{old, fresh}); got != 0 {
+		t.Fatalf("Pick = %d, want the aged job", got)
+	}
+	if len(rec.dispatched) != 1 || rec.dispatched[0] != "bulk" || rec.waits[0] != 600*ms {
+		t.Fatalf("dispatched events = %v waits = %v", rec.dispatched, rec.waits)
+	}
+	if len(rec.aged) != 1 || rec.aged[0] != "bulk" {
+		t.Fatalf("aged events = %v, want [bulk]", rec.aged)
+	}
+
+	// A pick the raw priorities already decided must not count as aged.
+	a, b := jv(2, 0, 256, 0), jv(3, 3, 256, 0)
+	s.Pick(1*ms, []native.JobView{a, b})
+	if len(rec.aged) != 1 {
+		t.Fatalf("aged fired on a raw-priority win: %v", rec.aged)
+	}
+
+	// Shed fires JobDeadlineDropped exactly when it sheds.
+	d := jv(4, 0, 256, 0)
+	d.Class = "lat"
+	d.DeadlineNs = 1 * ms
+	if !s.Shed(2*ms, d) || len(rec.dropped) != 1 || rec.dropped[0] != "lat" {
+		t.Fatalf("dropped events = %v", rec.dropped)
+	}
+	if s.Shed(0, jv(5, 0, 256, 0)) || len(rec.dropped) != 1 {
+		t.Fatalf("dropped fired without a shed: %v", rec.dropped)
+	}
+}
+
+// starvationBound is the aging wait bound the starvation tests assert:
+// crossover (prioDiff tiers at 5ms aging) plus the flood backlog
+// accumulated before the crossover — the mean grows one service-ns per
+// elapsed ns at 2x overload, widened 1.5x for Poisson fluctuation —
+// plus slop for the in-flight job and within-tier ties. Under strict
+// priority an early trickle job instead waits for the entire flood to
+// drain (~2x horizon), an order of magnitude past this bound; see
+// TestSchedStarvationBoundIsSharp.
+func starvationBound(queuedAtNs int64) int64 {
+	ms := int64(time.Millisecond)
+	crossNs := 3 * 5 * ms
+	backlogNs := queuedAtNs + crossNs
+	return crossNs + backlogNs*3/2 + 50*ms
+}
+
+// TestSchedStarvationFreedom100Seeds is the acceptance-criteria
+// starvation property at simulator scale: 100 different seeded
+// workloads, each a 2x-overload high-priority flood with a
+// low-priority trickle, replayed through the real Bucket/Sched code.
+// Every trickle job must dispatch, and within the aging bound — the
+// crossover delay plus the backlog accumulated before the crossover —
+// never "when the flood ends". Without aging the early trickle jobs
+// wait for the entire flood and the bound fails by an order of
+// magnitude.
+func TestSchedStarvationFreedom100Seeds(t *testing.T) {
+	const (
+		horizonMs = 200.0
+		floodRate = 2000.0 // 2x the 1000/s service capacity below
+		serviceNs = int64(time.Millisecond)
+		agingMs   = 5.0
+		prioDiff  = 3
+	)
+	for seed := uint64(0); seed < 100; seed++ {
+		spec := &loadgen.Spec{
+			Seed:      seed,
+			HorizonMs: horizonMs,
+			Classes: []loadgen.ClassSpec{
+				{
+					Name:    "flood",
+					Arrival: loadgen.ArrivalSpec{Dist: "poisson", Rate: floodRate},
+					Size:    loadgen.SizeSpec{Dist: "fixed", N: 128},
+				},
+				{
+					Name:    "trickle",
+					Arrival: loadgen.ArrivalSpec{Dist: "det", Rate: 50},
+					Size:    loadgen.SizeSpec{Dist: "fixed", N: 128},
+				},
+			},
+		}
+		trace, err := loadgen.BuildTrace(spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := &Config{
+			Classes: []ClassQoS{
+				{Name: "flood", Rate: 2 * floodRate, Burst: 1000, Priority: 0},
+				{Name: "trickle", Rate: 100, Burst: 100, Priority: prioDiff},
+			},
+			AgingMs: agingMs,
+		}
+		events, err := Replay(trace, cfg, serviceNs, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		admitted, dispatched := 0, 0
+		for _, e := range events {
+			if e.Class != "trickle" {
+				continue
+			}
+			switch e.Kind {
+			case "admit":
+				admitted++
+			case "dispatch":
+				dispatched++
+				queuedAt := e.AtNs - e.WaitNs
+				bound := starvationBound(queuedAt)
+				if e.WaitNs > bound {
+					t.Fatalf("seed %d: trickle seq %d queued at %dms waited %dms > bound %dms",
+						seed, e.Seq, queuedAt/int64(time.Millisecond),
+						e.WaitNs/int64(time.Millisecond), bound/int64(time.Millisecond))
+				}
+			case "shed":
+				t.Fatalf("seed %d: trickle seq %d shed without a deadline", seed, e.Seq)
+			}
+		}
+		if admitted == 0 {
+			t.Fatalf("seed %d: no trickle admitted — spec mis-built", seed)
+		}
+		if dispatched != admitted {
+			t.Fatalf("seed %d: %d trickle admitted but %d dispatched — starvation",
+				seed, admitted, dispatched)
+		}
+	}
+}
+
+// TestSchedStarvationBoundIsSharp re-runs one starvation workload with
+// aging effectively disabled (one promotion per ~17 minutes) and
+// checks the bound above actually fails — certifying the 100-seed test
+// can detect the regression it exists for.
+func TestSchedStarvationBoundIsSharp(t *testing.T) {
+	spec := &loadgen.Spec{
+		Seed:      7,
+		HorizonMs: 200,
+		Classes: []loadgen.ClassSpec{
+			{Name: "flood", Arrival: loadgen.ArrivalSpec{Dist: "poisson", Rate: 2000}, Size: loadgen.SizeSpec{Dist: "fixed", N: 128}},
+			{Name: "trickle", Arrival: loadgen.ArrivalSpec{Dist: "det", Rate: 50}, Size: loadgen.SizeSpec{Dist: "fixed", N: 128}},
+		},
+	}
+	trace, err := loadgen.BuildTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{
+		Classes: []ClassQoS{
+			{Name: "flood", Rate: 4000, Burst: 1000, Priority: 0},
+			{Name: "trickle", Rate: 100, Burst: 100, Priority: 3},
+		},
+		AgingMs: maxAgingMs, // aging neutered: strict priority in practice
+	}
+	events, err := Replay(trace, cfg, int64(time.Millisecond), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := false
+	for _, e := range events {
+		if e.Class != "trickle" || e.Kind != "dispatch" {
+			continue
+		}
+		if e.WaitNs > starvationBound(e.AtNs-e.WaitNs) {
+			violated = true
+			break
+		}
+	}
+	if !violated {
+		t.Fatal("strict priority satisfied the aging bound — the starvation test asserts nothing")
+	}
+}
+
+func BenchmarkSchedPick(b *testing.B) {
+	s := schedFor(b, 100, 0)
+	pending := make([]native.JobView, 64)
+	for i := range pending {
+		pending[i] = jv(uint64(i), i%8, int64(256<<(i%4)), int64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Pick(int64(i), pending)
+	}
+}
+
+func BenchmarkBucketTake(b *testing.B) {
+	bk := NewBucket(1e9, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bk.Take(int64(i), 1)
+	}
+}

@@ -10,14 +10,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"wfsort"
 	"wfsort/internal/obs"
+	"wfsort/internal/qos"
 	"wfsort/internal/sizeclass"
 )
 
@@ -67,6 +70,15 @@ type Config struct {
 	// X-Sort-Class request header) get their own counter set before
 	// newcomers fold into "other" (default 32).
 	ClassLimit int
+	// QoS enables the quality-of-service plane: per-class token-bucket
+	// admission replaces the flat semaphore's verdicts (the semaphore
+	// stays as a memory backstop), the pipeline queue is ordered by
+	// priority with aging and deadline shedding, and unknown classes
+	// are rejected with 400. Requests then select a class with
+	// X-Sort-Class (missing header means "default", which must be
+	// configured). Implies a pipelined pool: PipelineDepth 0 becomes
+	// 64.
+	QoS *qos.Config
 }
 
 func (c *Config) fill() {
@@ -91,6 +103,11 @@ func (c *Config) fill() {
 	if c.StuckAfter == 0 {
 		c.StuckAfter = 30 * time.Second
 	}
+	if c.QoS != nil && c.PipelineDepth == 0 {
+		// The scheduler lives on the pipeline's pending queue; without a
+		// crew there is nothing to order.
+		c.PipelineDepth = 64
+	}
 }
 
 // Stats is the service's cumulative counter snapshot.
@@ -111,6 +128,7 @@ type Stats struct {
 
 type batchEntry struct {
 	keys []int64
+	prio int
 	done chan batchResult
 }
 
@@ -126,6 +144,7 @@ type Server struct {
 	sorter  *wfsort.Sorter[kv]
 	spans   *obs.SpanLog
 	classes *obs.ClassSet
+	plane   *qos.Plane // nil unless cfg.QoS is set
 
 	sem     chan struct{}   // admission tokens
 	batchCh chan batchEntry // batcher inbox; capacity doubles as its queue bound
@@ -152,12 +171,21 @@ var latBounds = [...]time.Duration{
 // New builds a service and its backing pool.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
+	classes := obs.NewClassSet(cfg.ClassLimit)
 	opts := cfg.Options
 	if cfg.Workers > 0 {
 		opts = append([]wfsort.Option{wfsort.WithWorkers(cfg.Workers)}, opts...)
 	}
 	if cfg.PipelineDepth > 0 {
 		opts = append(opts, wfsort.WithPipeline(cfg.PipelineDepth))
+	}
+	var plane *qos.Plane
+	if cfg.QoS != nil {
+		if err := cfg.QoS.Validate(); err != nil {
+			return nil, fmt.Errorf("server: qos config: %w", err)
+		}
+		plane = qos.NewPlane(cfg.QoS)
+		opts = append(opts, wfsort.WithQueuePolicy(qos.NewSched(cfg.QoS, classObserver{classes})))
 	}
 	pool, err := wfsort.NewPool(opts...)
 	if err != nil {
@@ -173,7 +201,8 @@ func New(cfg Config) (*Server, error) {
 		pool:    pool,
 		sorter:  sorter,
 		spans:   obs.NewSpanLog(cfg.SpanDepth),
-		classes: obs.NewClassSet(cfg.ClassLimit),
+		classes: classes,
+		plane:   plane,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		batchCh: make(chan batchEntry, cfg.MaxInFlight),
 		starts:  make(map[uint64]time.Time),
@@ -212,22 +241,51 @@ type sortResponse struct {
 	Batched bool    `json:"batched,omitempty"`
 }
 
+// classObserver adapts the scheduler's decision stream onto the
+// per-class counters. Calls arrive from the pipeline's dispatcher
+// goroutine; everything touched is atomic.
+type classObserver struct{ classes *obs.ClassSet }
+
+func (o classObserver) JobDispatched(class string, waitNs int64) {
+	o.classes.Get(class).ObserveQueueWait(waitNs)
+}
+func (o classObserver) JobAged(class string)            { o.classes.Get(class).Aged.Add(1) }
+func (o classObserver) JobDeadlineDropped(class string) { o.classes.Get(class).DeadlineDrop.Add(1) }
+
 // classOf extracts the request's traffic class from the X-Sort-Class
-// header, bounding hostile names before they reach the registry (the
-// registry additionally caps distinct-class cardinality).
-func classOf(r *http.Request) string {
+// header: "default" when absent, rejected (ok=false) when the value
+// breaks the class-name syntax shared with loadgen specs and QoS
+// configs. Bounding hostile names here keeps them out of map keys and
+// metrics labels (the registry additionally caps cardinality).
+func classOf(r *http.Request) (name string, ok bool) {
 	c := r.Header.Get("X-Sort-Class")
 	if c == "" {
-		return "default"
+		return "default", true
 	}
-	if len(c) > 64 {
-		return obs.Overflow
+	return c, qos.ValidClassName(c)
+}
+
+// retryAfterSecs renders a bucket retry hint as a Retry-After header
+// value: whole seconds, rounded up, never below 1.
+func retryAfterSecs(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
 	}
-	return c
+	return strconv.FormatInt(secs, 10)
 }
 
 func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
-	cc := s.classes.Get(classOf(r))
+	name, okName := classOf(r)
+	if !okName {
+		cc := s.classes.Get(obs.Overflow)
+		cc.Requests.Add(1)
+		cc.Errors.Add(1)
+		httpError(w, http.StatusBadRequest,
+			"invalid X-Sort-Class: must be 1-64 chars with no whitespace or quotes")
+		return
+	}
+	cc := s.classes.Get(name)
 	cc.Requests.Add(1)
 	if s.draining.Load() {
 		s.drained.Add(1)
@@ -235,11 +293,31 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	var qosClass *qos.ClassQoS
+	if s.plane != nil {
+		d := s.plane.Admit(name)
+		if !d.Known {
+			cc.Errors.Add(1)
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("unknown class %q: not in the QoS config", name))
+			return
+		}
+		if !d.OK {
+			s.rejected.Add(1)
+			cc.Shed.Add(1)
+			w.Header().Set("Retry-After", retryAfterSecs(d.RetryAfter))
+			httpError(w, http.StatusTooManyRequests, "rate limited: class bucket empty")
+			return
+		}
+		cc.Admitted.Add(1)
+		qosClass = d.Class
+	}
 	select {
 	case s.sem <- struct{}{}:
 	default:
 		s.rejected.Add(1)
 		cc.Shed.Add(1)
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "at capacity")
 		return
 	}
@@ -280,19 +358,43 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
+	prio := 0
+	if qosClass != nil {
+		// The class deadline is a queue deadline: the scheduler sheds
+		// the job once it provably cannot be met, issuing the 504 from
+		// the queue. cfg.Timeout stays the service-time backstop, so the
+		// two planes never race each other for the same instant.
+		prio = qosClass.Priority
+		q := wfsort.JobQoS{Class: name, Priority: qosClass.Priority}
+		if qosClass.DeadlineMs > 0 {
+			q.Deadline = start.Add(time.Duration(qosClass.DeadlineMs * float64(time.Millisecond)))
+		}
+		ctx = wfsort.WithJobQoS(ctx, q)
+	}
 
 	span := obs.Span{ID: id, Kind: "sort", Start: start.UnixNano(), N: n, Outcome: "ok"}
 	var sorted []int64
 	var err error
 	if s.cfg.BatchMaxKeys > 0 && n <= s.cfg.BatchMaxKeys {
 		span.Batched = 1
-		sorted, err = s.sortBatched(ctx, req.Keys)
+		sorted, err = s.sortBatched(ctx, req.Keys, prio)
 	} else {
 		sorted, err = s.sortDirect(ctx, req.Keys)
 	}
 	span.Duration = time.Since(start)
 	switch {
 	case err == nil:
+	case errors.Is(err, wfsort.ErrDeadlineShed):
+		// The queue dropped the job before a crew slot was committed: a
+		// 504 issued from the queue, never from a worker. Counted with
+		// the deadline family so the client/server ledger still balances
+		// (loadgen maps any 504 to its deadline outcome).
+		s.canceled.Add(1)
+		cc.Canceled.Add(1)
+		span.Outcome = "shed"
+		s.spans.Append(span)
+		httpError(w, http.StatusGatewayTimeout, "shed from queue: deadline unmeetable")
+		return
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		s.canceled.Add(1)
 		cc.Canceled.Add(1)
@@ -335,8 +437,8 @@ func (s *Server) sortDirect(ctx context.Context, keys []int64) ([]int64, error) 
 // sortBatched enqueues the request for the flusher and waits for its
 // share of the merged sort. A request abandoned by its deadline leaves
 // the batch unharmed: the flusher completes and the result is dropped.
-func (s *Server) sortBatched(ctx context.Context, keys []int64) ([]int64, error) {
-	e := batchEntry{keys: keys, done: make(chan batchResult, 1)}
+func (s *Server) sortBatched(ctx context.Context, keys []int64, prio int) ([]int64, error) {
+	e := batchEntry{keys: keys, prio: prio, done: make(chan batchResult, 1)}
 	select {
 	case s.batchCh <- e:
 	case <-ctx.Done():
@@ -385,12 +487,21 @@ func (s *Server) runFlusher() {
 func (s *Server) flushBatch(entries []batchEntry, total int) {
 	start := time.Now()
 	merged := make([]kv, 0, total)
+	prio := entries[0].prio
 	for ri, e := range entries {
+		if e.prio < prio {
+			prio = e.prio
+		}
 		for _, k := range e.keys {
 			merged = append(merged, kv{k: k, r: int32(ri)})
 		}
 	}
-	err := s.sorter.Sort(merged)
+	// The merged sort inherits the most urgent member's priority and no
+	// deadline: a shed would fail every co-batched request, including
+	// ones with time to spare.
+	ctx := wfsort.WithJobQoS(context.Background(),
+		wfsort.JobQoS{Class: "batch", Priority: prio})
+	err := s.sorter.SortContext(ctx, merged)
 	if err == nil {
 		outs := make([][]int64, len(entries))
 		for ri, e := range entries {
@@ -443,12 +554,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(map[string]any{
+	m := map[string]any{
 		"server":     s.Stats(),
 		"pool":       s.pool.Stats(),
 		"latency_ms": hist,
 		"classes":    s.classes.Snapshot(),
-	})
+	}
+	if s.plane != nil {
+		m["qos"] = s.plane.Snapshot()
+	}
+	enc.Encode(m)
 }
 
 func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
@@ -502,6 +617,10 @@ func (s *Server) Classes() *obs.ClassSet { return s.classes }
 
 // PoolStats exposes the backing pool's counters.
 func (s *Server) PoolStats() wfsort.PoolStats { return s.pool.Stats() }
+
+// QoSPlane exposes the admission plane, nil when QoS is off (for sortd
+// and tests).
+func (s *Server) QoSPlane() *qos.Plane { return s.plane }
 
 func (s *Server) observeLatency(d time.Duration) {
 	i := sort.Search(len(latBounds), func(i int) bool { return d <= latBounds[i] })

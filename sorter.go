@@ -61,6 +61,9 @@ func NewPool(opts ...Option) (*Pool, error) {
 	if c.explicit&(setObserver|setSchedule|setPool) != 0 {
 		return nil, fmt.Errorf("wfsort: WithObserver, WithSchedule and WithPool do not apply to NewPool")
 	}
+	if err := validateQueuePolicy(c); err != nil {
+		return nil, err
+	}
 	p := &Pool{c: c}
 	p.ctxs, err = pool.New(pool.Config{
 		// Every class must host the pool's full worker set (P <= N).
@@ -147,7 +150,7 @@ func (p *Pool) borrowPipeline() *native.Pipeline {
 		return nil
 	}
 	if p.pipe == nil {
-		p.pipe = native.NewPipeline(p.c.workers, p.c.pipeDepth, false)
+		p.pipe = native.NewPipelinePolicy(p.c.workers, p.c.pipeDepth, false, p.c.queuePolicy)
 	}
 	p.pipeBusy++
 	return p.pipe
@@ -338,12 +341,20 @@ func (s *Sorter[E]) SortContext(ctx context.Context, data []E) error {
 	var run sortRun
 	if pl := s.p.borrowPipeline(); pl != nil {
 		defer s.p.releasePipeline()
+		// The request's QoS envelope rides the context; the queue policy
+		// schedules by it. EstCost defaults to the borrowed class
+		// capacity — the size the sort actually runs at.
+		q, _ := jobQoSFrom(ctx)
+		if q.EstCost == 0 {
+			q.EstCost = int64(pc.Capacity)
+		}
 		run = pl.Submit(native.PipeJob{
 			Graph:     pc.Runner.Graph(),
 			Mem:       pc.Mem,
 			Less:      idxLess,
 			Seed:      c.seed + seq,
 			Adversary: c.adversary(seq),
+			QoS:       q,
 		})
 	} else {
 		team := s.p.getTeam()

@@ -149,6 +149,7 @@ const (
 	setCrashes
 	setPool
 	setPipeline
+	setQueuePolicy
 )
 
 type config struct {
@@ -156,14 +157,15 @@ type config struct {
 	variant     Variant
 	layout      Layout
 	seed        uint64
-	sched       pram.Scheduler // simulation only
-	observer    *obs.Observer  // native only
-	churnKills  int            // native only: kill+revive every non-zero worker
-	crashFrac   float64        // native only: fail-stop a seeded fraction
-	crashWindow int64          // op-ordinal window for crashFrac strikes
-	pool        *Pool          // NewSorter only
-	pipeDepth   int            // NewPool/NewSorter only: phase-pipelined crew depth
-	explicit    int            // set* bits
+	sched       pram.Scheduler     // simulation only
+	observer    *obs.Observer      // native only
+	churnKills  int                // native only: kill+revive every non-zero worker
+	crashFrac   float64            // native only: fail-stop a seeded fraction
+	crashWindow int64              // op-ordinal window for crashFrac strikes
+	pool        *Pool              // NewSorter only
+	pipeDepth   int                // NewPool/NewSorter only: phase-pipelined crew depth
+	queuePolicy native.QueuePolicy // NewPool/NewSorter only: pipeline queue order
+	explicit    int                // set* bits
 }
 
 // Option customizes a sort or simulation.
@@ -287,6 +289,9 @@ func buildConfig(n int, opts []Option) (config, error) {
 	}
 	if c.explicit&setPipeline != 0 {
 		return c, fmt.Errorf("wfsort: WithPipeline applies to NewPool/NewSorter, not one-shot sorts")
+	}
+	if c.explicit&setQueuePolicy != 0 {
+		return c, fmt.Errorf("wfsort: WithQueuePolicy applies to NewPool/NewSorter, not one-shot sorts")
 	}
 	if c.workers > n {
 		c.workers = n // P <= N is the paper's regime; extra workers idle anyway
