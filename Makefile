@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline pipeline-gate pipeline-gate-baseline capacity-gate capacity-gate-baseline qos-gate qos-gate-baseline loadgen openloop sortd soak chaos chaos-quick experiments experiments-quick stress obs fmt vet lint cover
+.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline pipeline-gate pipeline-gate-baseline capacity-gate capacity-gate-baseline qos-gate qos-gate-baseline trace-gate loadgen openloop sortd soak chaos chaos-quick experiments experiments-quick stress obs fmt vet lint cover
 
 all: vet test
 
@@ -57,6 +57,13 @@ qos-gate:
 
 qos-gate-baseline:
 	go run ./cmd/benchgate -qos -write
+
+# Gate the trace plane: race-run the request-tracing, burn-rate and
+# flight-recorder tests, then measure instrumented-vs-TraceOff serving
+# throughput (geomean must stay within tolerance of 1.0x).
+trace-gate:
+	go test -race -count=1 -run 'TestTrace|TestRejectionSpans|TestBurn|TestMetricsProm|TestStageHist|TestSpanLogLapped|TestFlightRecorder|TestExemplars|TestPerfettoAddSpans|TestPipelineRunTiming|TestRunStamps|TestHandlerTargetStages' ./internal/server ./internal/obs ./internal/native ./internal/loadgen
+	go run ./cmd/benchgate -quick -observed -runs 1
 
 # Open-loop load generator against a live service. See cmd/loadgen for
 # spec format, -record/-replay, and -capacity sweeps.

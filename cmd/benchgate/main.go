@@ -36,7 +36,11 @@
 //     unobserved ratio must stay within tolerance of 1 — the observer
 //     hook is sold as near-free, and this gate keeps it honest. The
 //     ratio is measured within the current run, so it needs no
-//     baseline cells and works on any host.
+//     baseline cells and works on any host. A second -observed leg
+//     boots the serving stack with the full request-trace plane on
+//     (stage clocks, exemplars, SLO burn monitor) against a TraceOff
+//     twin and holds the traced/plain request-throughput ratio to the
+//     same tolerance (see observed.go).
 //
 // -quick runs a reduced matrix as a correctness smoke (sortedness is
 // always verified) and reports, but never fails on, performance.
@@ -208,11 +212,24 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintf(w, "baseline written to %s (%d cells)\n", *baseline, len(rep.Results))
 		return nil
 	}
-	if base == nil {
+	if base == nil && !*observed {
 		fmt.Fprintf(w, "no baseline at %s; smoke passed (sortedness verified)\n", *baseline)
 		return nil
 	}
-	failures := compare(base, rep, *tol)
+	var failures []string
+	if base != nil {
+		failures = compare(base, rep, *tol)
+	}
+	if *observed {
+		// The serving-layer leg of the observer gate: the full trace
+		// plane (stage clocks, exemplars, burn monitor) vs TraceOff,
+		// gated on the in-run ratio like the native observer cells.
+		obsFailures, err := runObservedServe(w, *quick, *runs, *tol)
+		if err != nil {
+			return err
+		}
+		failures = append(failures, obsFailures...)
+	}
 	for _, f := range failures {
 		fmt.Fprintln(w, "REGRESSION:", f)
 	}

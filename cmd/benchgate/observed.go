@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"wfsort/internal/server"
+)
+
+// The -observed flag, besides doubling the native matrix with
+// observer-installed cells, exercises the serving stack end to end: a
+// fully instrumented server (request tracing, stage attribution,
+// exemplar sampling and the SLO burn monitor all live) races one built
+// with Config.TraceOff against the same request stream, interleaved
+// run by run so machine drift biases neither side, and the in-run
+// geomean traced/plain request-throughput ratio must stay within
+// tolerance of 1. Like the native observer gate, the ratio is measured
+// within the current run — no baseline cells, works on any host.
+
+// runObservedServe measures the trace plane's serving overhead and
+// returns gate failures (empty when within tolerance).
+func runObservedServe(w io.Writer, quick bool, runs int, tol float64) ([]string, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	sizes := []int{64, 4096}
+	reqs := 400
+	if quick {
+		reqs = 80
+	}
+	var logSum float64
+	cells := 0
+	worst, worstCell := math.Inf(1), ""
+	for _, n := range sizes {
+		traced, plain, err := measureObservedPair(n, reqs, runs)
+		if err != nil {
+			return nil, err
+		}
+		ratio := traced / plain
+		fmt.Fprintf(w, "%-22s %12.0f req/s (plain %.0f, ratio %.3f)\n",
+			fmt.Sprintf("serve+trace/n%d", n), traced, plain, ratio)
+		logSum += math.Log(ratio)
+		cells++
+		if ratio < worst {
+			worst, worstCell = ratio, fmt.Sprintf("n%d (%.1f%% overhead)", n, 100*(1-ratio))
+		}
+	}
+	if cells == 0 {
+		return nil, nil
+	}
+	g := math.Exp(logSum / float64(cells))
+	fmt.Fprintf(w, "trace plane overhead: geomean traced/plain %.3fx over %d cells\n", g, cells)
+	if g < 1-tol {
+		return []string{fmt.Sprintf(
+			"trace plane: geomean %.1f%% request-throughput loss with full instrumentation over %d cells (worst %s)",
+			100*(1-g), cells, worstCell)}, nil
+	}
+	return nil, nil
+}
+
+// measureObservedPair times one request size through an instrumented
+// server and its TraceOff twin. Both servers live for the whole cell
+// (their sort pools stay warm) and the two sides alternate within each
+// run so thermal or noisy-neighbor drift cancels in the ratio.
+func measureObservedPair(n, reqs, runs int) (tracedRPS, plainRPS float64, err error) {
+	newSrv := func(traceOff bool) (*server.Server, error) {
+		cfg := server.Config{
+			Workers:     4,
+			MaxInFlight: 64,
+			BatchWindow: time.Millisecond,
+			TraceOff:    traceOff,
+		}
+		if !traceOff {
+			// A generous SLO keeps the burn monitor observing every
+			// request without ever paging — the cost we meter is the
+			// recording, not an incident.
+			cfg.SLO = 5 * time.Second
+		}
+		return server.New(cfg)
+	}
+	tracedSrv, err := newSrv(false)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer tracedSrv.Shutdown(context.Background())
+	plainSrv, err := newSrv(true)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer plainSrv.Shutdown(context.Background())
+
+	tracedTimes := make([]time.Duration, 0, runs)
+	plainTimes := make([]time.Duration, 0, runs)
+	for r := 0; r <= runs; r++ {
+		runtime.GC()
+		tt, err := driveHandler(tracedSrv.Handler(), n, reqs, true)
+		if err != nil {
+			return 0, 0, fmt.Errorf("traced/n%d: %w", n, err)
+		}
+		runtime.GC()
+		pt, err := driveHandler(plainSrv.Handler(), n, reqs, false)
+		if err != nil {
+			return 0, 0, fmt.Errorf("plain/n%d: %w", n, err)
+		}
+		if r > 0 { // run 0 is warmup: pools built, batcher primed
+			tracedTimes = append(tracedTimes, tt)
+			plainTimes = append(plainTimes, pt)
+		}
+	}
+	work := float64(reqs)
+	return work / median(tracedTimes).Seconds(), work / median(plainTimes).Seconds(), nil
+}
+
+// driveHandler posts reqs fixed-size sort requests from 4 concurrent
+// clients straight into the handler (no sockets) and verifies every
+// response. The traced side stamps X-Trace-Id so the full accept-echo
+// path runs, not just the minting shortcut.
+func driveHandler(h http.Handler, n, reqs int, stampTrace bool) (time.Duration, error) {
+	const clients = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(n) + int64(c)))
+			for i := 0; i < reqs/clients; i++ {
+				keys := make([]int64, n)
+				for k := range keys {
+					keys[k] = int64(rng.Intn(1 << 20))
+				}
+				body, _ := json.Marshal(map[string]any{"keys": keys})
+				req := httptest.NewRequest(http.MethodPost, "/sort", bytes.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				if stampTrace {
+					req.Header.Set("X-Trace-Id", fmt.Sprintf("bg-%d-%d", c, i))
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errCh <- fmt.Errorf("status %d", rec.Code)
+					return
+				}
+				var out struct {
+					Sorted []int64 `json:"sorted"`
+				}
+				if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
+					errCh <- err
+					return
+				}
+				if len(out.Sorted) != n || !sort.SliceIsSorted(out.Sorted, func(a, b int) bool {
+					return out.Sorted[a] < out.Sorted[b]
+				}) {
+					errCh <- fmt.Errorf("bad response body (n=%d)", len(out.Sorted))
+					return
+				}
+			}
+			errCh <- nil
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		if err := <-errCh; err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}

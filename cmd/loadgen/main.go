@@ -178,6 +178,7 @@ func run(w io.Writer, args []string) error {
 		}
 		fmt.Fprintf(w, "knee: %.1f req/s offered (%.1f ok/s) under p99 <= %v\n",
 			rep.KneeRPS, rep.KneeOKRPS, *slo)
+		printKneeStages(w, rep.KneeStages)
 		return nil
 	}
 
@@ -194,6 +195,26 @@ func run(w io.Writer, args []string) error {
 	}
 	fmt.Fprint(w, rep.Table())
 	return nil
+}
+
+// printKneeStages renders the server-attributed stage breakdown
+// measured at the knee, in lifecycle order, so the capacity verdict
+// says not just how much load fits but where a request's time goes
+// when the server is at it.
+func printKneeStages(w io.Writer, stages map[string]loadgen.StageSummary) {
+	if len(stages) == 0 {
+		return
+	}
+	order := []string{"admit", "sem", "decode", "batch", "queue", "sort", "merge", "encode"}
+	fmt.Fprintf(w, "stage breakdown at the knee (server-attributed):\n")
+	fmt.Fprintf(w, "  %-8s %10s %10s %10s %8s\n", "stage", "p50(ms)", "p99(ms)", "mean(ms)", "count")
+	for _, name := range order {
+		st, ok := stages[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s %10.3f %10.3f %10.3f %8d\n", name, st.P50Ms, st.P99Ms, st.MeanMs, st.Count)
+	}
 }
 
 // parseRates reads the -rates list, or derives a doubling ladder from

@@ -4,9 +4,10 @@
 //
 //	sortd -addr :8080 -workers 4
 //
-// Endpoints: POST /sort, GET /healthz, /metrics, /requests, /obs/
-// (expvar + pprof). SIGINT/SIGTERM starts a graceful drain: in-flight
-// requests finish, new ones get 503, then the process exits.
+// Endpoints: POST /sort, GET /healthz, /metrics (?format=prom),
+// /requests, /trace/{id}, /obs/ (expvar + pprof). SIGINT/SIGTERM
+// starts a graceful drain: in-flight requests finish, new ones get
+// 503, then the process exits.
 package main
 
 import (
@@ -54,6 +55,8 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		churn       = fs.Int("churn", 0, "kill+revive every non-zero worker this many times per sort")
 		crashFrac   = fs.Float64("crash-frac", 0, "fail-stop this fraction of workers per sort (chaos mode)")
 		qosPath     = fs.String("qos", "", "QoS config JSON: per-class token buckets, priorities, deadlines (see internal/qos)")
+		slo         = fs.Duration("slo", 0, "p99 latency objective; enables the multi-window SLO burn-rate monitor (0 = off)")
+		flightDir   = fs.String("flight-dir", "", "arm the flight recorder: incident dumps (spans+exemplars+metrics+Perfetto) land here on an SLO page or watchdog verdict")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +105,8 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		BatchWindow:   *batchWindow,
 		Timeout:       *timeout,
 		QoS:           qosCfg,
+		SLO:           *slo,
+		FlightDir:     *flightDir,
 	})
 	if err != nil {
 		return err

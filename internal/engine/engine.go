@@ -118,6 +118,20 @@ func (g *Graph) Phases() []Phase { return g.phases }
 // count RunNotify's completion indices range over.
 func (g *Graph) NumWorkerPhases() int { return g.workers }
 
+// WorkerPhaseNames returns the worker phases' labels in RunNotify
+// index order — the names a runtime attaches to per-phase timings it
+// collects through the notification hook. The slice is freshly
+// allocated; callers may keep it.
+func (g *Graph) WorkerPhaseNames() []string {
+	out := make([]string, 0, g.workers)
+	for i := range g.phases {
+		if g.phases[i].Body != nil {
+			out = append(out, g.phases[i].Name)
+		}
+	}
+	return out
+}
+
 // Run executes every worker phase in order on the calling processor.
 func (g *Graph) Run(p model.Proc) { g.RunNotify(p, nil) }
 

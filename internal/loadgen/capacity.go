@@ -60,6 +60,11 @@ type CapacityReport struct {
 	KneeRPS     float64         `json:"knee_rps"`
 	KneeOKRPS   float64         `json:"knee_ok_rps"`
 	Points      []CapacityPoint `json:"points"`
+	// KneeStages is the server-attributed per-stage latency breakdown
+	// at the knee (the last passing point), fetched from targets that
+	// implement StageReporter; nil otherwise. It answers "where does a
+	// request's time go at capacity" from the server's own clock.
+	KneeStages map[string]StageSummary `json:"knee_stages,omitempty"`
 }
 
 // SweepCapacity runs the sweep. Correctness failures (unsorted
@@ -90,9 +95,19 @@ func SweepCapacity(ctx context.Context, cfg CapacityConfig) (*CapacityReport, er
 			return nil, fmt.Errorf("capacity: target at %.0f req/s: %w", rate, err)
 		}
 		res := Run(ctx, trace, target)
-		closeTarget()
 		report := BuildReport(res)
 		pt := judgePoint(rate, report, cfg)
+		if pt.Pass {
+			// Each passing point overwrites the breakdown, so the report
+			// keeps the one measured at the knee itself. Fetch before the
+			// target closes: an in-process server tears down with it.
+			if sr, ok := target.(StageReporter); ok {
+				if stages, err := sr.Stages(); err == nil && len(stages) > 0 {
+					rep.KneeStages = stages
+				}
+			}
+		}
+		closeTarget()
 		rep.Points = append(rep.Points, pt)
 		if cfg.Log != nil {
 			verdict := "PASS"
@@ -160,6 +175,9 @@ func FindKnee(ctx context.Context, cfg KneeConfig) (*CapacityReport, error) {
 	rep.Points = append(rep.Points, ref.Points...)
 	if ref.KneeRPS > rep.KneeRPS {
 		rep.KneeRPS, rep.KneeOKRPS = ref.KneeRPS, ref.KneeOKRPS
+		if ref.KneeStages != nil {
+			rep.KneeStages = ref.KneeStages
+		}
 	}
 	return rep, nil
 }

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -52,6 +53,10 @@ type ReqResult struct {
 	LatencyNs           int64
 	Status              int
 	Outcome             Outcome
+	// TraceID is the end-to-end trace ID this request was stamped with
+	// ("lg-<index>"); /trace/{id} on the server resolves it to the
+	// server-attributed span.
+	TraceID string
 }
 
 // RunResult is a completed run: one ReqResult per issued request, in
@@ -88,14 +93,14 @@ func Run(ctx context.Context, t *Trace, target Target) *RunResult {
 		wg.Add(1)
 		go func(i int, r *PlannedReq) {
 			defer wg.Done()
-			results[i] = issueOne(t, r, target, start)
+			results[i] = issueOne(t, i, r, target, start)
 		}(i, r)
 	}
 	wg.Wait()
 	return &RunResult{Trace: t, Results: results[:issued], WallNs: time.Since(start).Nanoseconds()}
 }
 
-func issueOne(t *Trace, r *PlannedReq, target Target, start time.Time) ReqResult {
+func issueOne(t *Trace, i int, r *PlannedReq, target Target, start time.Time) ReqResult {
 	c := &t.Spec.Classes[r.Class]
 	keys := r.Keys(c.KeySpace)
 	var sentSum, sentXor int64
@@ -103,8 +108,12 @@ func issueOne(t *Trace, r *PlannedReq, target Target, start time.Time) ReqResult
 		sentSum += k
 		sentXor ^= k
 	}
+	// Every request is stamped with a deterministic trace ID so a run's
+	// records cross-reference the server's /trace surface directly.
+	traceID := fmt.Sprintf("lg-%d", i)
+	ctx := WithTraceID(context.Background(), traceID)
 	issuedAt := time.Since(start)
-	sorted, status, err := target.Sort(context.Background(), c.Name, keys)
+	sorted, status, err := target.Sort(ctx, c.Name, keys)
 	lat := time.Since(start) - issuedAt
 	res := ReqResult{
 		Class:     r.Class,
@@ -113,6 +122,7 @@ func issueOne(t *Trace, r *PlannedReq, target Target, start time.Time) ReqResult
 		IssuedNs:  issuedAt.Nanoseconds(),
 		LatencyNs: lat.Nanoseconds(),
 		Status:    status,
+		TraceID:   traceID,
 	}
 	switch {
 	case err != nil:

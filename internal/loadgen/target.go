@@ -13,6 +13,27 @@ import (
 // keys its per-class counters on it.
 const ClassHeader = "X-Sort-Class"
 
+// TraceHeader carries the request's end-to-end trace ID; the server
+// accepts it, stamps the request's span with it, and echoes it back.
+const TraceHeader = "X-Trace-Id"
+
+// traceKey carries a trace ID through a context (see WithTraceID).
+type traceKey struct{}
+
+// WithTraceID returns a context that makes the bundled Targets stamp
+// the request with the given trace ID. A context value rather than a
+// Sort parameter: the Target seam predates the trace plane, and every
+// fake in the tests would otherwise need a signature change.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFrom extracts the trace ID installed by WithTraceID, if any.
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
 // Target is the seam the issue engine fires requests through. Sort
 // posts one request and returns the sorted keys (nil unless the status
 // is 200) plus the HTTP status code. Transport-level failures return
@@ -31,6 +52,29 @@ type sortRequestBody struct {
 
 type sortResponseBody struct {
 	Sorted []int64 `json:"sorted"`
+}
+
+// StageSummary is one serving stage's latency summary as the server
+// attributes it (the "stages" block of /metrics).
+type StageSummary struct {
+	Count  int64   `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// StageReporter is an optional Target capability: after a run, the
+// server-side per-stage latency attribution, keyed by stage name. The
+// capacity sweep uses it to report where a request's time went at the
+// knee — a breakdown measured on the server's clock, complementing the
+// client-measured totals.
+type StageReporter interface {
+	Stages() (map[string]StageSummary, error)
+}
+
+// metricsStages is the slice of /metrics both bundled targets decode.
+type metricsStages struct {
+	Stages map[string]StageSummary `json:"stages"`
 }
 
 // HTTPTarget drives a live sort service over the network.
@@ -54,6 +98,9 @@ func (t *HTTPTarget) Sort(ctx context.Context, class string, keys []int64) ([]in
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ClassHeader, class)
+	if id := TraceIDFrom(ctx); id != "" {
+		req.Header.Set(TraceHeader, id)
+	}
 	client := t.Client
 	if client == nil {
 		client = http.DefaultClient
@@ -73,6 +120,28 @@ func (t *HTTPTarget) Sort(ctx context.Context, class string, keys []int64) ([]in
 	return out.Sorted, resp.StatusCode, nil
 }
 
+// Stages fetches the server's per-stage latency attribution from
+// /metrics.
+func (t *HTTPTarget) Stages() (map[string]StageSummary, error) {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(t.URL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	var m metricsStages
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return m.Stages, nil
+}
+
 // HandlerTarget drives an http.Handler in-process — no sockets, no
 // real HTTP stack — which is what makes race-detector runs of the full
 // serving path cheap. internal/server's Handler() plugs in directly.
@@ -88,6 +157,9 @@ func (t *HandlerTarget) Sort(ctx context.Context, class string, keys []int64) ([
 	req := httptest.NewRequest(http.MethodPost, "/sort", bytes.NewReader(body)).WithContext(ctx)
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ClassHeader, class)
+	if id := TraceIDFrom(ctx); id != "" {
+		req.Header.Set(TraceHeader, id)
+	}
 	rec := httptest.NewRecorder()
 	t.Handler.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {
@@ -98,4 +170,20 @@ func (t *HandlerTarget) Sort(ctx context.Context, class string, keys []int64) ([
 		return nil, rec.Code, fmt.Errorf("decoding response: %w", err)
 	}
 	return out.Sorted, rec.Code, nil
+}
+
+// Stages fetches the per-stage attribution from the in-process
+// handler's /metrics.
+func (t *HandlerTarget) Stages() (map[string]StageSummary, error) {
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	t.Handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("metrics: status %d", rec.Code)
+	}
+	var m metricsStages
+	if err := json.NewDecoder(rec.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return m.Stages, nil
 }

@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// sortingHandler is a minimal /sort handler that records the trace
+// header of every request it serves.
+func sortingHandler(record func(traceID string)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		record(r.Header.Get(TraceHeader))
+		var in sortRequestBody
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sort.Slice(in.Keys, func(i, j int) bool { return in.Keys[i] < in.Keys[j] })
+		json.NewEncoder(w).Encode(sortResponseBody{Sorted: in.Keys})
+	})
+}
+
+// TestTraceIDContextSeam: WithTraceID round-trips, and both bundled
+// targets stamp the header from it.
+func TestTraceIDContextSeam(t *testing.T) {
+	ctx := WithTraceID(context.Background(), "lg-42")
+	if got := TraceIDFrom(ctx); got != "lg-42" {
+		t.Fatalf("TraceIDFrom = %q", got)
+	}
+	if got := TraceIDFrom(context.Background()); got != "" {
+		t.Fatalf("bare context trace ID = %q, want empty", got)
+	}
+
+	var mu sync.Mutex
+	var seen []string
+	h := sortingHandler(func(id string) {
+		mu.Lock()
+		seen = append(seen, id)
+		mu.Unlock()
+	})
+	target := &HandlerTarget{Handler: h}
+	sorted, status, err := target.Sort(ctx, "c", []int64{3, 1, 2})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("sort: status %d err %v", status, err)
+	}
+	if len(sorted) != 3 || sorted[0] != 1 {
+		t.Fatalf("sorted = %v", sorted)
+	}
+	if len(seen) != 1 || seen[0] != "lg-42" {
+		t.Fatalf("handler saw trace headers %v, want [lg-42]", seen)
+	}
+	// Without the context value, no header is sent.
+	if _, _, err := target.Sort(context.Background(), "c", []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[1] != "" {
+		t.Fatalf("header-less request stamped %q", seen[1])
+	}
+}
+
+// TestRunStampsTraceIDs: the open-loop engine stamps every request
+// deterministically ("lg-<index>") and records the ID on its result,
+// so a run's records cross-reference the server's /trace surface.
+func TestRunStampsTraceIDs(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	h := sortingHandler(func(id string) {
+		mu.Lock()
+		seen[id] = true
+		mu.Unlock()
+	})
+	tr := quickTrace(t, 200, 100)
+	res := Run(context.Background(), tr, &HandlerTarget{Handler: h})
+	if len(res.Results) == 0 {
+		t.Fatal("no requests issued")
+	}
+	for i, r := range res.Results {
+		want := fmt.Sprintf("lg-%d", i)
+		if r.TraceID != want {
+			t.Fatalf("result %d: trace ID %q, want %q", i, r.TraceID, want)
+		}
+		if !seen[want] {
+			t.Fatalf("server never saw trace ID %q", want)
+		}
+		if r.Outcome != OutcomeOK {
+			t.Fatalf("result %d: outcome %v", i, r.Outcome)
+		}
+	}
+}
+
+// TestHandlerTargetStages: the StageReporter capability decodes the
+// server's /metrics stage block.
+func TestHandlerTargetStages(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, `{"stages":{"sort":{"count":3,"p50_ms":1,"p99_ms":2.5,"mean_ms":1.2}}}`)
+	})
+	st, err := (&HandlerTarget{Handler: h}).Stages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st["sort"]
+	if !ok {
+		t.Fatalf("stages = %v", st)
+	}
+	if got.Count != 3 || got.P99Ms != 2.5 || got.MeanMs != 1.2 {
+		t.Fatalf("sort stage = %+v", got)
+	}
+}

@@ -165,6 +165,12 @@ type PipeJob struct {
 	// QoS is the job's scheduling envelope, consulted by the pipeline's
 	// QueuePolicy. The zero value is "best tier, no deadline".
 	QoS JobQoS
+	// Traced opts the job into stage-timing capture: the pipeline
+	// records its dispatch instant and per-phase completion times
+	// (PipeRun.Timing). Recording is wait-free — each worker stores
+	// phase-end timestamps into its own slots — and untraced jobs pay
+	// nothing beyond this flag test.
+	Traced bool
 }
 
 // pipeJob is a PipeJob in flight.
@@ -180,8 +186,21 @@ type pipeJob struct {
 	queuedNs   int64
 	deadlineNs int64
 	shedded    bool
-	st         runState // per-job: overlapping jobs must not share kill flags or counters
-	stalls     atomic.Int64
+	// dispatchNs is set by the dispatcher just before it sends the job
+	// to the workers (happens-before via the channel sends); endNs is
+	// set once by the first Wait to return. Both stay zero on untraced
+	// jobs.
+	dispatchNs int64
+	endNs      int64
+	// phaseEnd, on traced jobs, holds per-(worker, phase) completion
+	// timestamps: slot pid*numPhases+k is written only by worker pid
+	// (single-writer, so a plain atomic store suffices — no CAS loop on
+	// the notify path). A respawned incarnation re-notifies from phase
+	// 0 and overwrites with later instants, which is exactly the
+	// last-completion semantics Timing wants. nil when untraced.
+	phaseEnd []atomic.Int64
+	st       runState // per-job: overlapping jobs must not share kill flags or counters
+	stalls   atomic.Int64
 	// done latches once any worker runs the whole graph to normal
 	// completion. Every phase's completion predicate held on that
 	// worker's way out, so the job's output is final and a worker that
@@ -270,6 +289,9 @@ func (pl *Pipeline) Submit(job PipeJob) *PipeRun {
 	}
 	jb := &pipeJob{PipeJob: job}
 	jb.root = xrand.New(job.Seed)
+	if job.Traced {
+		jb.phaseEnd = make([]atomic.Int64, pl.p*job.Graph.NumWorkerPhases())
+	}
 	jb.wg.Add(pl.p)
 	jb.st = runState{
 		mem:       job.Mem,
@@ -391,6 +413,9 @@ func (pl *Pipeline) dispatch() {
 		}
 		jb.epoch = pl.epochs
 		pl.epochs++
+		if jb.Traced {
+			jb.dispatchNs = pl.now()
+		}
 		for pid := 0; pid < pl.p; pid++ {
 			pl.jobs[pid] <- jb
 		}
@@ -446,12 +471,16 @@ func (pl *Pipeline) worker(pid int, ch <-chan *pipeJob) {
 		case !jb.aborted.Load():
 			epoch := jb.epoch
 			graph := jb.Graph
+			nphase := graph.NumWorkerPhases()
 			completed := jb.runIncarnations(&jb.st, pid, func(p model.Proc) {
 				graph.RunNotify(p, func(k int) {
 					// The gate only reads enc(epoch, 1); later phase
 					// completions would be dead publications.
 					if k == 0 {
 						pl.publish(pid, enc(epoch, 1))
+					}
+					if jb.phaseEnd != nil {
+						jb.phaseEnd[pid*nphase+k].Store(pl.now())
 					}
 				})
 			}, jb.Adversary, jb.Observer)
@@ -530,6 +559,9 @@ func (pl *Pipeline) allAtLeast(need int64) bool {
 func (r *PipeRun) Wait() (*model.Metrics, error) {
 	r.jb.wg.Wait()
 	r.Elapsed = time.Since(r.start)
+	if r.jb.Traced && r.jb.endNs == 0 {
+		r.jb.endNs = r.pl.now()
+	}
 	if ob := r.jb.Observer; ob != nil {
 		ob.RunEnd()
 	}
@@ -576,6 +608,66 @@ func (r *PipeRun) Abort() {
 
 // Aborted reports whether Abort was called on this run.
 func (r *PipeRun) Aborted() bool { return r.jb.aborted.Load() }
+
+// PhaseDur is one worker phase's crew-wide duration in a JobTiming.
+type PhaseDur struct {
+	Name  string
+	DurNs int64
+}
+
+// JobTiming is a traced job's stage attribution, valid after Wait.
+type JobTiming struct {
+	// QueueWaitNs is submission → dispatch: time spent in the pending
+	// queue behind earlier jobs and the scheduler's choices.
+	QueueWaitNs int64
+	// RunNs is dispatch → last worker done: the crew-execution wall.
+	RunNs int64
+	// Phases attributes RunNs across the graph's worker phases: each
+	// entry's duration is the gap between successive crew-wide phase
+	// completions (max across workers), so the entries sum to roughly
+	// RunNs minus the final workers' unwind.
+	Phases []PhaseDur
+	// Shed marks a job dropped by the queue policy before dispatch;
+	// only QueueWaitNs is meaningful.
+	Shed bool
+}
+
+// Timing returns the job's stage attribution. Valid after Wait, on
+// jobs submitted with Traced set; untraced jobs return a zero value.
+func (r *PipeRun) Timing() JobTiming {
+	jb := r.jb
+	if !jb.Traced {
+		return JobTiming{}
+	}
+	if jb.shedded {
+		return JobTiming{QueueWaitNs: r.pl.now() - jb.queuedNs, Shed: true}
+	}
+	t := JobTiming{
+		QueueWaitNs: jb.dispatchNs - jb.queuedNs,
+		RunNs:       jb.endNs - jb.dispatchNs,
+	}
+	names := jb.Graph.WorkerPhaseNames()
+	nphase := len(names)
+	prev := jb.dispatchNs
+	for k := 0; k < nphase; k++ {
+		// Crew-wide completion of phase k: the latest worker's stamp.
+		// Workers that skipped the job (done-skip) left their slots
+		// zero; a phase nobody stamped reports zero duration.
+		var end int64
+		for pid := 0; pid < r.pl.p; pid++ {
+			if v := jb.phaseEnd[pid*nphase+k].Load(); v > end {
+				end = v
+			}
+		}
+		dur := int64(0)
+		if end > prev {
+			dur = end - prev
+			prev = end
+		}
+		t.Phases = append(t.Phases, PhaseDur{Name: names[k], DurNs: dur})
+	}
+	return t
+}
 
 // OpsPerProc returns, after Wait on a counting pipeline, the number of
 // shared-memory operations each worker executed on this job, summed

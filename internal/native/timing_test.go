@@ -1,0 +1,83 @@
+package native
+
+import (
+	"testing"
+)
+
+// TestPipelineRunTiming: a traced job's Timing() decomposes its life
+// into queue wait and a run window whose per-phase crew completions
+// are consistent — every phase named in graph order, no negative
+// durations, and the phase sum bounded by the run wall.
+func TestPipelineRunTiming(t *testing.T) {
+	pl := NewPipeline(4, 2, true)
+	defer pl.Close()
+
+	keys := make([]int, 400)
+	for i := range keys {
+		keys[i] = (i * 2654435761) % 701
+	}
+	job, s, mem := pipeSortJob(keys, 1)
+	job.Traced = true
+	run := pl.Submit(job)
+	if _, err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	tm := run.Timing()
+	if tm.Shed {
+		t.Fatal("faultless job reported shed")
+	}
+	if tm.RunNs <= 0 {
+		t.Fatalf("RunNs = %d, want > 0", tm.RunNs)
+	}
+	if tm.QueueWaitNs < 0 {
+		t.Fatalf("QueueWaitNs = %d, want >= 0", tm.QueueWaitNs)
+	}
+	names := job.Graph.WorkerPhaseNames()
+	if len(names) == 0 {
+		t.Fatal("graph reports no worker phases")
+	}
+	if len(tm.Phases) != len(names) {
+		t.Fatalf("phases = %d, want %d (%v)", len(tm.Phases), len(names), tm.Phases)
+	}
+	var sum int64
+	anyPositive := false
+	for i, p := range tm.Phases {
+		if p.Name != names[i] {
+			t.Fatalf("phase %d named %q, want %q", i, p.Name, names[i])
+		}
+		if p.DurNs < 0 {
+			t.Fatalf("phase %q duration %d < 0", p.Name, p.DurNs)
+		}
+		if p.DurNs > 0 {
+			anyPositive = true
+		}
+		sum += p.DurNs
+	}
+	if !anyPositive {
+		t.Fatalf("no phase recorded any time: %+v", tm.Phases)
+	}
+	// Phase completions are stamped inside the dispatch->end window,
+	// so their telescoping sum cannot exceed the run wall.
+	if sum > tm.RunNs {
+		t.Fatalf("phase sum %dns exceeds run wall %dns", sum, tm.RunNs)
+	}
+	checkRanks(t, keys, s, mem)
+}
+
+// TestPipelineRunTimingUntraced: an untraced job pays nothing and
+// reports nothing — the zero JobTiming, no phase slots allocated.
+func TestPipelineRunTimingUntraced(t *testing.T) {
+	pl := NewPipeline(2, 1, false)
+	defer pl.Close()
+
+	keys := []int{5, 3, 9, 1, 7, 2}
+	job, _, _ := pipeSortJob(keys, 2)
+	run := pl.Submit(job)
+	if _, err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	tm := run.Timing()
+	if tm.RunNs != 0 || tm.QueueWaitNs != 0 || len(tm.Phases) != 0 || tm.Shed {
+		t.Fatalf("untraced Timing() = %+v, want zero value", tm)
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// BurnConfig sizes the multi-window SLO burn-rate monitor.
+type BurnConfig struct {
+	// SLO is the p99 latency target: a request slower than this, or
+	// one that failed outright (rejected, errored, deadline-killed),
+	// counts against the error budget. Required (> 0).
+	SLO time.Duration
+	// Budget is the tolerated bad fraction — the error budget the burn
+	// rate is measured against. Default 0.01 (a 99% objective).
+	Budget float64
+	// Short and Long are the two observation windows (defaults 5m and
+	// 1h). Both must agree before the monitor pages: the short window
+	// makes the page fast, the long one keeps a transient blip from
+	// firing it.
+	Short, Long time.Duration
+	// ShortBurn and LongBurn are the paging thresholds as multiples of
+	// Budget (defaults 14.4 and 6 — the classic fast-burn pair: 14.4x
+	// over 5m spends a 30-day budget in ~2 days).
+	ShortBurn, LongBurn float64
+	// MinBad is the minimum bad count inside the short window before a
+	// page may fire, so a single slow request on an idle server cannot
+	// page (default 10).
+	MinBad int64
+	// Now overrides the clock (tests). Default time.Now.
+	Now func() time.Time
+}
+
+func (c BurnConfig) withDefaults() BurnConfig {
+	if c.Budget <= 0 {
+		c.Budget = 0.01
+	}
+	if c.Short <= 0 {
+		c.Short = 5 * time.Minute
+	}
+	if c.Long <= 0 {
+		c.Long = time.Hour
+	}
+	if c.Long < c.Short {
+		c.Long = c.Short
+	}
+	if c.ShortBurn <= 0 {
+		c.ShortBurn = 14.4
+	}
+	if c.LongBurn <= 0 {
+		c.LongBurn = 6
+	}
+	if c.MinBad <= 0 {
+		c.MinBad = 10
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// burnBucket is one time slice of the sliding windows. epoch is the
+// absolute bucket index the counts belong to; a writer arriving in a
+// later epoch CASes it forward and zeroes the counts. The reset is not
+// atomic with the counts — a racing reader or writer can misattribute
+// a handful of observations across the boundary — which shifts a
+// window edge by at most one bucket, well inside a monitor's
+// tolerance.
+type burnBucket struct {
+	epoch atomic.Int64
+	good  atomic.Int64
+	bad   atomic.Int64
+	_     [5]int64 // keep neighbors off one cache line
+}
+
+// Burn is the multi-window SLO burn-rate monitor. Observe is wait-free
+// (a few atomic adds); the paging verdict compares the short- and
+// long-window bad fractions against the error budget and latches a
+// page while both exceed their thresholds.
+type Burn struct {
+	cfg       BurnConfig
+	start     time.Time
+	bucketNs  int64
+	buckets   []burnBucket
+	paging    atomic.Bool
+	pages     atomic.Int64 // page transitions (off -> on)
+	totalGood atomic.Int64
+	totalBad  atomic.Int64
+}
+
+// NewBurn builds a monitor; returns nil when cfg.SLO <= 0 (monitor
+// off), so callers can wire `if burn != nil` directly.
+func NewBurn(cfg BurnConfig) *Burn {
+	if cfg.SLO <= 0 {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	// Slice the short window into >= 5 buckets so its edge moves
+	// smoothly; the long window reuses the same granularity.
+	bucketNs := cfg.Short.Nanoseconds() / 5
+	if bucketNs < int64(10*time.Millisecond) {
+		bucketNs = int64(10 * time.Millisecond)
+	}
+	n := int(cfg.Long.Nanoseconds()/bucketNs) + 2
+	b := &Burn{cfg: cfg, start: cfg.Now(), bucketNs: bucketNs, buckets: make([]burnBucket, n)}
+	return b
+}
+
+func (b *Burn) epochNow() int64 {
+	return b.cfg.Now().Sub(b.start).Nanoseconds() / b.bucketNs
+}
+
+// Observe records one request outcome: ok=false or latency above the
+// SLO is a bad event. It returns true when the observation left the
+// monitor in (or moved it into) the paging state — the caller's cue to
+// trip the flight recorder. Only bad observations can start a page, so
+// the verdict scan (a bounded read over the window buckets) runs on
+// the unhappy path alone.
+func (b *Burn) Observe(latency time.Duration, ok bool) bool {
+	bad := !ok || latency > b.cfg.SLO
+	e := b.epochNow()
+	bk := &b.buckets[e%int64(len(b.buckets))]
+	if old := bk.epoch.Load(); old != e {
+		if bk.epoch.CompareAndSwap(old, e) {
+			bk.good.Store(0)
+			bk.bad.Store(0)
+		}
+	}
+	if bad {
+		bk.bad.Add(1)
+		b.totalBad.Add(1)
+		paging := b.verdict(e)
+		if paging && !b.paging.Swap(true) {
+			b.pages.Add(1)
+		}
+		return paging
+	}
+	bk.good.Add(1)
+	b.totalGood.Add(1)
+	return false
+}
+
+// window sums the buckets covering the trailing window of the given
+// width ending at epoch e.
+func (b *Burn) window(e int64, width time.Duration) (good, bad int64) {
+	n := width.Nanoseconds() / b.bucketNs
+	if n < 1 {
+		n = 1
+	}
+	if n > int64(len(b.buckets)) {
+		n = int64(len(b.buckets))
+	}
+	for i := int64(0); i < n; i++ {
+		ep := e - i
+		if ep < 0 {
+			break
+		}
+		bk := &b.buckets[ep%int64(len(b.buckets))]
+		if bk.epoch.Load() != ep {
+			continue // bucket recycled or never written
+		}
+		good += bk.good.Load()
+		bad += bk.bad.Load()
+	}
+	return good, bad
+}
+
+func badFrac(good, bad int64) float64 {
+	if good+bad == 0 {
+		return 0
+	}
+	return float64(bad) / float64(good+bad)
+}
+
+// verdict computes the paging condition at epoch e and maintains the
+// latch: a page clears only when the short window drops back under its
+// threshold.
+func (b *Burn) verdict(e int64) bool {
+	gs, bs := b.window(e, b.cfg.Short)
+	gl, bl := b.window(e, b.cfg.Long)
+	shortBurn := badFrac(gs, bs) / b.cfg.Budget
+	longBurn := badFrac(gl, bl) / b.cfg.Budget
+	if b.paging.Load() {
+		if shortBurn < b.cfg.ShortBurn {
+			b.paging.Store(false)
+			return false
+		}
+		return true
+	}
+	return bs >= b.cfg.MinBad && shortBurn >= b.cfg.ShortBurn && longBurn >= b.cfg.LongBurn
+}
+
+// Paging reports whether the monitor is currently in the paging state.
+func (b *Burn) Paging() bool { return b.paging.Load() }
+
+// BurnSnapshot is the monitor's JSON-ready state.
+type BurnSnapshot struct {
+	SLOMs        float64 `json:"slo_ms"`
+	Budget       float64 `json:"budget"`
+	ShortBadFrac float64 `json:"short_bad_frac"`
+	LongBadFrac  float64 `json:"long_bad_frac"`
+	ShortBurn    float64 `json:"short_burn"` // bad frac / budget
+	LongBurn     float64 `json:"long_burn"`
+	Paging       bool    `json:"paging"`
+	Pages        int64   `json:"pages"` // off->on transitions
+	Good         int64   `json:"good"`  // lifetime totals
+	Bad          int64   `json:"bad"`
+}
+
+// Snapshot renders the current windows. Safe from any goroutine.
+func (b *Burn) Snapshot() BurnSnapshot {
+	e := b.epochNow()
+	gs, bs := b.window(e, b.cfg.Short)
+	gl, bl := b.window(e, b.cfg.Long)
+	return BurnSnapshot{
+		SLOMs:        float64(b.cfg.SLO) / 1e6,
+		Budget:       b.cfg.Budget,
+		ShortBadFrac: badFrac(gs, bs),
+		LongBadFrac:  badFrac(gl, bl),
+		ShortBurn:    badFrac(gs, bs) / b.cfg.Budget,
+		LongBurn:     badFrac(gl, bl) / b.cfg.Budget,
+		Paging:       b.paging.Load(),
+		Pages:        b.pages.Load(),
+		Good:         b.totalGood.Load(),
+		Bad:          b.totalBad.Load(),
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -57,6 +58,11 @@ type ClassCounters struct {
 	Aged         atomic.Int64 // dispatches won through aging
 	DeadlineDrop atomic.Int64 // queued jobs shed, deadline unmeetable
 
+	// Exemplars retains the class's top-K slowest requests with their
+	// full stage breakdowns — the tail exemplars surfaced by /metrics
+	// next to the histogram buckets they fell into.
+	Exemplars Exemplars
+
 	latency AtomicHist
 	qwait   AtomicHist
 }
@@ -91,6 +97,10 @@ type ClassStats struct {
 	DeadlineDrop int64   `json:"deadline_dropped,omitempty"`
 	QWaitP50Ms   float64 `json:"qwait_p50_ms,omitempty"`
 	QWaitP99Ms   float64 `json:"qwait_p99_ms,omitempty"`
+
+	// Exemplars is the class's retained slow tail (slowest first),
+	// each with its trace ID and stage breakdown.
+	Exemplars []Span `json:"exemplars,omitempty"`
 }
 
 // ClassSet is a registry of per-class counters keyed by class name.
@@ -153,6 +163,42 @@ func (s *ClassSet) Get(name string) *ClassCounters {
 	return c
 }
 
+// Names returns the registered class names, sorted — the iteration
+// order deterministic renderers (the Prometheus encoder) need.
+func (s *ClassSet) Names() []string {
+	m := *s.m.Load()
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the counters for name without creating them.
+func (s *ClassSet) Lookup(name string) (*ClassCounters, bool) {
+	c, ok := (*s.m.Load())[name]
+	return c, ok
+}
+
+// FindExemplar scans every class's exemplar slots for a span carrying
+// the given trace ID — the /trace fallback for slow requests whose
+// span-log slot was already lapped.
+func (s *ClassSet) FindExemplar(traceID string) (Span, bool) {
+	if traceID == "" {
+		return Span{}, false
+	}
+	m := *s.m.Load()
+	for _, c := range m {
+		for _, sp := range c.Exemplars.Snapshot() {
+			if sp.Trace == traceID {
+				return sp, true
+			}
+		}
+	}
+	return Span{}, false
+}
+
 // Snapshot renders every class's current stats, JSON-ready.
 func (s *ClassSet) Snapshot() map[string]ClassStats {
 	m := *s.m.Load()
@@ -176,6 +222,7 @@ func (s *ClassSet) Snapshot() map[string]ClassStats {
 			st.QWaitP50Ms = float64(qh.Quantile(0.50)) / 1e6
 			st.QWaitP99Ms = float64(qh.Quantile(0.99)) / 1e6
 		}
+		st.Exemplars = c.Exemplars.Snapshot()
 		out[name] = st
 	}
 	return out

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// ExemplarK is how many tail exemplars each class retains.
+const ExemplarK = 4
+
+// exemplarMaxAge bounds how long an exemplar may pin its slot: an
+// incumbent older than this loses to any newer span regardless of
+// duration, so one slow cold-start request cannot freeze the set
+// forever and the store tracks the *current* tail.
+const exemplarMaxAge = 5 * time.Minute
+
+// Exemplars is a lock-free top-K-slowest sampler: K slots, each an
+// atomic span pointer. Offer scans for the weakest slot (smallest
+// duration, or an aged-out incumbent) and installs the candidate with
+// one CAS; a failed CAS means a concurrent Offer won the slot, and the
+// candidate is simply dropped. The sampler is racy by design — a lost
+// update only means a concurrent span (usually a slower one) kept the
+// slot — which is the price of a strictly bounded, wait-free hot path:
+// one scan, at most one CAS, no retry loop.
+type Exemplars struct {
+	slots [ExemplarK]atomic.Pointer[Span]
+}
+
+// Offer proposes a completed span for the exemplar set. The span must
+// not be mutated afterwards (the store keeps the pointer).
+func (e *Exemplars) Offer(s *Span) {
+	staleBefore := s.Start - int64(exemplarMaxAge)
+	victim := -1
+	var incumbent *Span
+	for i := range e.slots {
+		cur := e.slots[i].Load()
+		if cur == nil || cur.Start < staleBefore {
+			victim, incumbent = i, cur
+			break
+		}
+		if victim < 0 || cur.Duration < incumbent.Duration {
+			victim, incumbent = i, cur
+		}
+	}
+	if incumbent != nil && incumbent.Start >= staleBefore && s.Duration <= incumbent.Duration {
+		return
+	}
+	e.slots[victim].CompareAndSwap(incumbent, s)
+}
+
+// Snapshot returns the retained exemplars, slowest first.
+func (e *Exemplars) Snapshot() []Span {
+	out := make([]Span, 0, ExemplarK)
+	for i := range e.slots {
+		if s := e.slots[i].Load(); s != nil {
+			out = append(out, *s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecord is one flight-recorder dump: everything a post-incident
+// reader needs in a single JSON file — why the dump fired, the recent
+// span window, the retained tail exemplars, the burn-monitor state and
+// the server's full metrics snapshot at the moment of the trigger. The
+// Perfetto trace, when one is attached, is written alongside as
+// <stem>.perfetto.json so it loads directly in ui.perfetto.dev.
+type FlightRecord struct {
+	// Reason names the trigger: "slo-burn" or "watchdog".
+	Reason string `json:"reason"`
+	// UnixNano is the trigger time.
+	UnixNano int64 `json:"unix_nano"`
+	// Spans is the recent request window, newest first.
+	Spans []Span `json:"spans,omitempty"`
+	// Exemplars is every class's retained slow tail.
+	Exemplars map[string][]Span `json:"exemplars,omitempty"`
+	// Burn is the burn monitor's windows at trigger time.
+	Burn *BurnSnapshot `json:"burn,omitempty"`
+	// Metrics is the server's /metrics JSON at trigger time, embedded
+	// verbatim.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+}
+
+// FlightRecorder writes rate-limited incident dumps. Dump is safe to
+// call from the serving path's unhappy tail: the rate limit is one CAS
+// on the last-dump timestamp, so concurrent triggers collapse to one
+// writer and the rest return immediately.
+type FlightRecorder struct {
+	dir    string
+	minGap time.Duration
+	lastNs atomic.Int64 // unix-nano of the last accepted dump
+	wrote  atomic.Int64 // dumps written (for tests / metrics)
+	now    func() time.Time
+}
+
+// NewFlightRecorder builds a recorder dumping into dir, at most one
+// dump per minGap (minGap <= 0 means 1 minute). Returns nil when dir
+// is empty — the recorder off-switch — so callers wire `if fr != nil`.
+func NewFlightRecorder(dir string, minGap time.Duration) *FlightRecorder {
+	if dir == "" {
+		return nil
+	}
+	if minGap <= 0 {
+		minGap = time.Minute
+	}
+	return &FlightRecorder{dir: dir, minGap: minGap, now: time.Now}
+}
+
+// Wrote reports how many dumps this recorder has written.
+func (f *FlightRecorder) Wrote() int64 { return f.wrote.Load() }
+
+// Ready reports whether a Dump called now would pass the rate limit —
+// the cheap pre-check that lets triggers skip assembling a record the
+// recorder would swallow anyway.
+func (f *FlightRecorder) Ready() bool {
+	last := f.lastNs.Load()
+	return last == 0 || f.now().UnixNano()-last >= f.minGap.Nanoseconds()
+}
+
+// Dump writes rec (plus, when non-nil, the Perfetto trace) to the
+// flight directory. Returns the record path when a dump was written,
+// "" when the rate limit swallowed it, and an error only for I/O
+// failures. Each file lands atomically: written to a temp name in the
+// same directory, then renamed into place, so a reader never sees a
+// torn dump.
+func (f *FlightRecorder) Dump(rec FlightRecord, trace *Trace) (string, error) {
+	now := f.now().UnixNano()
+	last := f.lastNs.Load()
+	if last != 0 && now-last < f.minGap.Nanoseconds() {
+		return "", nil
+	}
+	if !f.lastNs.CompareAndSwap(last, now) {
+		return "", nil // concurrent trigger won the slot
+	}
+	if rec.UnixNano == 0 {
+		rec.UnixNano = now
+	}
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return "", err
+	}
+	stem := fmt.Sprintf("flight-%s-%d", rec.Reason, now)
+	path := filepath.Join(f.dir, stem+".json")
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := atomicWrite(path, data); err != nil {
+		return "", err
+	}
+	if trace != nil {
+		var buf []byte
+		w := &appendWriter{buf: &buf}
+		if err := trace.Write(w); err == nil {
+			// A failed trace write keeps the record: the JSON dump is
+			// the primary artifact.
+			_ = atomicWrite(filepath.Join(f.dir, stem+".perfetto.json"), buf)
+		}
+	}
+	f.wrote.Add(1)
+	return path, nil
+}
+
+type appendWriter struct{ buf *[]byte }
+
+func (a *appendWriter) Write(p []byte) (int, error) {
+	*a.buf = append(*a.buf, p...)
+	return len(p), nil
+}
+
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -32,12 +32,18 @@ type TraceFile struct {
 }
 
 // Trace process ids: native incarnations under one process, simulator
-// samples under another, so a combined export renders as two process
-// groups in the same viewer.
+// samples under another, serving-layer request spans under a third, so
+// a combined export renders as separate process groups in the same
+// viewer.
 const (
 	tracePIDNative = 1
 	tracePIDSim    = 2
+	tracePIDServe  = 3
 )
+
+// serveTracks is how many display tracks serving spans spread across,
+// so overlapping concurrent requests don't render stacked on one row.
+const serveTracks = 8
 
 // simStepMicros is the display width of one simulated machine step.
 // The simulator has no wall clock — steps are its time unit — so the
@@ -163,6 +169,60 @@ func (t *Trace) AddSimSamples(samples []trace.Sample) *Trace {
 		})
 	}
 	flush(float64(samples[len(samples)-1].Step+1) * simStepMicros)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	t.events = append(t.events, evs...)
+	return t
+}
+
+// AddSpans renders serving-layer request spans — the flight recorder's
+// request window — as one process group: each request a complete ("X")
+// slice carrying its trace ID and outcome, its stage segments nested
+// inside as sub-slices at their cumulative offsets. Timestamps rebase
+// to the earliest span so the export starts near zero regardless of
+// wall-clock epoch.
+func (t *Trace) AddSpans(spans []Span) *Trace {
+	if len(spans) == 0 {
+		return t
+	}
+	base := spans[0].Start
+	for _, s := range spans {
+		if s.Start < base {
+			base = s.Start
+		}
+	}
+	for tr := 0; tr < serveTracks; tr++ {
+		t.events = append(t.events, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePIDServe, TID: tr,
+			Args: map[string]any{"name": fmt.Sprintf("requests %d", tr)},
+		})
+	}
+	var evs []TraceEvent
+	for i, s := range spans {
+		track := i % serveTracks
+		name := s.Kind
+		if s.Trace != "" {
+			name = s.Kind + " " + s.Trace
+		}
+		evs = append(evs, TraceEvent{
+			Name: name, Ph: "X", Cat: "request",
+			Ts: micros(s.Start - base), Dur: micros(int64(s.Duration)),
+			PID: tracePIDServe, TID: track,
+			Args: map[string]any{
+				"trace": s.Trace, "class": s.Class, "outcome": s.Outcome, "n": s.N,
+			},
+		})
+		off := s.Start - base
+		for _, st := range s.Stages {
+			if st.DurNs > 0 {
+				evs = append(evs, TraceEvent{
+					Name: st.Name, Ph: "X", Cat: "stage",
+					Ts: micros(off), Dur: micros(st.DurNs),
+					PID: tracePIDServe, TID: track,
+				})
+			}
+			off += st.DurNs
+		}
+	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
 	t.events = append(t.events, evs...)
 	return t

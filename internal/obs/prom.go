@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"wfsort/internal/model"
+)
+
+// PromWriter renders the serving plane's counters and histograms in
+// the Prometheus text exposition format (version 0.0.4), so the same
+// numbers `/metrics` serves as JSON scrape straight into any
+// Prometheus-compatible collector without a client library. Output is
+// deterministic: metrics render in the order written, labels sort by
+// key, and series within a metric sort by their rendered label string.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// promLabels renders a label map as `{k="v",...}` with keys sorted;
+// empty maps render as the empty string. Label values escape the three
+// characters the format reserves.
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := labels[k]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		fmt.Fprintf(&b, `%s="%s"`, k, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Type emits the # HELP / # TYPE header for a metric. Call once per
+// metric name, before its samples.
+func (p *PromWriter) Type(name, kind, help string) {
+	p.printf("# HELP %s %s\n", name, help)
+	p.printf("# TYPE %s %s\n", name, kind)
+}
+
+// Sample emits one sample line.
+func (p *PromWriter) Sample(name string, labels map[string]string, value float64) {
+	p.printf("%s%s %s\n", name, promLabels(labels), formatPromValue(value))
+}
+
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// HistogramNs emits a model.Histogram (log2-nanosecond buckets) as a
+// Prometheus histogram in seconds: cumulative `_bucket` series with
+// `le` at each power-of-two boundary that holds observations, then
+// `_sum` and `_count`. Emitting only occupied boundaries (plus +Inf)
+// keeps a 64-bucket record from bloating the exposition; cumulative
+// counts stay exact.
+func (p *PromWriter) HistogramNs(name string, labels map[string]string, h *model.Histogram) {
+	base := promLabels(labels)
+	// Reuse the label set with `le` appended, preserving sort order by
+	// rebuilding from the map.
+	withLE := func(le string) string {
+		m := make(map[string]string, len(labels)+1)
+		for k, v := range labels {
+			m[k] = v
+		}
+		m["le"] = le
+		return promLabels(m)
+	}
+	var cum int64
+	for b, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		// Bucket b holds durations < 2^b ns.
+		bound := float64(int64(1)<<uint(b)) / 1e9
+		p.printf("%s_bucket%s %d\n", name, withLE(fmt.Sprintf("%g", bound)), cum)
+	}
+	p.printf("%s_bucket%s %d\n", name, withLE("+Inf"), h.Count)
+	p.printf("%s_sum%s %g\n", name, base, float64(h.Sum)/1e9)
+	p.printf("%s_count%s %d\n", name, base, h.Count)
+}

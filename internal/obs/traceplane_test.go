@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfsort/internal/model"
+)
+
+// TestExemplarsTopK: offered single-threaded, the sampler retains
+// exactly the K slowest spans regardless of arrival order.
+func TestExemplarsTopK(t *testing.T) {
+	var e Exemplars
+	now := time.Now().UnixNano()
+	for _, ms := range []int{3, 9, 1, 7, 5, 10, 2, 8, 4, 6} {
+		e.Offer(&Span{ID: uint64(ms), Start: now, Duration: time.Duration(ms) * time.Millisecond})
+	}
+	got := e.Snapshot()
+	if len(got) != ExemplarK {
+		t.Fatalf("retained %d exemplars, want %d", len(got), ExemplarK)
+	}
+	want := []time.Duration{10, 9, 8, 7}
+	for i, sp := range got {
+		if sp.Duration != want[i]*time.Millisecond {
+			t.Fatalf("slot %d: duration %v, want %vms", i, sp.Duration, want[i])
+		}
+	}
+}
+
+// TestExemplarsAgeOut: a stale incumbent loses its slot to any newer
+// span, even a faster one, so the set tracks the current tail.
+func TestExemplarsAgeOut(t *testing.T) {
+	var e Exemplars
+	old := time.Now().UnixNano()
+	for i := 0; i < ExemplarK; i++ {
+		e.Offer(&Span{ID: uint64(i), Start: old, Duration: time.Hour})
+	}
+	fresh := &Span{ID: 99, Start: old + int64(6*time.Minute), Duration: time.Millisecond}
+	e.Offer(fresh)
+	for _, sp := range e.Snapshot() {
+		if sp.ID == 99 {
+			return
+		}
+	}
+	t.Fatal("fresh span did not displace a stale incumbent")
+}
+
+// TestBurnPagesAndClears drives the monitor through a full incident on
+// a fake clock: silent while healthy, silent below MinBad, paging under
+// a bad flood, cleared once the short window recovers.
+func TestBurnPagesAndClears(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBurn(BurnConfig{
+		SLO: 10 * time.Millisecond, Short: time.Second, Long: 2 * time.Second,
+		MinBad: 5, Now: func() time.Time { return now },
+	})
+	if b == nil {
+		t.Fatal("NewBurn returned nil for a positive SLO")
+	}
+	for i := 0; i < 100; i++ {
+		if b.Observe(time.Millisecond, true) {
+			t.Fatal("paged on a healthy request")
+		}
+	}
+	// Four slow requests: above the SLO but below MinBad.
+	for i := 0; i < 4; i++ {
+		if b.Observe(50*time.Millisecond, true) {
+			t.Fatal("paged below MinBad")
+		}
+	}
+	if b.Paging() {
+		t.Fatal("paging without a flood")
+	}
+	paged := false
+	for i := 0; i < 50; i++ {
+		paged = b.Observe(0, false) || paged
+	}
+	if !paged || !b.Paging() {
+		t.Fatalf("bad flood did not page (returned %v, Paging %v)", paged, b.Paging())
+	}
+	snap := b.Snapshot()
+	if snap.Pages != 1 {
+		t.Fatalf("pages = %d, want 1", snap.Pages)
+	}
+	if snap.ShortBurn < b.cfg.ShortBurn || snap.LongBurn < b.cfg.LongBurn {
+		t.Fatalf("burn rates %v/%v below paging thresholds while paging", snap.ShortBurn, snap.LongBurn)
+	}
+	// Recover: both windows slide past the flood, traffic goes healthy.
+	now = now.Add(3 * time.Second)
+	for i := 0; i < 200; i++ {
+		b.Observe(time.Millisecond, true)
+	}
+	if b.Observe(50*time.Millisecond, true) {
+		t.Fatal("one slow request re-paged after recovery")
+	}
+	if b.Paging() {
+		t.Fatal("page latch did not clear once the short window recovered")
+	}
+	if got := b.Snapshot().Pages; got != 1 {
+		t.Fatalf("pages after recovery = %d, want 1", got)
+	}
+}
+
+// TestBurnOffSwitch: no SLO, no monitor.
+func TestBurnOffSwitch(t *testing.T) {
+	if b := NewBurn(BurnConfig{}); b != nil {
+		t.Fatal("NewBurn without an SLO should return nil")
+	}
+}
+
+// TestFlightRecorderDumpAndRateLimit: one dump lands atomically with
+// its Perfetto companion, the rate limit swallows the next, and the
+// limit releases after minGap.
+func TestFlightRecorderDumpAndRateLimit(t *testing.T) {
+	if fr := NewFlightRecorder("", time.Minute); fr != nil {
+		t.Fatal("empty dir should disarm the recorder")
+	}
+	dir := t.TempDir()
+	f := NewFlightRecorder(dir, time.Minute)
+	now := time.Unix(5000, 0)
+	f.now = func() time.Time { return now }
+
+	if !f.Ready() {
+		t.Fatal("fresh recorder not Ready")
+	}
+	spans := []Span{{ID: 1, Trace: "t-1", Kind: "sort", Outcome: "ok",
+		Start: now.UnixNano(), Duration: time.Millisecond,
+		Stages: []Stage{{Name: "sort", DurNs: 1e6}}}}
+	rec := FlightRecord{Reason: "slo-burn", Spans: spans, Exemplars: map[string][]Span{"default": spans}}
+	path, err := f.Dump(rec, NewTrace().AddSpans(spans))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == "" || f.Wrote() != 1 {
+		t.Fatalf("first dump: path %q, wrote %d", path, f.Wrote())
+	}
+	var back FlightRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if back.Reason != "slo-burn" || len(back.Spans) != 1 || back.UnixNano == 0 {
+		t.Fatalf("round-tripped record: %+v", back)
+	}
+	perfetto := strings.TrimSuffix(path, ".json") + ".perfetto.json"
+	if _, err := os.Stat(perfetto); err != nil {
+		t.Fatalf("perfetto companion missing: %v", err)
+	}
+	if tmp, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmp) != 0 {
+		t.Fatalf("temp files left behind: %v", tmp)
+	}
+
+	if f.Ready() {
+		t.Fatal("Ready immediately after a dump")
+	}
+	if p, err := f.Dump(rec, nil); err != nil || p != "" {
+		t.Fatalf("rate limit let a dump through: path %q err %v", p, err)
+	}
+	now = now.Add(2 * time.Minute)
+	if !f.Ready() {
+		t.Fatal("not Ready after the gap elapsed")
+	}
+	if p, err := f.Dump(rec, nil); err != nil || p == "" {
+		t.Fatalf("post-gap dump: path %q err %v", p, err)
+	}
+	if f.Wrote() != 2 {
+		t.Fatalf("wrote = %d, want 2", f.Wrote())
+	}
+}
+
+// TestPromWriterFormat pins the exposition details a scraper depends
+// on: sorted+escaped labels, integer rendering, cumulative histogram
+// buckets ending at +Inf.
+func TestPromWriterFormat(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Type("m", "counter", "a counter")
+	p.Sample("m", map[string]string{"b": "2", "a": `x"y`}, 3)
+	p.Sample("m2", nil, 1.5)
+	var h model.Histogram
+	h.Observe(1500)
+	h.Observe(1500)
+	h.Observe(3_000_000)
+	p.Type("h", "histogram", "a histogram")
+	p.HistogramNs("h", map[string]string{"l": "v"}, &h)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE m counter\n",
+		"m{a=\"x\\\"y\",b=\"2\"} 3\n", // keys sorted, quote escaped, integral rendered as int
+		"m2 1.5\n",
+		`h_bucket{l="v",le="+Inf"} 3` + "\n",
+		`h_count{l="v"} 3` + "\n",
+		`h_sum{l="v"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative: the occupied bucket lines must be non-decreasing and
+	// end below the +Inf count.
+	if !strings.Contains(out, `h_bucket{l="v",le="`) {
+		t.Fatalf("no bounded buckets emitted:\n%s", out)
+	}
+}
+
+// TestSpanLogLappedWriterRace hammers a tiny ring from concurrent
+// writers while a reader snapshots continuously: every observed span
+// must be internally consistent (never torn across a lapped slot) and
+// no snapshot may contain the same span twice. Run under -race this
+// also certifies the publication discipline.
+func TestSpanLogLappedWriterRace(t *testing.T) {
+	l := NewSpanLog(16)
+	const writers = 4
+	const perWriter = 3000
+
+	selfConsistent := func(sp Span) bool {
+		return sp.Trace == fmt.Sprintf("t-%d", sp.ID) && sp.N == int(sp.ID%1000) && sp.Kind == "sort"
+	}
+
+	var snapErr atomic.Pointer[string]
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			spans := l.Snapshot(0)
+			seen := make(map[uint64]bool, len(spans))
+			for _, sp := range spans {
+				if !selfConsistent(sp) {
+					msg := fmt.Sprintf("torn span: %+v", sp)
+					snapErr.Store(&msg)
+					return
+				}
+				if seen[sp.ID] {
+					msg := fmt.Sprintf("duplicate span id %d in one snapshot", sp.ID)
+					snapErr.Store(&msg)
+					return
+				}
+				seen[sp.ID] = true
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < writers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(wid*perWriter + i + 1)
+				l.Append(Span{ID: id, Trace: fmt.Sprintf("t-%d", id), N: int(id % 1000), Kind: "sort"})
+			}
+		}(wid)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if msg := snapErr.Load(); msg != nil {
+		t.Fatal(*msg)
+	}
+
+	// Quiescent: a fresh append is findable by trace ID, and the ring
+	// serves exactly its depth.
+	l.Append(Span{ID: 1 << 40, Trace: "needle", Kind: "sort", N: 0})
+	sp, ok := l.Find("needle")
+	if !ok || sp.ID != 1<<40 {
+		t.Fatalf("Find(needle) = %+v, %v", sp, ok)
+	}
+	if got := len(l.Snapshot(0)); got != 16 {
+		t.Fatalf("snapshot depth %d, want 16", got)
+	}
+	if _, ok := l.Find("t-1"); ok {
+		t.Fatal("a long-lapped span should be gone")
+	}
+}
+
+// TestPerfettoAddSpans: serving spans render as slices with their
+// stage sub-slices and survive a JSON round trip.
+func TestPerfettoAddSpans(t *testing.T) {
+	base := time.Now().UnixNano()
+	spans := []Span{
+		{ID: 1, Trace: "a", Kind: "sort", Class: "default", Outcome: "ok",
+			Start: base, Duration: 3 * time.Millisecond,
+			Stages: []Stage{{Name: "queue", DurNs: 1e6}, {Name: "sort", DurNs: 2e6}}},
+		{ID: 2, Trace: "b", Kind: "sort", Class: "bulk", Outcome: "shed",
+			Start: base + 1e6, Duration: time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := NewTrace().AddSpans(spans).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Events []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto doc is not JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.Events {
+		if n, ok := ev["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"sort a", "sort b", "queue", "sort"} {
+		if !names[want] {
+			t.Fatalf("trace missing slice %q (have %v)", want, names)
+		}
+	}
+}

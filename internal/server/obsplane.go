@@ -1,0 +1,289 @@
+// This file is the serving side of the request trace plane: stage
+// clocks that partition a request's wall time into named segments,
+// trace-ID minting/acceptance, per-stage server-wide histograms, the
+// SLO burn-rate hookup, the flight-recorder trigger and the Prometheus
+// text exposition of the whole metrics surface.
+
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"wfsort"
+	"wfsort/internal/obs"
+)
+
+// stageNames is the full stage vocabulary, in lifecycle order. A
+// request's span carries the subset it actually crossed; the
+// server-wide stage histograms are indexed by this list.
+var stageNames = [...]string{"admit", "sem", "decode", "batch", "queue", "sort", "merge", "encode"}
+
+func stageIndex(name string) int {
+	for i, n := range stageNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// stageClock measures a request's lifecycle as consecutive segments of
+// one wall clock: each mark names the segment since the previous mark,
+// so the recorded stages partition the elapsed time exactly — which is
+// what makes the summed-vs-wall trace check meaningful. With tracing
+// off the clock is inert (sc.on false) and every call is a flag test.
+type stageClock struct {
+	on     bool
+	last   time.Time
+	stages []obs.Stage
+}
+
+func newStageClock(start time.Time, on bool) *stageClock {
+	return &stageClock{on: on, last: start}
+}
+
+// mark closes the current segment under the given name.
+func (sc *stageClock) mark(name string) {
+	if !sc.on {
+		return
+	}
+	now := time.Now()
+	sc.stages = append(sc.stages, obs.Stage{Name: name, DurNs: now.Sub(sc.last).Nanoseconds()})
+	sc.last = now
+}
+
+// take closes the current segment without naming it, returning its
+// start and length so the caller can split it (queue/sort/merge) via
+// push. Only meaningful when sc.on.
+func (sc *stageClock) take() (prev time.Time, segNs int64) {
+	now := time.Now()
+	prev = sc.last
+	segNs = now.Sub(sc.last).Nanoseconds()
+	sc.last = now
+	return prev, segNs
+}
+
+// push appends an externally measured split of a taken segment.
+func (sc *stageClock) push(name string, durNs int64) {
+	if durNs < 0 {
+		durNs = 0
+	}
+	sc.stages = append(sc.stages, obs.Stage{Name: name, DurNs: durNs})
+}
+
+// clampNs bounds v to [0, limit].
+func clampNs(v, limit int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v > limit {
+		return limit
+	}
+	return v
+}
+
+// phasesToStages converts the sorter's phase splits to span stages.
+func phasesToStages(ph []wfsort.PhaseDur) []obs.Stage {
+	if len(ph) == 0 {
+		return nil
+	}
+	out := make([]obs.Stage, len(ph))
+	for i, p := range ph {
+		out[i] = obs.Stage{Name: p.Name, DurNs: p.DurNs}
+	}
+	return out
+}
+
+// traceOf accepts the client's X-Trace-Id (bounded to the class-name
+// syntax: 1-64 chars, no whitespace or quotes, so hostile IDs never
+// reach logs or labels unescaped) or mints a server-local one.
+func (s *Server) traceOf(r *http.Request) string {
+	if t := r.Header.Get("X-Trace-Id"); t != "" && validTraceID(t) {
+		return t
+	}
+	return fmt.Sprintf("t-%d", s.traceSeq.Add(1))
+}
+
+func validTraceID(t string) bool {
+	if len(t) > 64 {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// finishSpan seals a request span — duration, stage partition — then
+// feeds every consumer: the span log, the per-stage histograms, the
+// class's tail-exemplar slots (ok spans only; rejections are fast and
+// would never displace a tail exemplar anyway) and the burn monitor,
+// tripping the flight recorder when the monitor pages.
+func (s *Server) finishSpan(cc *obs.ClassCounters, span *obs.Span, sc *stageClock, start time.Time) {
+	span.Duration = time.Since(start)
+	if sc.on {
+		span.Stages = sc.stages
+		s.observeStages(sc.stages)
+	}
+	s.spans.Append(*span)
+	if sc.on && span.Outcome == "ok" {
+		sp := *span
+		cc.Exemplars.Offer(&sp)
+	}
+	if s.burn != nil {
+		if s.burn.Observe(span.Duration, span.Outcome == "ok") {
+			s.tripFlight("slo-burn")
+		}
+	}
+}
+
+func (s *Server) observeStages(stages []obs.Stage) {
+	for _, st := range stages {
+		if i := stageIndex(st.Name); i >= 0 {
+			s.stageHists[i].Observe(st.DurNs)
+		}
+	}
+}
+
+// stageSnapshot renders the per-stage histograms for /metrics JSON.
+func (s *Server) stageSnapshot() map[string]map[string]any {
+	out := map[string]map[string]any{}
+	for i, name := range stageNames {
+		h := s.stageHists[i].Snapshot()
+		if h.Count == 0 {
+			continue
+		}
+		out[name] = map[string]any{
+			"count":   h.Count,
+			"p50_ms":  float64(h.Quantile(0.50)) / 1e6,
+			"p99_ms":  float64(h.Quantile(0.99)) / 1e6,
+			"mean_ms": float64(h.Mean()) / 1e6,
+		}
+	}
+	return out
+}
+
+// tripFlight captures one flight dump: recent spans, every class's
+// exemplars, the burn state, the full metrics document and a Perfetto
+// trace of the span window. The recorder rate-limits; the busy flag
+// collapses concurrent triggers and breaks the recursion through
+// metricsMap -> Stats -> watchdog -> tripFlight.
+func (s *Server) tripFlight(reason string) {
+	if s.flight == nil || !s.flight.Ready() {
+		return
+	}
+	if !s.flightBusy.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.flightBusy.Store(false)
+	spans := s.spans.Snapshot(0)
+	exemplars := map[string][]obs.Span{}
+	for name, cs := range s.classes.Snapshot() {
+		if len(cs.Exemplars) > 0 {
+			exemplars[name] = cs.Exemplars
+		}
+	}
+	rec := obs.FlightRecord{
+		Reason:    reason,
+		Spans:     spans,
+		Exemplars: exemplars,
+	}
+	if s.burn != nil {
+		bs := s.burn.Snapshot()
+		rec.Burn = &bs
+	}
+	rec.Metrics = marshalJSON(s.metricsMap())
+	s.flight.Dump(rec, obs.NewTrace().AddSpans(spans))
+}
+
+// writeProm renders the metrics surface in the Prometheus text
+// exposition format for /metrics?format=prom.
+func (s *Server) writeProm(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	st := s.Stats()
+	counter := func(name, help string, v int64) {
+		p.Type(name, "counter", help)
+		p.Sample(name, nil, float64(v))
+	}
+	counter("wfsort_requests_total", "Admitted sort requests.", st.Requests)
+	counter("wfsort_batched_total", "Requests served through the batcher.", st.Batched)
+	counter("wfsort_batches_total", "Batch flushes.", st.Batches)
+	counter("wfsort_rejected_total", "429 rejections (bucket or semaphore).", st.Rejected)
+	counter("wfsort_too_large_total", "413 rejections.", st.TooLarge)
+	counter("wfsort_draining_total", "503 rejections while draining.", st.Draining)
+	counter("wfsort_canceled_total", "Canceled or queue-shed requests (504).", st.Canceled)
+	counter("wfsort_errors_total", "Internal errors (500).", st.Errors)
+	p.Type("wfsort_in_flight", "gauge", "Requests currently in flight.")
+	p.Sample("wfsort_in_flight", nil, float64(st.InFlight))
+	p.Type("wfsort_stuck", "gauge", "Watchdog verdict: 1 when the oldest in-flight request exceeds StuckAfter.")
+	p.Sample("wfsort_stuck", nil, b2f(st.Stuck))
+
+	p.Type("wfsort_class_requests_total", "counter", "Requests per traffic class.")
+	names := s.classes.Names()
+	for _, name := range names {
+		cc, ok := s.classes.Lookup(name)
+		if !ok {
+			continue
+		}
+		p.Sample("wfsort_class_requests_total", map[string]string{"class": name}, float64(cc.Requests.Load()))
+	}
+	p.Type("wfsort_class_latency_seconds", "histogram", "Request latency per class.")
+	for _, name := range names {
+		cc, ok := s.classes.Lookup(name)
+		if !ok {
+			continue
+		}
+		if h := cc.Histogram(); h.Count > 0 {
+			p.HistogramNs("wfsort_class_latency_seconds", map[string]string{"class": name}, h)
+		}
+	}
+	p.Type("wfsort_stage_seconds", "histogram", "Per-stage request latency attribution.")
+	for i, name := range stageNames {
+		if h := s.stageHists[i].Snapshot(); h.Count > 0 {
+			p.HistogramNs("wfsort_stage_seconds", map[string]string{"stage": name}, h)
+		}
+	}
+	if s.burn != nil {
+		bs := s.burn.Snapshot()
+		p.Type("wfsort_slo_short_burn", "gauge", "Short-window burn rate (bad fraction / budget).")
+		p.Sample("wfsort_slo_short_burn", nil, bs.ShortBurn)
+		p.Type("wfsort_slo_long_burn", "gauge", "Long-window burn rate (bad fraction / budget).")
+		p.Sample("wfsort_slo_long_burn", nil, bs.LongBurn)
+		p.Type("wfsort_slo_paging", "gauge", "1 while the burn monitor is paging.")
+		p.Sample("wfsort_slo_paging", nil, b2f(bs.Paging))
+		p.Type("wfsort_slo_pages_total", "counter", "Burn-monitor page transitions.")
+		p.Sample("wfsort_slo_pages_total", nil, float64(bs.Pages))
+	}
+	if s.flight != nil {
+		p.Type("wfsort_flight_dumps_total", "counter", "Flight-recorder dumps written.")
+		p.Sample("wfsort_flight_dumps_total", nil, float64(s.flight.Wrote()))
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// marshalJSON renders v, swallowing the error: the flight record's
+// metrics field is best-effort (the structures are all marshalable; a
+// failure would only drop the embedded snapshot, not the dump).
+func marshalJSON(v any) json.RawMessage {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil
+	}
+	return data
+}

@@ -79,6 +79,29 @@ type Config struct {
 	// configured). Implies a pipelined pool: PipelineDepth 0 becomes
 	// 64.
 	QoS *qos.Config
+	// SLO, when > 0, is the p99 latency objective the burn-rate monitor
+	// watches: requests slower than this (or failed outright) burn the
+	// error budget, and sustained burn over both windows pages — see
+	// obs.Burn. 0 disables the monitor.
+	SLO time.Duration
+	// BurnShort/BurnLong override the monitor's 5m/1h windows (tests).
+	BurnShort, BurnLong time.Duration
+	// BurnMinBad overrides the monitor's minimum bad count before a
+	// page may fire (tests).
+	BurnMinBad int64
+	// FlightDir, when set, arms the flight recorder: on an SLO page or
+	// a watchdog stuck verdict, one atomic dump (spans + exemplars +
+	// burn state + metrics + Perfetto trace) lands here, rate-limited
+	// to one per FlightGap.
+	FlightDir string
+	// FlightGap is the minimum spacing between flight dumps (default
+	// 1m).
+	FlightGap time.Duration
+	// TraceOff disables the request trace plane — trace IDs, stage
+	// clocks, exemplar offers, per-stage histograms — leaving only the
+	// pre-trace span log. It exists for the benchgate overhead A/B; a
+	// production server keeps tracing on.
+	TraceOff bool
 }
 
 func (c *Config) fill() {
@@ -135,6 +158,14 @@ type batchEntry struct {
 type batchResult struct {
 	sorted []int64
 	err    error
+	// Stage attribution for member requests' spans: when the flusher
+	// ran (flushStart non-zero), the merged sort's queue wait and crew
+	// wall plus its per-phase splits. A member abandoned by its
+	// deadline before the flush sees the zero value.
+	flushStart time.Time
+	queueNs    int64
+	sortWallNs int64
+	phases     []obs.Stage
 }
 
 // Server is one sort service instance.
@@ -144,15 +175,24 @@ type Server struct {
 	sorter  *wfsort.Sorter[kv]
 	spans   *obs.SpanLog
 	classes *obs.ClassSet
-	plane   *qos.Plane // nil unless cfg.QoS is set
+	plane   *qos.Plane          // nil unless cfg.QoS is set
+	burn    *obs.Burn           // nil unless cfg.SLO is set
+	flight  *obs.FlightRecorder // nil unless cfg.FlightDir is set
 
 	sem     chan struct{}   // admission tokens
 	batchCh chan batchEntry // batcher inbox; capacity doubles as its queue bound
 	flusher sync.WaitGroup
 
 	reqID    atomic.Uint64
+	traceSeq atomic.Uint64
 	draining atomic.Bool
 	inflight sync.WaitGroup
+
+	// stageHists are server-wide per-stage latency records, indexed by
+	// stageNames; flightBusy collapses concurrent flight-dump triggers
+	// (and breaks the dump -> metrics -> watchdog -> dump recursion).
+	stageHists [len(stageNames)]obs.AtomicHist
+	flightBusy atomic.Bool
 
 	requests, batched, batches    atomic.Int64
 	rejected, tooLarge, drained   atomic.Int64
@@ -203,6 +243,13 @@ func New(cfg Config) (*Server, error) {
 		spans:   obs.NewSpanLog(cfg.SpanDepth),
 		classes: classes,
 		plane:   plane,
+		burn: obs.NewBurn(obs.BurnConfig{
+			SLO:    cfg.SLO,
+			Short:  cfg.BurnShort,
+			Long:   cfg.BurnLong,
+			MinBad: cfg.BurnMinBad,
+		}),
+		flight:  obs.NewFlightRecorder(cfg.FlightDir, cfg.FlightGap),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		batchCh: make(chan batchEntry, cfg.MaxInFlight),
 		starts:  make(map[uint64]time.Time),
@@ -216,17 +263,21 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the service's full mux:
 //
-//	POST /sort     — {"keys":[...]} -> {"sorted":[...]}
-//	GET  /healthz  — liveness, drain state, watchdog verdict
-//	GET  /metrics  — Stats + pool counters + latency histogram
-//	GET  /requests — recent request spans, newest first
-//	     /obs/     — the internal/obs live surface (expvar, pprof)
+//	POST /sort       — {"keys":[...]} -> {"sorted":[...]}
+//	GET  /healthz    — liveness, drain state, watchdog + SLO verdicts
+//	GET  /metrics    — Stats + pool counters + latency histograms
+//	                   (?format=prom for Prometheus text exposition)
+//	GET  /requests   — recent request spans, newest first
+//	                   (?class= and ?outcome= filter)
+//	GET  /trace/{id} — one request's span by trace ID
+//	     /obs/       — the internal/obs live surface (expvar, pprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sort", s.handleSort)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /requests", s.handleRequests)
+	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	mux.Handle("/obs/", http.StripPrefix("/obs", obs.Handler()))
 	return mux
 }
@@ -276,6 +327,17 @@ func retryAfterSecs(d time.Duration) string {
 }
 
 func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	traced := !s.cfg.TraceOff
+	var trace string
+	if traced {
+		// Echo the trace ID in every response — including rejections —
+		// so a client can always correlate its call with /trace/{id}.
+		trace = s.traceOf(r)
+		w.Header().Set("X-Trace-Id", trace)
+	}
+	sc := newStageClock(start, traced)
+
 	name, okName := classOf(r)
 	if !okName {
 		cc := s.classes.Get(obs.Overflow)
@@ -305,6 +367,11 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		if !d.OK {
 			s.rejected.Add(1)
 			cc.Shed.Add(1)
+			sc.mark("admit")
+			s.finishSpan(cc, &obs.Span{
+				ID: s.reqID.Add(1), Kind: "sort", Trace: trace, Class: name,
+				Start: start.UnixNano(), Outcome: "shed",
+			}, sc, start)
 			w.Header().Set("Retry-After", retryAfterSecs(d.RetryAfter))
 			httpError(w, http.StatusTooManyRequests, "rate limited: class bucket empty")
 			return
@@ -312,16 +379,23 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		cc.Admitted.Add(1)
 		qosClass = d.Class
 	}
+	sc.mark("admit")
 	select {
 	case s.sem <- struct{}{}:
 	default:
 		s.rejected.Add(1)
 		cc.Shed.Add(1)
+		sc.mark("sem")
+		s.finishSpan(cc, &obs.Span{
+			ID: s.reqID.Add(1), Kind: "sort", Trace: trace, Class: name,
+			Start: start.UnixNano(), Outcome: "shed",
+		}, sc, start)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "at capacity")
 		return
 	}
 	defer func() { <-s.sem }()
+	sc.mark("sem")
 
 	var req sortRequest
 	dec := json.NewDecoder(r.Body)
@@ -338,9 +412,9 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("n=%d exceeds the %d-key limit", n, s.cfg.MaxKeys))
 		return
 	}
+	sc.mark("decode")
 
 	id := s.reqID.Add(1)
-	start := time.Now()
 	s.requests.Add(1)
 	s.inflight.Add(1)
 	s.inflightN.Add(1)
@@ -371,17 +445,50 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx = wfsort.WithJobQoS(ctx, q)
 	}
+	var sink *wfsort.SortTrace
+	if traced {
+		sink = &wfsort.SortTrace{}
+	}
 
-	span := obs.Span{ID: id, Kind: "sort", Start: start.UnixNano(), N: n, Outcome: "ok"}
+	span := obs.Span{ID: id, Kind: "sort", Trace: trace, Class: name, Start: start.UnixNano(), N: n, Outcome: "ok"}
 	var sorted []int64
 	var err error
 	if s.cfg.BatchMaxKeys > 0 && n <= s.cfg.BatchMaxKeys {
 		span.Batched = 1
-		sorted, err = s.sortBatched(ctx, req.Keys, prio)
+		var res batchResult
+		sorted, res, err = s.sortBatched(ctx, req.Keys, prio)
+		if sc.on {
+			// The batched segment decomposes as assembly wait (enqueue ->
+			// flush), the flusher's queue+crew wall, and the remainder
+			// (split/deliver plus scheduler slop) as merge.
+			prev, seg := sc.take()
+			if res.flushStart.IsZero() {
+				// Canceled before the flusher picked the entry up.
+				sc.push("batch", seg)
+			} else {
+				batchWait := clampNs(res.flushStart.Sub(prev).Nanoseconds(), seg)
+				queue := clampNs(res.queueNs, seg-batchWait)
+				sortNs := clampNs(res.sortWallNs-queue, seg-batchWait-queue)
+				sc.push("batch", batchWait)
+				sc.push("queue", queue)
+				sc.push("sort", sortNs)
+				sc.push("merge", seg-batchWait-queue-sortNs)
+				span.Phases = res.phases
+			}
+		}
 	} else {
+		if sink != nil {
+			ctx = wfsort.WithSortTrace(ctx, sink)
+		}
 		sorted, err = s.sortDirect(ctx, req.Keys)
+		if sc.on {
+			_, seg := sc.take()
+			queue := clampNs(sink.QueueWaitNs, seg)
+			sc.push("queue", queue)
+			sc.push("sort", seg-queue)
+			span.Phases = phasesToStages(sink.Phases)
+		}
 	}
-	span.Duration = time.Since(start)
 	switch {
 	case err == nil:
 	case errors.Is(err, wfsort.ErrDeadlineShed):
@@ -392,14 +499,14 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		s.canceled.Add(1)
 		cc.Canceled.Add(1)
 		span.Outcome = "shed"
-		s.spans.Append(span)
+		s.finishSpan(cc, &span, sc, start)
 		httpError(w, http.StatusGatewayTimeout, "shed from queue: deadline unmeetable")
 		return
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		s.canceled.Add(1)
 		cc.Canceled.Add(1)
 		span.Outcome = "canceled"
-		s.spans.Append(span)
+		s.finishSpan(cc, &span, sc, start)
 		// 504 covers both: a closed client connection never reads it.
 		httpError(w, http.StatusGatewayTimeout, err.Error())
 		return
@@ -407,15 +514,16 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		s.errCount.Add(1)
 		cc.Errors.Add(1)
 		span.Outcome = "error"
-		s.spans.Append(span)
+		s.finishSpan(cc, &span, sc, start)
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	cc.OK.Add(1)
-	cc.ObserveLatency(span.Duration.Nanoseconds())
-	s.spans.Append(span)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(sortResponse{Sorted: sorted, N: n, Batched: span.Batched == 1})
+	sc.mark("encode")
+	cc.OK.Add(1)
+	s.finishSpan(cc, &span, sc, start)
+	cc.ObserveLatency(span.Duration.Nanoseconds())
 }
 
 // sortDirect runs one request as its own pooled sort.
@@ -437,19 +545,19 @@ func (s *Server) sortDirect(ctx context.Context, keys []int64) ([]int64, error) 
 // sortBatched enqueues the request for the flusher and waits for its
 // share of the merged sort. A request abandoned by its deadline leaves
 // the batch unharmed: the flusher completes and the result is dropped.
-func (s *Server) sortBatched(ctx context.Context, keys []int64, prio int) ([]int64, error) {
+func (s *Server) sortBatched(ctx context.Context, keys []int64, prio int) ([]int64, batchResult, error) {
 	e := batchEntry{keys: keys, prio: prio, done: make(chan batchResult, 1)}
 	select {
 	case s.batchCh <- e:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, batchResult{}, ctx.Err()
 	}
 	s.batched.Add(1)
 	select {
 	case res := <-e.done:
-		return res.sorted, res.err
+		return res.sorted, res, res.err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, batchResult{}, ctx.Err()
 	}
 }
 
@@ -501,7 +609,18 @@ func (s *Server) flushBatch(entries []batchEntry, total int) {
 	// ones with time to spare.
 	ctx := wfsort.WithJobQoS(context.Background(),
 		wfsort.JobQoS{Class: "batch", Priority: prio})
+	var sink *wfsort.SortTrace
+	if !s.cfg.TraceOff {
+		sink = &wfsort.SortTrace{}
+		ctx = wfsort.WithSortTrace(ctx, sink)
+	}
+	sortStart := time.Now()
 	err := s.sorter.SortContext(ctx, merged)
+	meta := batchResult{flushStart: start, sortWallNs: time.Since(sortStart).Nanoseconds()}
+	if sink != nil {
+		meta.queueNs = sink.QueueWaitNs
+		meta.phases = phasesToStages(sink.Phases)
+	}
 	if err == nil {
 		outs := make([][]int64, len(entries))
 		for ri, e := range entries {
@@ -511,23 +630,38 @@ func (s *Server) flushBatch(entries []batchEntry, total int) {
 			outs[e.r] = append(outs[e.r], e.k)
 		}
 		for ri, e := range entries {
-			e.done <- batchResult{sorted: outs[ri]}
+			res := meta
+			res.sorted = outs[ri]
+			e.done <- res
 		}
 	} else {
 		for _, e := range entries {
-			e.done <- batchResult{err: err}
+			res := meta
+			res.err = err
+			e.done <- res
 		}
 	}
 	s.batches.Add(1)
-	s.spans.Append(obs.Span{
+	span := obs.Span{
 		ID:       s.reqID.Add(1),
 		Kind:     "batch",
+		Class:    "batch",
 		Start:    start.UnixNano(),
 		Duration: time.Since(start),
 		N:        total,
 		Batched:  len(entries),
 		Outcome:  map[bool]string{true: "ok", false: "error"}[err == nil],
-	})
+	}
+	if sink != nil {
+		queue := clampNs(meta.queueNs, meta.sortWallNs)
+		span.Stages = []obs.Stage{
+			{Name: "queue", DurNs: queue},
+			{Name: "sort", DurNs: meta.sortWallNs - queue},
+			{Name: "merge", DurNs: span.Duration.Nanoseconds() - meta.sortWallNs},
+		}
+		span.Phases = meta.phases
+	}
+	s.spans.Append(span)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -538,41 +672,95 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"ok":       !st.DrainingOn && !st.Stuck,
 		"draining": st.DrainingOn,
 		"stuck":    st.Stuck,
-	})
+	}
+	if s.burn != nil {
+		body["slo_paging"] = s.burn.Paging()
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		s.writeProm(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.metricsMap())
+}
+
+// metricsMap assembles the /metrics JSON document; the flight recorder
+// embeds the same map in its dumps.
+func (s *Server) metricsMap() map[string]any {
 	hist := make(map[string]int64, len(latBounds)+1)
 	for i := range latBounds {
 		hist["le_"+latBounds[i].String()] = s.latBuckets[i].Load()
 	}
 	hist["inf"] = s.latBuckets[len(latBounds)].Load()
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
 	m := map[string]any{
 		"server":     s.Stats(),
 		"pool":       s.pool.Stats(),
 		"latency_ms": hist,
 		"classes":    s.classes.Snapshot(),
 	}
+	if st := s.stageSnapshot(); len(st) > 0 {
+		m["stages"] = st
+	}
 	if s.plane != nil {
 		m["qos"] = s.plane.Snapshot()
 	}
-	enc.Encode(m)
+	if s.burn != nil {
+		m["slo"] = s.burn.Snapshot()
+	}
+	if s.flight != nil {
+		m["flight"] = map[string]any{"dumps": s.flight.Wrote()}
+	}
+	return m
 }
 
 func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 	n := 0
 	fmt.Sscanf(r.URL.Query().Get("n"), "%d", &n)
+	spans := s.spans.Snapshot(n)
+	class := r.URL.Query().Get("class")
+	outcome := r.URL.Query().Get("outcome")
+	if class != "" || outcome != "" {
+		kept := spans[:0]
+		for _, sp := range spans {
+			if (class == "" || sp.Class == class) && (outcome == "" || sp.Outcome == outcome) {
+				kept = append(kept, sp)
+			}
+		}
+		spans = kept
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.spans.Snapshot(n))
+	enc.Encode(spans)
+}
+
+// handleTrace serves one request's span by trace ID: the span log
+// first (recent requests), then the exemplar store (slow requests the
+// log already lapped), 404 when neither retains it.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sp, ok := s.spans.Find(id)
+	if !ok {
+		sp, ok = s.classes.FindExemplar(id)
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("trace %q not retained", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(sp)
 }
 
 // Stats snapshots the service counters, including the serving
@@ -603,6 +791,13 @@ func (s *Server) Stats() Stats {
 		st.OldestMs = age.Milliseconds()
 		st.Stuck = age > s.cfg.StuckAfter
 	}
+	if st.Stuck {
+		// A stuck oldest request is a wait-freedom violation from the
+		// serving layer's point of view: capture the scene. The recorder
+		// rate-limits and the busy guard breaks the dump -> metrics ->
+		// Stats recursion.
+		s.tripFlight("watchdog")
+	}
 	return st
 }
 
@@ -621,6 +816,12 @@ func (s *Server) PoolStats() wfsort.PoolStats { return s.pool.Stats() }
 // QoSPlane exposes the admission plane, nil when QoS is off (for sortd
 // and tests).
 func (s *Server) QoSPlane() *qos.Plane { return s.plane }
+
+// Burn exposes the SLO burn-rate monitor, nil when cfg.SLO is unset.
+func (s *Server) Burn() *obs.Burn { return s.burn }
+
+// Flight exposes the flight recorder, nil when cfg.FlightDir is unset.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
 func (s *Server) observeLatency(d time.Duration) {
 	i := sort.Search(len(latBounds), func(i int) bool { return d <= latBounds[i] })

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wfsort/internal/model"
 	"wfsort/internal/native"
@@ -338,7 +339,10 @@ func (s *Sorter[E]) SortContext(ctx context.Context, data []E) error {
 
 	seq := s.p.seq.Add(1)
 	c := s.p.c
+	sink := sortTraceFrom(ctx)
 	var run sortRun
+	var pipeRun *native.PipeRun
+	var teamStart time.Time
 	if pl := s.p.borrowPipeline(); pl != nil {
 		defer s.p.releasePipeline()
 		// The request's QoS envelope rides the context; the queue policy
@@ -348,17 +352,20 @@ func (s *Sorter[E]) SortContext(ctx context.Context, data []E) error {
 		if q.EstCost == 0 {
 			q.EstCost = int64(pc.Capacity)
 		}
-		run = pl.Submit(native.PipeJob{
+		pipeRun = pl.Submit(native.PipeJob{
 			Graph:     pc.Runner.Graph(),
 			Mem:       pc.Mem,
 			Less:      idxLess,
 			Seed:      c.seed + seq,
 			Adversary: c.adversary(seq),
 			QoS:       q,
+			Traced:    sink != nil,
 		})
+		run = pipeRun
 	} else {
 		team := s.p.getTeam()
 		defer s.p.putTeam(team)
+		teamStart = time.Now()
 		run = team.Start(native.TeamJob{
 			Prog:      pc.Runner.Program(),
 			Mem:       pc.Mem,
@@ -381,6 +388,18 @@ func (s *Sorter[E]) SortContext(ctx context.Context, data []E) error {
 	_, runErr := run.Wait()
 	if watcherDone != nil {
 		close(watcherDone)
+	}
+	if sink != nil {
+		// Fill the caller's trace sink even on error paths: a shed or
+		// aborted sort still reports its queue wait.
+		if pipeRun != nil {
+			t := pipeRun.Timing()
+			sink.QueueWaitNs = t.QueueWaitNs
+			sink.RunNs = t.RunNs
+			sink.Phases = t.Phases
+		} else {
+			sink.RunNs = time.Since(teamStart).Nanoseconds()
+		}
 	}
 	if runErr != nil {
 		return runErr

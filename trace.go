@@ -1,0 +1,54 @@
+package wfsort
+
+import (
+	"context"
+
+	"wfsort/internal/native"
+)
+
+// PhaseDur re-exports one worker phase's crew-wide duration from a
+// traced pipelined sort.
+type PhaseDur = native.PhaseDur
+
+// SortTrace is the per-call timing sink a caller may attach to a
+// pooled SortContext via WithSortTrace. After SortContext returns, the
+// sink holds the sort's interior attribution:
+//
+//   - QueueWaitNs: time the job spent in the pipelined crew's pending
+//     queue before dispatch (0 on serial-team and fresh-path sorts,
+//     which have no queue);
+//   - RunNs: crew-execution wall time, dispatch (or team start) to
+//     last worker done;
+//   - Phases: per-phase breakdown of RunNs using the engine graph's
+//     phase labels (pipelined sorts only — the serial team has no
+//     phase notification hook).
+//
+// The sink is written once, by the SortContext call itself, after the
+// run completes — no concurrent access unless the caller shares one
+// sink across calls, which it should not.
+type SortTrace struct {
+	QueueWaitNs int64
+	RunNs       int64
+	Phases      []PhaseDur
+}
+
+// sortTraceKey carries a *SortTrace through a context.
+type sortTraceKey struct{}
+
+// WithSortTrace returns a context that makes one SortContext call fill
+// t with its interior timing (queue wait, crew wall, per-phase splits)
+// — the seam the serving layer uses to attribute a request's latency
+// across stages without threading a new parameter through the public
+// Sort API. A nil t is ignored.
+func WithSortTrace(ctx context.Context, t *SortTrace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, sortTraceKey{}, t)
+}
+
+// sortTraceFrom extracts the sink installed by WithSortTrace, if any.
+func sortTraceFrom(ctx context.Context) *SortTrace {
+	t, _ := ctx.Value(sortTraceKey{}).(*SortTrace)
+	return t
+}
