@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline pipeline-gate pipeline-gate-baseline capacity-gate capacity-gate-baseline qos-gate qos-gate-baseline trace-gate loadgen openloop sortd soak chaos chaos-quick experiments experiments-quick stress obs fmt vet lint cover
+.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline pipeline-gate pipeline-gate-baseline capacity-gate capacity-gate-baseline qos-gate qos-gate-baseline trace-gate cluster-gate cluster-gate-baseline loadgen openloop sortd sortc soak chaos chaos-quick experiments experiments-quick stress obs fmt vet lint cover
 
 all: vet test
 
@@ -65,6 +65,17 @@ trace-gate:
 	go test -race -count=1 -run 'TestTrace|TestRejectionSpans|TestBurn|TestMetricsProm|TestStageHist|TestSpanLogLapped|TestFlightRecorder|TestExemplars|TestPerfettoAddSpans|TestPipelineRunTiming|TestRunStamps|TestHandlerTargetStages' ./internal/server ./internal/obs ./internal/native ./internal/loadgen
 	go run ./cmd/benchgate -quick -observed -runs 1
 
+# Gate the distributed tier against BENCH_cluster.json: a token-bucket
+# capacity model makes admission (not CPU) the binding resource, so the
+# 3-backend fleet must sustain >= 1.8x the 1-backend job rate even on a
+# single-core host; the kill leg must redispatch and stay byte-identical
+# to a faultless run.
+cluster-gate:
+	go run ./cmd/benchgate -cluster
+
+cluster-gate-baseline:
+	go run ./cmd/benchgate -cluster -write
+
 # Open-loop load generator against a live service. See cmd/loadgen for
 # spec format, -record/-replay, and -capacity sweeps.
 loadgen:
@@ -80,10 +91,17 @@ openloop:
 sortd:
 	go run ./cmd/sortd
 
+# The sample-sort coordinator: scatters key-range shards across sortd
+# backends, k-way merges the results. Needs -backends (see cmd/sortc).
+sortc:
+	go run ./cmd/sortc -backends http://localhost:8080
+
 # Long soak: concurrent clients, mixed sizes, worker churn mid-request,
-# then a drain that must come back clean. Race detector on.
+# then a drain that must come back clean. Race detector on. The cluster
+# leg churns whole backends under open-loop load and cross-checks the
+# coordinator's accepted-shard ledger against each backend's own.
 soak:
-	go test -race -run TestSoak -count=1 ./internal/server
+	go test -race -run 'TestSoak|TestClusterSoak' -count=1 ./internal/server ./internal/cluster
 
 # Fault-injection sweep: adversary policies x P x layouts, certified
 # against the wait-freedom op ceiling, with pram/native differentials.

@@ -18,7 +18,11 @@
 // BENCH_capacity.json — see capacity.go), and with -qos it replays a
 // two-class overload FIFO vs QoS-scheduled and gates the priority
 // plane's latency win and starvation floor (baseline BENCH_qos.json —
-// see qos.go).
+// see qos.go). With -cluster it measures the distributed tier — the
+// sample-sort coordinator over 1/2/3 admission-bucketed backends plus
+// a backend-kill chaos leg — and gates the 3-backend scaling ratio and
+// the kill leg's byte-identical output (baseline BENCH_cluster.json —
+// see cluster.go).
 //
 // Three gates run, strongest applicable first; all act on geometric
 // means over the whole matrix because individual wall-time cells are
@@ -145,17 +149,18 @@ func run(w io.Writer, args []string) error {
 	pipeline := fs.Bool("pipeline", false, "gate phase-pipelined vs serial-team throughput on queued sorts instead of the native matrix")
 	capacity := fs.Bool("capacity", false, "gate the serving stack's capacity-curve knee (open-loop loadgen sweep vs an SLO) instead of the native matrix")
 	qosMode := fs.Bool("qos", false, "gate the QoS plane (priority scheduling vs FIFO on a two-class overload) instead of the native matrix")
+	clusterMode := fs.Bool("cluster", false, "gate the distributed sort tier (coordinator scaling over 1/2/3 backends + kill leg) instead of the native matrix")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	modes := 0
-	for _, m := range []bool{*serve, *pipeline, *capacity, *qosMode} {
+	for _, m := range []bool{*serve, *pipeline, *capacity, *qosMode, *clusterMode} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-serve, -pipeline, -capacity and -qos are mutually exclusive")
+		return fmt.Errorf("-serve, -pipeline, -capacity, -qos and -cluster are mutually exclusive")
 	}
 	if *serve {
 		if *baseline == "BENCH_native.json" {
@@ -180,6 +185,12 @@ func run(w io.Writer, args []string) error {
 			*baseline = "BENCH_qos.json"
 		}
 		return runQoS(w, *baseline, *out, *write, *quick)
+	}
+	if *clusterMode {
+		if *baseline == "BENCH_native.json" {
+			*baseline = "BENCH_cluster.json"
+		}
+		return runCluster(w, *baseline, *out, *write, *quick, *tol)
 	}
 
 	// Read the baseline before measuring anything: a mistyped path

@@ -1,0 +1,160 @@
+// Command sortc is the cluster coordinator: one POST /sort front end
+// that sample-sorts across a fleet of sortd backends — seeded
+// splitters cut the input into bounded key-range shards, each shard
+// runs on a backend's pooled wait-free sorter via POST /shard, and the
+// sorted runs are k-way merged on the way back. Class, deadline and
+// trace identity propagate across the fan-out, failed backends are
+// retried and shards redispatched, and a sum/xor ledger certifies that
+// no key was lost or duplicated along the way.
+//
+//	sortc -addr :8090 -backends http://h1:8080,http://h2:8080 -policy least-loaded
+//
+// Endpoints: POST /sort (same contract as sortd, so loadgen and every
+// existing client work unchanged), GET /healthz, GET /metrics.
+// SIGINT/SIGTERM starts a graceful drain: in-flight sorts finish, new
+// ones get 503, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wfsort/internal/cluster"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sortc:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole coordinator behind a testable seam: ctx
+// cancellation doubles as a signal, and ready (when non-nil) receives
+// the bound address once the listener is up.
+func run(ctx context.Context, args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("sortc", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr        = fs.String("addr", ":8090", "listen address")
+		backends    = fs.String("backends", "", "comma-separated sortd base URLs (required)")
+		policy      = fs.String("policy", "round-robin", "round-robin | least-loaded | size-affinity")
+		shardKeys   = fs.Int("shard-keys", 0, "max keys per shard (0 = default 65536)")
+		oversample  = fs.Int("oversample", 0, "splitter sample size per shard (0 = default 32)")
+		seed        = fs.Uint64("seed", 0, "splitter sample seed (0 = default 1)")
+		maxAttempts = fs.Int("max-attempts", 0, "per-shard hard-failure budget (0 = 2*backends+2)")
+		backoff     = fs.Duration("backoff", 0, "first backpressure retry delay (0 = default 2ms)")
+		timeout     = fs.Duration("timeout", 60*time.Second, "per-request deadline")
+		shardTO     = fs.Duration("shard-timeout", 10*time.Second, "per-shard-attempt deadline")
+		probeEvery  = fs.Duration("probe-every", 2*time.Second, "health-probe interval (0 = passive health only)")
+		maxInflight = fs.Int("max-inflight", 64, "admitted requests before 429")
+		maxKeys     = fs.Int("max-keys", 1<<22, "request size limit before 413")
+		drainWait   = fs.Duration("drain-timeout", 30*time.Second, "graceful drain limit on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var fleet []cluster.Transport
+	for _, u := range strings.Split(*backends, ",") {
+		u = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(u), "/"))
+		if u == "" {
+			continue
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			u = "http://" + u
+		}
+		fleet = append(fleet, &cluster.HTTPBackend{URL: u})
+	}
+	if len(fleet) == 0 {
+		return fmt.Errorf("no backends: pass -backends http://host:port[,...]")
+	}
+	pol, err := cluster.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Backends:      fleet,
+		Policy:        pol,
+		ShardKeys:     *shardKeys,
+		Oversample:    *oversample,
+		Seed:          *seed,
+		MaxRedispatch: *maxAttempts,
+		Backoff:       *backoff,
+		ShardTimeout:  *shardTO,
+		ProbeEvery:    *probeEvery,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	handler, drain := cluster.NewHandler(coord, cluster.HandlerConfig{
+		MaxInFlight: *maxInflight,
+		MaxKeys:     *maxKeys,
+		Timeout:     *timeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: handler}
+
+	// One synchronous probe sweep before the banner, so the healthy
+	// count it prints reflects the fleet as found, not as assumed.
+	pctx, pcancel := context.WithTimeout(ctx, 2*time.Second)
+	coord.ProbeNow(pctx)
+	pcancel()
+	healthy := 0
+	for _, b := range coord.Stats().Backends {
+		if b.Healthy {
+			healthy++
+		}
+	}
+	fmt.Fprintf(out, "sortc: serving on %s (backends=%d healthy=%d policy=%s)\n",
+		ln.Addr(), len(fleet), healthy, *policy)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(out, "sortc: %v — draining\n", sig)
+	case <-ctx.Done():
+		fmt.Fprintln(out, "sortc: context canceled — draining")
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Stop accepting first, then wait out the in-flight fan-outs.
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	st := coord.Stats()
+	fmt.Fprintf(out, "sortc: drained (%d sorts, %d shards dispatched, %d redispatches)\n",
+		st.Sorts, st.ShardsDispatched, st.Redispatches)
+	return nil
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"wfsort/internal/server"
+)
+
+func newTestServer(t *testing.T) *server.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{Workers: 2, TraceOff: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// backendServer boots one in-process sortd serving surface on a real
+// socket, so sortc's HTTP transport path is the one under test.
+func backendServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := newTestServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ts
+}
+
+// TestSortcServesAndDrains boots two sortd backends and the
+// coordinator on random ports, pushes a multi-shard sort through the
+// full HTTP path, and expects a clean drain.
+func TestSortcServesAndDrains(t *testing.T) {
+	b1, b2 := backendServer(t), backendServer(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-backends", b1.URL + "," + b2.URL,
+			"-shard-keys", "512",
+			"-probe-every", "200ms",
+		}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("sortc exited early: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("sortc never became ready")
+	}
+	if !strings.Contains(out.String(), "backends=2 healthy=2") {
+		t.Fatalf("banner does not report the probed fleet: %s", out.String())
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]int64, 2000) // 4 shards at -shard-keys 512
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 20)
+	}
+	body, _ := json.Marshal(map[string]any{"keys": keys})
+	req, _ := http.NewRequest(http.MethodPost, "http://"+addr+"/sort", bytes.NewReader(body))
+	req.Header.Set("X-Trace-Id", "e2e-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Sorted []int64 `json:"sorted"`
+		N      int     `json:"n"`
+		Shards int     `json:"shards"`
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || decErr != nil {
+		t.Fatalf("sort: status %d, decode err %v", resp.StatusCode, decErr)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != "e2e-1" {
+		t.Fatalf("trace echo %q, want e2e-1", got)
+	}
+	if sr.Shards < 2 {
+		t.Fatalf("shards = %d, want a real fan-out", sr.Shards)
+	}
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(sr.Sorted) != len(want) {
+		t.Fatalf("n = %d, want %d", len(sr.Sorted), len(want))
+	}
+	for i := range want {
+		if sr.Sorted[i] != want[i] {
+			t.Fatalf("sorted[%d] = %d, want %d", i, sr.Sorted[i], want[i])
+		}
+	}
+
+	if resp, err := http.Get("http://" + addr + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v / %v", err, resp)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	mresp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Coordinator struct {
+			SortsOK          int64 `json:"sorts_ok"`
+			ShardsDispatched int64 `json:"shards_dispatched"`
+		} `json:"coordinator"`
+	}
+	decErr = json.NewDecoder(mresp.Body).Decode(&m)
+	mresp.Body.Close()
+	if decErr != nil || m.Coordinator.SortsOK != 1 || m.Coordinator.ShardsDispatched < 2 {
+		t.Fatalf("metrics: err %v, coordinator %+v", decErr, m.Coordinator)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v (output: %s)", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sortc did not drain")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("no drain confirmation in output: %s", out.String())
+	}
+}
+
+// TestSortcRejectsBadFlags locks the flag validation: no backends and
+// an unknown policy both abort startup.
+func TestSortcRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0"}, &out, nil); err == nil ||
+		!strings.Contains(err.Error(), "backends") {
+		t.Fatalf("no -backends: err = %v, want an error naming backends", err)
+	}
+	if err := run(context.Background(), []string{
+		"-addr", "127.0.0.1:0", "-backends", "http://127.0.0.1:1", "-policy", "bogus",
+	}, &out, nil); err == nil || !strings.Contains(err.Error(), "policy") {
+		t.Fatalf("bogus policy: err = %v, want an error naming the policy", err)
+	}
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel failure kinds. Every error the coordinator returns wraps
+// exactly one of them (plus any transport cause), so callers classify
+// with errors.Is and never parse message strings; the fuzz battery
+// holds the coordinator to "typed errors only, no panics".
+var (
+	// ErrNoBackends is returned by New for an empty backend list.
+	ErrNoBackends = errors.New("cluster: no backends configured")
+	// ErrAllDown means every backend was out of rotation for longer
+	// than the shard's failure budget tolerated.
+	ErrAllDown = errors.New("cluster: all backends down")
+	// ErrExhausted means a shard burned its whole redispatch or
+	// backpressure budget without an accepted reply.
+	ErrExhausted = errors.New("cluster: shard attempts exhausted")
+	// ErrMalformed means a backend's 200 reply failed verification:
+	// undecodable body, wrong length, unsorted, or a ledger that does
+	// not match what was sent. Such a reply is never returned to the
+	// caller — it is a redispatch trigger.
+	ErrMalformed = errors.New("cluster: malformed backend reply")
+	// ErrLedger means the assembled output's sum/xor/count ledger did
+	// not match the input's. It is the one error that indicates a
+	// coordinator-side bug (lost or duplicated elements across
+	// retries), so it is never retried and never silenced.
+	ErrLedger = errors.New("cluster: output ledger mismatch")
+	// ErrTraceEcho means a backend echoed a different X-Trace-Id than
+	// the shard was stamped with — a confused or hostile backend whose
+	// reply cannot be trusted to answer this request.
+	ErrTraceEcho = errors.New("cluster: backend echoed a foreign trace id")
+	// ErrBackendStatus means a backend answered with a non-retryable
+	// client-error status (400/413/...): the request itself is at
+	// fault and redispatch cannot help.
+	ErrBackendStatus = errors.New("cluster: backend rejected the shard")
+	// ErrKilled is what a tripped KillSwitch returns — the modeled
+	// fail-stop of a backend host.
+	ErrKilled = errors.New("cluster: backend killed")
+	// ErrDraining is returned for sorts issued after BeginDrain.
+	ErrDraining = errors.New("cluster: coordinator draining")
+)
+
+// Error is the coordinator's typed error: which sentinel kind, which
+// shard and backend, which attempt, and the wrapped cause.
+type Error struct {
+	Kind    error // one of the sentinels above
+	Backend string
+	Shard   int
+	Attempt int
+	Err     error // optional transport-level cause
+}
+
+func (e *Error) Error() string {
+	msg := fmt.Sprintf("%v (shard %d, attempt %d", e.Kind, e.Shard, e.Attempt)
+	if e.Backend != "" {
+		msg += ", backend " + e.Backend
+	}
+	msg += ")"
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes both the sentinel kind and the cause to errors.Is/As.
+func (e *Error) Unwrap() []error {
+	if e.Err != nil {
+		return []error{e.Kind, e.Err}
+	}
+	return []error{e.Kind}
+}
+
+func shardErr(kind error, backend string, shard, attempt int, cause error) *Error {
+	return &Error{Kind: kind, Backend: backend, Shard: shard, Attempt: attempt, Err: cause}
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// honestTransport is a correct in-memory backend: sorts what it is
+// sent, folds the ledger, echoes the trace. The fuzz fleet pairs it
+// with a hostile peer so a sort always has somewhere correct to land.
+type honestTransport struct {
+	name  string
+	calls atomic.Int64
+}
+
+func (h *honestTransport) Name() string { return h.name }
+func (h *honestTransport) Probe(ctx context.Context) (Probe, error) {
+	return Probe{Healthy: true, ShardOK: h.calls.Load()}, nil
+}
+func (h *honestTransport) SortShard(ctx context.Context, sr ShardRequest) (*ShardReply, error) {
+	h.calls.Add(1)
+	out := append([]int64(nil), sr.Keys...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	var sum, xor int64
+	for _, k := range out {
+		sum += k
+		xor ^= k
+	}
+	return &ShardReply{Status: 200, Sorted: out, N: len(out), Sum: sum, Xor: xor, TraceEcho: sr.TraceID}, nil
+}
+
+// hostileTransport misbehaves per a fuzz-chosen script: each shard
+// call consumes one behavior byte. Every behavior is either an honest
+// reply or one of the corruptions the acceptance check must catch —
+// truncated or padded bodies, unsorted keys, wrong ledgers, duplicate
+// (stale) replies, foreign trace echoes, surprise statuses, transport
+// errors.
+type hostileTransport struct {
+	honest honestTransport
+	script []byte
+	pos    atomic.Int64
+	last   atomic.Pointer[ShardReply] // previous reply, replayed as a "duplicate"
+}
+
+func (h *hostileTransport) Name() string { return "hostile" }
+func (h *hostileTransport) Probe(ctx context.Context) (Probe, error) {
+	return Probe{Healthy: true}, nil
+}
+
+func (h *hostileTransport) SortShard(ctx context.Context, sr ShardRequest) (*ShardReply, error) {
+	var b byte
+	if len(h.script) > 0 {
+		b = h.script[int(h.pos.Add(1)-1)%len(h.script)]
+	}
+	reply, _ := h.honest.SortShard(ctx, sr)
+	switch b % 12 {
+	case 0: // honest
+	case 1: // truncated body
+		if len(reply.Sorted) > 0 {
+			reply.Sorted = reply.Sorted[:len(reply.Sorted)-1]
+		}
+	case 2: // padded body
+		reply.Sorted = append(reply.Sorted, 1<<40)
+	case 3: // unsorted
+		if len(reply.Sorted) > 1 {
+			reply.Sorted[0], reply.Sorted[len(reply.Sorted)-1] = reply.Sorted[len(reply.Sorted)-1], reply.Sorted[0]
+		}
+	case 4: // wrong echoed ledger
+		reply.Sum++
+	case 5: // corrupted keys behind a matching self-ledger
+		if len(reply.Sorted) > 0 {
+			reply.Sorted[0]--
+			reply.Sum--
+		}
+	case 6: // wrong N
+		reply.N++
+	case 7: // hostile trace echo
+		reply.TraceEcho = "x\n<script>"
+	case 8: // duplicate (stale) reply: answer with a previous shard's body
+		if prev := h.last.Load(); prev != nil {
+			return prev, nil
+		}
+	case 9: // surprise 5xx
+		return &ShardReply{Status: 500 + int(b)%4, TraceEcho: sr.TraceID}, nil
+	case 10: // backpressure
+		return &ShardReply{Status: 429, TraceEcho: sr.TraceID}, nil
+	case 11: // transport error
+		return nil, errors.New("connection reset by fuzz")
+	}
+	h.last.Store(reply)
+	return reply, nil
+}
+
+// FuzzCluster holds the coordinator to its contract under a hostile
+// backend: for any input keys, any caller-supplied trace ID and any
+// misbehavior script, Sort either returns the exact multiset sorted or
+// a typed *cluster.Error — never a panic, never silently wrong data.
+func FuzzCluster(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{0}, "t-1")
+	f.Add([]byte{255, 0, 255, 0, 9, 9}, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, "")
+	f.Add(bytes.Repeat([]byte{7}, 300), []byte{8, 8, 8, 4}, "x\nhostile\x00id")
+	f.Add([]byte{}, []byte{11, 11, 11, 11, 11}, "deep.dot.id:with-long-suffix-0123456789012345678901234567890123456789")
+
+	f.Fuzz(func(t *testing.T, keyData, script []byte, traceID string) {
+		// Keys from the raw bytes, 8 per key, capped well above the
+		// shard size so multi-shard fan-outs are exercised.
+		n := len(keyData) / 8
+		if n > 512 {
+			n = 512
+		}
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(binary.LittleEndian.Uint64(keyData[8*i:]))
+		}
+
+		hostile := &hostileTransport{script: script}
+		c, err := New(Config{
+			Backends:        []Transport{hostile, &honestTransport{name: "honest"}},
+			ShardKeys:       64,
+			MaxRedispatch:   6,
+			MaxBackpressure: 4,
+			Backoff:         time.Microsecond,
+			MaxBackoff:      10 * time.Microsecond,
+			CoolDown:        time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		out, err := c.Sort(ctx, "default", traceID, keys)
+
+		if err != nil {
+			// Typed errors only: the envelope must be *Error and its kind
+			// one of the package sentinels (or the caller's deadline).
+			var ce *Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("untyped error: %T %v", err, err)
+			}
+			switch {
+			case errors.Is(err, ErrAllDown), errors.Is(err, ErrExhausted),
+				errors.Is(err, ErrLedger), errors.Is(err, ErrBackendStatus),
+				errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			default:
+				t.Fatalf("error kind outside the taxonomy: %v", err)
+			}
+			return
+		}
+		// Correct-or-error: an accepted result is the exact sorted
+		// multiset, regardless of what the hostile backend answered.
+		want := append([]int64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(out) != len(want) {
+			t.Fatalf("len = %d, want %d", len(out), len(want))
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("out[%d] = %d, want %d", i, out[i], want[i])
+			}
+		}
+		// The ledger can never have silently passed a corruption: every
+		// accepted shard was verified, so hostile acceptances imply the
+		// replies were honest-equivalent.
+		if st := c.Stats(); st.LedgerFailures != 0 {
+			t.Fatalf("ledger failure on a successful sort: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,228 @@
+// The coordinator's serving surface: the same POST /sort contract as
+// sortd (so loadgen, the capacity sweep and every existing client
+// drive a cluster unchanged), plus cluster-shaped /healthz and
+// /metrics. cmd/sortc is the thin binary around it.
+
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"wfsort/internal/qos"
+)
+
+// HandlerConfig sizes the coordinator's HTTP front end; zero values
+// take the defaults noted.
+type HandlerConfig struct {
+	// MaxInFlight bounds admitted requests; excess get 429 (default 64).
+	MaxInFlight int
+	// MaxKeys rejects larger requests with 413 (default 1<<22 — the
+	// coordinator exists to take sorts bigger than one backend's
+	// request limit).
+	MaxKeys int
+	// Timeout is the per-request deadline (default 60s), propagated to
+	// every shard dispatch.
+	Timeout time.Duration
+}
+
+func (hc *HandlerConfig) fill() {
+	if hc.MaxInFlight == 0 {
+		hc.MaxInFlight = 64
+	}
+	if hc.MaxKeys == 0 {
+		hc.MaxKeys = 1 << 22
+	}
+	if hc.Timeout == 0 {
+		hc.Timeout = 60 * time.Second
+	}
+}
+
+type handler struct {
+	c   *Coordinator
+	cfg HandlerConfig
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+type sortRequestWire struct {
+	Keys []int64 `json:"keys"`
+}
+
+type sortResponseWire struct {
+	Sorted []int64 `json:"sorted"`
+	N      int     `json:"n"`
+	Shards int     `json:"shards"`
+}
+
+func (h *handler) handleSort(w http.ResponseWriter, r *http.Request) {
+	c := h.c
+	c.requests.Add(1)
+	trace := r.Header.Get(TraceHeader)
+	if trace != "" && validTraceID(trace) {
+		w.Header().Set(TraceHeader, trace)
+	} else {
+		trace = fmt.Sprintf("c-%d", c.traceSeq.Add(1))
+		w.Header().Set(TraceHeader, trace)
+	}
+	class := r.Header.Get(ClassHeader)
+	if class == "" {
+		class = "default"
+	} else if !qos.ValidClassName(class) {
+		c.errCount.Add(1)
+		httpError(w, http.StatusBadRequest,
+			"invalid X-Sort-Class: must be 1-64 chars with no whitespace or quotes")
+		return
+	}
+	if c.draining.Load() {
+		c.drained.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case h.sem <- struct{}{}:
+	default:
+		c.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "at capacity")
+		return
+	}
+	defer func() { <-h.sem }()
+
+	var req sortRequestWire
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		c.errCount.Add(1)
+		httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	if len(req.Keys) > h.cfg.MaxKeys {
+		c.tooLarge.Add(1)
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("n=%d exceeds the %d-key limit", len(req.Keys), h.cfg.MaxKeys))
+		return
+	}
+
+	h.wg.Add(1)
+	defer h.wg.Done()
+	ctx, cancel := context.WithTimeout(r.Context(), h.cfg.Timeout)
+	defer cancel()
+	sorted, err := c.Sort(ctx, class, trace, req.Keys)
+	switch {
+	case err == nil:
+	case isCtxErr(err):
+		c.canceled.Add(1)
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		c.drained.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	default:
+		// Upstream trouble — dead fleet, exhausted retries, a reply
+		// that failed verification: the cluster's fault, not the
+		// client's.
+		c.errCount.Add(1)
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sortResponseWire{
+		Sorted: sorted,
+		N:      len(sorted),
+		Shards: shardCount(len(req.Keys), c.cfg.ShardKeys),
+	})
+}
+
+func (h *handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := h.c.Stats()
+	healthy := 0
+	for _, b := range st.Backends {
+		if b.Healthy {
+			healthy++
+		}
+	}
+	ok := healthy > 0 && !st.Draining
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"ok":       ok,
+		"draining": st.Draining,
+		"backends": len(st.Backends),
+		"healthy":  healthy,
+	})
+}
+
+func (h *handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"coordinator": h.c.Stats()})
+}
+
+// Drain begins the drain and waits (bounded by ctx) for in-flight
+// handler requests to finish.
+func (h *handler) drain(ctx context.Context) error {
+	h.c.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		h.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// NewHandler builds the coordinator's serving surface:
+//
+//	POST /sort     — {"keys":[...]} -> {"sorted":[...],"n":N,"shards":K}
+//	GET  /healthz  — ok iff at least one backend is in rotation
+//	GET  /metrics  — coordinator + per-backend counters
+//
+// The returned drain func flips the coordinator to draining (new
+// sorts get 503) and waits, bounded by ctx, for in-flight requests to
+// finish.
+func NewHandler(c *Coordinator, cfg HandlerConfig) (http.Handler, func(context.Context) error) {
+	cfg.fill()
+	h := &handler{c: c, cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sort", h.handleSort)
+	mux.HandleFunc("GET /healthz", h.handleHealthz)
+	mux.HandleFunc("GET /metrics", h.handleMetrics)
+	return mux, h.drain
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// validTraceID bounds client trace IDs to the syntax the backends
+// accept (internal/server applies the same rule), so a hostile ID is
+// re-minted here instead of echoing through the fan-out.
+func validTraceID(t string) bool {
+	if t == "" || len(t) > 64 {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+// Routing policies: which backend gets the next shard. The interface
+// mirrors the qos.Sched shape — a pure Pick over a snapshot of
+// candidates, so policies are trivially testable and replayable — and
+// the coordinator clamps whatever a policy returns, so a buggy policy
+// can misroute but never crash the fan-out.
+
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wfsort/internal/sizeclass"
+)
+
+// DispatchView is what a policy sees about the shard being routed.
+type DispatchView struct {
+	// Shard is the shard index within its sort (0-based).
+	Shard int
+	// Keys is the shard's key count.
+	Keys int
+	// Attempt is 0 for the first dispatch, >0 for redispatches — a
+	// policy may deliberately avoid the backend that just failed, but
+	// the coordinator already filters unhealthy ones out.
+	Attempt int
+}
+
+// BackendView is one healthy candidate's state at pick time.
+type BackendView struct {
+	// Index identifies the backend in the coordinator's Backends list.
+	Index int
+	// Outstanding is the coordinator's own count of in-flight shard
+	// requests to this backend — always current, no probe needed.
+	Outstanding int64
+	// ProbedInFlight is the backend-reported in_flight gauge from the
+	// last health probe (covers load from other clients of the same
+	// backend); -1 when no probe has completed yet.
+	ProbedInFlight int64
+}
+
+// Policy picks the backend for one dispatch from the healthy
+// candidates (len(healthy) >= 1, sorted by Index). Pick must return an
+// index into healthy; out-of-range picks are clamped. Implementations
+// must be safe for concurrent use.
+type Policy interface {
+	Pick(d DispatchView, healthy []BackendView) int
+}
+
+// RoundRobin spreads dispatches evenly in arrival order — the default:
+// with equal-size shards and equal backends it is both balanced and
+// deterministic.
+type RoundRobin struct{ n atomic.Uint64 }
+
+func (p *RoundRobin) Pick(d DispatchView, healthy []BackendView) int {
+	return int((p.n.Add(1) - 1) % uint64(len(healthy)))
+}
+
+// LeastLoaded picks the backend with the fewest outstanding shard
+// requests, counting the coordinator's own in-flight dispatches plus
+// the backend-reported gauge from the last probe when one exists; ties
+// break round-robin so an idle fleet still spreads.
+type LeastLoaded struct{ rr RoundRobin }
+
+func (p *LeastLoaded) Pick(d DispatchView, healthy []BackendView) int {
+	load := func(b BackendView) int64 {
+		l := b.Outstanding
+		if b.ProbedInFlight > 0 {
+			l += b.ProbedInFlight
+		}
+		return l
+	}
+	best, min := -1, int64(0)
+	ties := 0
+	for i, b := range healthy {
+		l := load(b)
+		switch {
+		case best < 0 || l < min:
+			best, min, ties = i, l, 1
+		case l == min:
+			ties++
+		}
+	}
+	if ties > 1 {
+		k := p.rr.Pick(d, healthy) % ties
+		for i, b := range healthy {
+			if load(b) == min {
+				if k == 0 {
+					return i
+				}
+				k--
+			}
+		}
+	}
+	return best
+}
+
+// SizeAffinity routes shards of the same arena size class to the same
+// backend, so each backend's context pool stays warm for a narrow
+// class mix instead of every pool holding every class. Falls back to
+// spreading by shard index when the fleet shrinks below the class
+// fan-out.
+type SizeAffinity struct{}
+
+func (SizeAffinity) Pick(d DispatchView, healthy []BackendView) int {
+	class, ok := sizeclass.For(d.Keys)
+	if !ok {
+		class = d.Keys
+	}
+	// Hash the class capacity, not the raw size, so every shard inside
+	// one class lands on the same backend.
+	h := uint64(class) * 0x9e3779b97f4a7c15
+	return int((h >> 32) % uint64(len(healthy)))
+}
+
+// ParsePolicy maps a policy name (the -policy flag) to its
+// implementation: "round-robin", "least-loaded" or "size-affinity".
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", "round-robin":
+		return &RoundRobin{}, nil
+	case "least-loaded":
+		return &LeastLoaded{}, nil
+	case "size-affinity":
+		return SizeAffinity{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown policy %q (round-robin | least-loaded | size-affinity)", name)
+}

@@ -1,0 +1,157 @@
+// This file is the sample-sort math: seeded splitter sampling,
+// duplicate-spreading partition and the k-way merge that reassembles
+// the shard replies. "A Randomised Approach to Distributed Sorting"
+// grounds the shape: draw a seeded oversample, cut it at even
+// quantiles, scatter key ranges, merge sorted runs on the way back.
+
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// shardCount is how many shards n keys split into under a per-shard
+// cap: the unit of backend work is a bounded shard (a backend rejects
+// requests above its MaxKeys with 413), so the shard count grows with
+// the input, not with the backend count.
+func shardCount(n, shardKeys int) int {
+	if n <= shardKeys {
+		return 1
+	}
+	return (n + shardKeys - 1) / shardKeys
+}
+
+// drawSplitters samples keys with replacement (oversample per shard,
+// seeded — the same input and seed always cut identically), sorts the
+// sample and returns the k−1 even-quantile cut points.
+func drawSplitters(keys []int64, k, oversample int, seed uint64) []int64 {
+	n := len(keys)
+	m := k * oversample
+	if m > n {
+		m = n
+	}
+	rng := rand.New(rand.NewSource(int64(seed) ^ int64(n)<<1))
+	sample := make([]int64, m)
+	for i := range sample {
+		sample[i] = keys[rng.Intn(n)]
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	split := make([]int64, k-1)
+	for i := 1; i < k; i++ {
+		split[i-1] = sample[i*m/k]
+	}
+	return split
+}
+
+// partition scatters keys into len(split)+1 shards: shard i takes the
+// range (split[i−1], split[i]]. A key equal to a run of splitters has
+// more than one legal shard — every shard whose cut point equals the
+// key plus the one after the run — and is spread round-robin across
+// that range. The spreading is what keeps duplicate-heavy inputs
+// balanced: an all-equal input samples all-equal splitters, every key
+// becomes eligible everywhere, and the shards come out even instead of
+// one shard taking the whole input. Globally sorted output does not
+// depend on it (the merge compares real keys), only the balance bound
+// does (DESIGN §15).
+func partition(keys []int64, split []int64) [][]int64 {
+	k := len(split) + 1
+	shards := make([][]int64, k)
+	want := (len(keys) + k - 1) / k
+	for i := range shards {
+		shards[i] = make([]int64, 0, want+want/4)
+	}
+	spread := 0
+	for _, key := range keys {
+		lo := sort.Search(len(split), func(i int) bool { return split[i] >= key })
+		hi := sort.Search(len(split), func(i int) bool { return split[i] > key })
+		idx := lo
+		if hi > lo {
+			idx = lo + spread%(hi-lo+1)
+			spread++
+		}
+		shards[idx] = append(shards[idx], key)
+	}
+	return shards
+}
+
+// kmerge merges sorted shards into one sorted slice of n keys with a
+// binary min-heap over the shard heads; ties break toward the lower
+// shard index, so a given partition has exactly one merge output —
+// the determinism the kill-leg's byte-identical gate rests on.
+func kmerge(shards [][]int64, n int) []int64 {
+	type head struct {
+		val   int64
+		shard int
+		pos   int
+	}
+	h := make([]head, 0, len(shards))
+	less := func(a, b head) bool {
+		return a.val < b.val || (a.val == b.val && a.shard < b.shard)
+	}
+	push := func(x head) {
+		h = append(h, x)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(h) && less(h[l], h[min]) {
+				min = l
+			}
+			if r < len(h) && less(h[r], h[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
+	for si, s := range shards {
+		if len(s) > 0 {
+			push(head{val: s[0], shard: si, pos: 0})
+		}
+	}
+	out := make([]int64, 0, n)
+	for len(h) > 0 {
+		top := h[0]
+		out = append(out, top.val)
+		if top.pos+1 < len(shards[top.shard]) {
+			h[0] = head{val: shards[top.shard][top.pos+1], shard: top.shard, pos: top.pos + 1}
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown()
+	}
+	return out
+}
+
+// ledger is the sum/xor multiset aggregate shared with loadgen's
+// response verification: cheap to fold, order-independent, and a lost
+// or duplicated element across shard retries moves at least one of the
+// two words with overwhelming probability.
+type ledger struct {
+	count    int
+	sum, xor int64
+}
+
+func foldLedger(keys []int64) ledger {
+	l := ledger{count: len(keys)}
+	for _, k := range keys {
+		l.sum += k
+		l.xor ^= k
+	}
+	return l
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// distributions are the adversarial inputs the splitter-quality
+// property test sweeps: the shapes that break naive range partitioning.
+var distributions = []struct {
+	name string
+	gen  func(n int, rng *rand.Rand) []int64
+}{
+	{"uniform", func(n int, rng *rand.Rand) []int64 {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = rng.Int63()
+		}
+		return keys
+	}},
+	{"all-equal", func(n int, rng *rand.Rand) []int64 {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = 42
+		}
+		return keys
+	}},
+	{"pre-sorted", func(n int, rng *rand.Rand) []int64 {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(i)
+		}
+		return keys
+	}},
+	{"reverse-sorted", func(n int, rng *rand.Rand) []int64 {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(n - i)
+		}
+		return keys
+	}},
+	{"zipf", func(n int, rng *rand.Rand) []int64 {
+		z := rand.NewZipf(rng, 1.3, 1, 1<<16)
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(z.Uint64())
+		}
+		return keys
+	}},
+	{"duplicates-heavy", func(n int, rng *rand.Rand) []int64 {
+		// 8 distinct values over the whole input: every splitter run
+		// collides and the tie-spreading has to do all the work.
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(8)) * 1000
+		}
+		return keys
+	}},
+}
+
+// TestSplitterBalance is the splitter-quality property test: across
+// adversarial distributions, no shard may exceed 2x its fair share.
+//
+// The bound: with Oversample=32 samples per shard, classical sample-
+// sort analysis puts the max shard below ~2x the mean with high
+// probability for distinct keys, and the tie-spreading partition
+// restores the same bound for duplicate-heavy inputs (a key eligible
+// for an r-shard run is dealt round-robin across it, so a value
+// carrying m duplicates adds at most ceil(m/r) keys per shard). The 2x
+// factor is asserted here and documented in DESIGN §15.
+func TestSplitterBalance(t *testing.T) {
+	const n, k = 100_000, 16
+	for _, dist := range distributions {
+		t.Run(dist.name, func(t *testing.T) {
+			keys := dist.gen(n, rand.New(rand.NewSource(1)))
+			split := drawSplitters(keys, k, 32, 1)
+			if !sort.SliceIsSorted(split, func(i, j int) bool { return split[i] < split[j] }) {
+				t.Fatal("splitters not sorted")
+			}
+			shards := partition(keys, split)
+			if len(shards) != k {
+				t.Fatalf("got %d shards, want %d", len(shards), k)
+			}
+			total, max := 0, 0
+			for _, s := range shards {
+				total += len(s)
+				if len(s) > max {
+					max = len(s)
+				}
+			}
+			if total != n {
+				t.Fatalf("partition lost keys: %d of %d", total, n)
+			}
+			fair := n / k
+			if max > 2*fair {
+				t.Errorf("max shard %d keys > 2x fair share %d (imbalance %.2fx)",
+					max, fair, float64(max)/float64(fair))
+			}
+		})
+	}
+}
+
+// TestPartitionRangesDisjoint locks the range property the merge's
+// determinism rests on: shard i's keys are all <= shard j's for i < j
+// up to splitter equality — concretely, each shard's max is no greater
+// than the next shard's min unless the boundary value is a splitter
+// duplicate spread across both.
+func TestPartitionRangesDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]int64, 10_000)
+	for i := range keys {
+		keys[i] = rng.Int63n(1000) // plenty of duplicates
+	}
+	split := drawSplitters(keys, 8, 32, 1)
+	for c, s := range partition(keys, split) {
+		for _, key := range s {
+			// Every key respects its shard's splitter fences: its shard
+			// index must lie in the eligibility range [lo, hi] — a single
+			// slot for distinct keys, widened only by splitter duplicates.
+			lo := sort.Search(len(split), func(j int) bool { return split[j] >= key })
+			hi := sort.Search(len(split), func(j int) bool { return split[j] > key })
+			if c < lo || c > hi {
+				t.Fatalf("key %d landed in shard %d, outside its eligible range [%d,%d]", key, c, lo, hi)
+			}
+		}
+	}
+}
+
+// TestSortDeterministicAndStable locks the two output properties the
+// kill-leg gate and the docs promise: (1) the same input and seed
+// produce byte-identical output run to run, and (2) the output equals
+// the stable reference sort — trivially true for plain int64 keys
+// (equal keys are indistinguishable), asserted anyway so a future
+// keyed-record extension cannot silently regress it.
+func TestSortDeterministicAndStable(t *testing.T) {
+	for _, dist := range distributions {
+		t.Run(dist.name, func(t *testing.T) {
+			keys := dist.gen(20_000, rand.New(rand.NewSource(5)))
+			ref := append([]int64(nil), keys...)
+			sort.SliceStable(ref, func(i, j int) bool { return ref[i] < ref[j] })
+
+			var prev []byte
+			for run := 0; run < 3; run++ {
+				split := drawSplitters(keys, 8, 32, 9)
+				shards := partition(keys, split)
+				for _, s := range shards {
+					sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+				}
+				out := kmerge(shards, len(keys))
+				for i := range ref {
+					if out[i] != ref[i] {
+						t.Fatalf("run %d: out[%d] = %d, want %d (stable reference)", run, i, out[i], ref[i])
+					}
+				}
+				raw := make([]byte, 8*len(out))
+				for i, v := range out {
+					binary.LittleEndian.PutUint64(raw[8*i:], uint64(v))
+				}
+				if prev != nil && !bytes.Equal(prev, raw) {
+					t.Fatalf("run %d: output differs from run %d", run, run-1)
+				}
+				prev = raw
+			}
+		})
+	}
+}
+
+// TestShardCount locks the shard arithmetic at its edges.
+func TestShardCount(t *testing.T) {
+	for _, tc := range []struct{ n, cap, want int }{
+		{0, 100, 1}, {1, 100, 1}, {100, 100, 1}, {101, 100, 2}, {1000, 100, 10}, {1001, 100, 11},
+	} {
+		if got := shardCount(tc.n, tc.cap); got != tc.want {
+			t.Errorf("shardCount(%d, %d) = %d, want %d", tc.n, tc.cap, got, tc.want)
+		}
+	}
+}
+
+// TestKmergeEmptyAndSingle locks the merge's degenerate cases.
+func TestKmergeEmptyAndSingle(t *testing.T) {
+	if out := kmerge(nil, 0); len(out) != 0 {
+		t.Fatalf("merge of nothing = %v", out)
+	}
+	if out := kmerge([][]int64{{}, {1, 2}, {}, {0}}, 3); len(out) != 3 || out[0] != 0 || out[2] != 2 {
+		t.Fatalf("merge with empty shards = %v", out)
+	}
+}
+
+// TestFoldLedger locks the ledger fold the whole certification chain
+// rests on.
+func TestFoldLedger(t *testing.T) {
+	l := foldLedger([]int64{1, 2, 3})
+	if l.count != 3 || l.sum != 6 || l.xor != 0 {
+		t.Fatalf("ledger = %+v", l)
+	}
+	// Order-independent: a permutation folds identically.
+	if foldLedger([]int64{3, 1, 2}) != l {
+		t.Fatal("ledger is order-dependent")
+	}
+	// A duplicated element moves it.
+	if foldLedger([]int64{1, 2, 3, 3}) == l {
+		t.Fatal("ledger blind to duplication")
+	}
+}

@@ -172,6 +172,16 @@ func (t *HandlerTarget) Sort(ctx context.Context, class string, keys []int64) ([
 	return out.Sorted, rec.Code, nil
 }
 
+// FuncTarget adapts a plain function — typically a cluster
+// coordinator's Sort, bypassing even its HTTP front end — to the
+// Target seam. A non-nil error counts as a transport failure; to model
+// an application-level rejection return (nil, status, nil).
+type FuncTarget func(ctx context.Context, class string, keys []int64) ([]int64, int, error)
+
+func (f FuncTarget) Sort(ctx context.Context, class string, keys []int64) ([]int64, int, error) {
+	return f(ctx, class, keys)
+}
+
 // Stages fetches the per-stage attribution from the in-process
 // handler's /metrics.
 func (t *HandlerTarget) Stages() (map[string]StageSummary, error) {

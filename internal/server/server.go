@@ -136,6 +136,8 @@ func (c *Config) fill() {
 // Stats is the service's cumulative counter snapshot.
 type Stats struct {
 	Requests   int64 `json:"requests"`
+	Shards     int64 `json:"shard_requests"`
+	ShardOK    int64 `json:"shard_ok"`
 	Batched    int64 `json:"batched"`
 	Batches    int64 `json:"batches"`
 	Rejected   int64 `json:"rejected_429"`
@@ -197,6 +199,7 @@ type Server struct {
 	requests, batched, batches    atomic.Int64
 	rejected, tooLarge, drained   atomic.Int64
 	canceled, errCount, inflightN atomic.Int64
+	shardReqs, shardOK            atomic.Int64
 	latBuckets                    [len(latBounds) + 1]atomic.Int64
 	startMu                       sync.Mutex
 	starts                        map[uint64]time.Time
@@ -264,6 +267,9 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the service's full mux:
 //
 //	POST /sort       — {"keys":[...]} -> {"sorted":[...]}
+//	POST /shard      — the cluster tier's shard surface: same request,
+//	                   never batched, reply carries the sorted keys'
+//	                   sum/xor ledger for the coordinator's cross-check
 //	GET  /healthz    — liveness, drain state, watchdog + SLO verdicts
 //	GET  /metrics    — Stats + pool counters + latency histograms
 //	                   (?format=prom for Prometheus text exposition)
@@ -274,6 +280,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sort", s.handleSort)
+	mux.HandleFunc("POST /shard", s.handleShard)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /requests", s.handleRequests)
@@ -290,6 +297,17 @@ type sortResponse struct {
 	Sorted  []int64 `json:"sorted"`
 	N       int     `json:"n"`
 	Batched bool    `json:"batched,omitempty"`
+}
+
+// shardResponse is the /shard reply: the sorted keys plus their
+// sum/xor multiset ledger, folded server-side so the cluster
+// coordinator can cross-check its own aggregate of what it sent
+// against the backend's aggregate of what it sorted.
+type shardResponse struct {
+	Sorted []int64 `json:"sorted"`
+	N      int     `json:"n"`
+	Sum    int64   `json:"sum"`
+	Xor    int64   `json:"xor"`
 }
 
 // classObserver adapts the scheduler's decision stream onto the
@@ -326,8 +344,21 @@ func retryAfterSecs(d time.Duration) string {
 	return strconv.FormatInt(secs, 10)
 }
 
-func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) { s.serveSort(w, r, false) }
+
+// handleShard is the cluster tier's backend surface: one shard of a
+// coordinator's fan-out. Identical admission (class syntax, QoS
+// bucket, semaphore, size limit) and deadline handling as /sort, but
+// never batched — shards are the coordinator's own batching unit —
+// and the reply carries the sorted ledger.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) { s.serveSort(w, r, true) }
+
+func (s *Server) serveSort(w http.ResponseWriter, r *http.Request, shard bool) {
 	start := time.Now()
+	kind := "sort"
+	if shard {
+		kind = "shard"
+	}
 	traced := !s.cfg.TraceOff
 	var trace string
 	if traced {
@@ -369,7 +400,7 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 			cc.Shed.Add(1)
 			sc.mark("admit")
 			s.finishSpan(cc, &obs.Span{
-				ID: s.reqID.Add(1), Kind: "sort", Trace: trace, Class: name,
+				ID: s.reqID.Add(1), Kind: kind, Trace: trace, Class: name,
 				Start: start.UnixNano(), Outcome: "shed",
 			}, sc, start)
 			w.Header().Set("Retry-After", retryAfterSecs(d.RetryAfter))
@@ -387,7 +418,7 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		cc.Shed.Add(1)
 		sc.mark("sem")
 		s.finishSpan(cc, &obs.Span{
-			ID: s.reqID.Add(1), Kind: "sort", Trace: trace, Class: name,
+			ID: s.reqID.Add(1), Kind: kind, Trace: trace, Class: name,
 			Start: start.UnixNano(), Outcome: "shed",
 		}, sc, start)
 		w.Header().Set("Retry-After", "1")
@@ -416,6 +447,9 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 
 	id := s.reqID.Add(1)
 	s.requests.Add(1)
+	if shard {
+		s.shardReqs.Add(1)
+	}
 	s.inflight.Add(1)
 	s.inflightN.Add(1)
 	s.startMu.Lock()
@@ -450,10 +484,13 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		sink = &wfsort.SortTrace{}
 	}
 
-	span := obs.Span{ID: id, Kind: "sort", Trace: trace, Class: name, Start: start.UnixNano(), N: n, Outcome: "ok"}
+	span := obs.Span{ID: id, Kind: kind, Trace: trace, Class: name, Start: start.UnixNano(), N: n, Outcome: "ok"}
 	var sorted []int64
 	var err error
-	if s.cfg.BatchMaxKeys > 0 && n <= s.cfg.BatchMaxKeys {
+	// Shards are never batched: the coordinator's scatter IS the
+	// batching decision, and folding two coordinators' shards into one
+	// arena would couple their failure domains.
+	if !shard && s.cfg.BatchMaxKeys > 0 && n <= s.cfg.BatchMaxKeys {
 		span.Batched = 1
 		var res batchResult
 		sorted, res, err = s.sortBatched(ctx, req.Keys, prio)
@@ -519,7 +556,17 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(sortResponse{Sorted: sorted, N: n, Batched: span.Batched == 1})
+	if shard {
+		s.shardOK.Add(1)
+		var sum, xor int64
+		for _, k := range sorted {
+			sum += k
+			xor ^= k
+		}
+		json.NewEncoder(w).Encode(shardResponse{Sorted: sorted, N: n, Sum: sum, Xor: xor})
+	} else {
+		json.NewEncoder(w).Encode(sortResponse{Sorted: sorted, N: n, Batched: span.Batched == 1})
+	}
 	sc.mark("encode")
 	cc.OK.Add(1)
 	s.finishSpan(cc, &span, sc, start)
@@ -768,6 +815,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Stats() Stats {
 	st := Stats{
 		Requests:   s.requests.Load(),
+		Shards:     s.shardReqs.Load(),
+		ShardOK:    s.shardOK.Load(),
 		Batched:    s.batched.Load(),
 		Batches:    s.batches.Load(),
 		Rejected:   s.rejected.Load(),

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func postShard(t *testing.T, url string, keys []int64, hdr map[string]string) (*http.Response, shardResponse) {
+	t.Helper()
+	body, _ := json.Marshal(sortRequest{Keys: keys})
+	req, err := http.NewRequest(http.MethodPost, url+"/shard", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out shardResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+// TestShardEndpoint locks the /shard contract the cluster coordinator
+// depends on: sorted body, correct sum/xor ledger, trace echo, and the
+// shard_requests/shard_ok counters the soak's cross-check reads.
+func TestShardEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int64, 3000)
+	var sum, xor int64
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 40)
+		sum += keys[i]
+		xor ^= keys[i]
+	}
+	resp, out := postShard(t, ts.URL, keys, map[string]string{"X-Trace-Id": "coord-1.s0.a0"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != "coord-1.s0.a0" {
+		t.Fatalf("trace echo %q", got)
+	}
+	checkSortedKeys(t, out.Sorted, keys)
+	if out.N != len(keys) || out.Sum != sum || out.Xor != xor {
+		t.Fatalf("ledger: n=%d sum=%d xor=%d, want n=%d sum=%d xor=%d",
+			out.N, out.Sum, out.Xor, len(keys), sum, xor)
+	}
+	st := s.Stats()
+	if st.Shards != 1 || st.ShardOK != 1 {
+		t.Fatalf("shard counters: %+v", st)
+	}
+	if st.Requests != 1 {
+		t.Fatalf("a shard is a request too: %+v", st)
+	}
+}
+
+// TestShardNeverBatched certifies that /shard bypasses the batcher
+// even for batch-size requests: the coordinator's scatter is the
+// batching decision, and its shards must not be fused across sorts.
+func TestShardNeverBatched(t *testing.T) {
+	s, ts := newTestServer(t, Config{BatchMaxKeys: 1 << 20})
+	resp, out := postShard(t, ts.URL, []int64{5, 3, 9, 1}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	checkSortedKeys(t, out.Sorted, []int64{5, 3, 9, 1})
+	if st := s.Stats(); st.Batched != 0 {
+		t.Fatalf("shard went through the batcher: %+v", st)
+	}
+
+	// The same keys on /sort at this config DO batch — the bypass is
+	// the shard path's, not a config accident.
+	if _, sr := postSort(t, ts.URL, []int64{5, 3, 9, 1}); !sr.Batched {
+		t.Fatal("control /sort request did not batch")
+	}
+}
+
+// TestShardRejections locks that /shard shares /sort's admission
+// surface: oversize 413, bad body 400, draining 503.
+func TestShardRejections(t *testing.T) {
+	// Built without the newTestServer helper: this test drives Shutdown
+	// itself, and the helper's cleanup would drain a second time.
+	s, err := New(Config{Workers: 2, MaxKeys: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if resp, _ := postShard(t, ts.URL, make([]int64, 101), nil); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize shard: %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/shard", "application/json", bytes.NewReader([]byte("{broken")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", resp.StatusCode)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := postShard(t, ts.URL, []int64{1}, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining shard: %d", resp.StatusCode)
+	}
+	if st := s.Stats(); st.ShardOK != 0 {
+		t.Fatalf("rejections counted as shard successes: %+v", st)
+	}
+}
