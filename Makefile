@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline pipeline-gate pipeline-gate-baseline capacity-gate capacity-gate-baseline qos-gate qos-gate-baseline trace-gate cluster-gate cluster-gate-baseline loadgen openloop sortd sortc soak chaos chaos-quick experiments experiments-quick stress obs fmt vet lint cover
+.PHONY: all test race bench benchgate benchgate-baseline serve-gate serve-gate-baseline pipeline-gate pipeline-gate-baseline capacity-gate capacity-gate-baseline qos-gate qos-gate-baseline trace-gate cluster-gate cluster-gate-baseline wire-gate wire-gate-baseline loadgen openloop sortd sortc soak chaos chaos-quick experiments experiments-quick stress obs fmt vet lint cover
 
 all: vet test
 
@@ -75,6 +75,16 @@ cluster-gate:
 
 cluster-gate-baseline:
 	go run ./cmd/benchgate -cluster -write
+
+# Gate the binary wire codec against BENCH_wire.json: binary vs JSON
+# request throughput through the in-process serving path; the
+# large-request binary/json ratio must stay >= 1.15x on both /sort and
+# /shard, or the second codec is not paying its way.
+wire-gate:
+	go run ./cmd/benchgate -wire
+
+wire-gate-baseline:
+	go run ./cmd/benchgate -wire -write
 
 # Open-loop load generator against a live service. See cmd/loadgen for
 # spec format, -record/-replay, and -capacity sweeps.

@@ -22,7 +22,9 @@
 // sample-sort coordinator over 1/2/3 admission-bucketed backends plus
 // a backend-kill chaos leg — and gates the 3-backend scaling ratio and
 // the kill leg's byte-identical output (baseline BENCH_cluster.json —
-// see cluster.go).
+// see cluster.go). With -wire it compares binary vs JSON request
+// throughput through the serving path and gates the binary codec's
+// large-request speedup (baseline BENCH_wire.json — see wire.go).
 //
 // Three gates run, strongest applicable first; all act on geometric
 // means over the whole matrix because individual wall-time cells are
@@ -150,17 +152,18 @@ func run(w io.Writer, args []string) error {
 	capacity := fs.Bool("capacity", false, "gate the serving stack's capacity-curve knee (open-loop loadgen sweep vs an SLO) instead of the native matrix")
 	qosMode := fs.Bool("qos", false, "gate the QoS plane (priority scheduling vs FIFO on a two-class overload) instead of the native matrix")
 	clusterMode := fs.Bool("cluster", false, "gate the distributed sort tier (coordinator scaling over 1/2/3 backends + kill leg) instead of the native matrix")
+	wireMode := fs.Bool("wire", false, "gate the binary wire codec (binary vs JSON request throughput on the serving path) instead of the native matrix")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	modes := 0
-	for _, m := range []bool{*serve, *pipeline, *capacity, *qosMode, *clusterMode} {
+	for _, m := range []bool{*serve, *pipeline, *capacity, *qosMode, *clusterMode, *wireMode} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-serve, -pipeline, -capacity, -qos and -cluster are mutually exclusive")
+		return fmt.Errorf("-serve, -pipeline, -capacity, -qos, -cluster and -wire are mutually exclusive")
 	}
 	if *serve {
 		if *baseline == "BENCH_native.json" {
@@ -191,6 +194,12 @@ func run(w io.Writer, args []string) error {
 			*baseline = "BENCH_cluster.json"
 		}
 		return runCluster(w, *baseline, *out, *write, *quick, *tol)
+	}
+	if *wireMode {
+		if *baseline == "BENCH_native.json" {
+			*baseline = "BENCH_wire.json"
+		}
+		return runWire(w, *baseline, *out, *write, *quick, *runs, *tol)
 	}
 
 	// Read the baseline before measuring anything: a mistyped path

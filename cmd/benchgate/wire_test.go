@@ -1,0 +1,106 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func wireReport(host Host, sortJSON, sortBin, shardJSON, shardBin float64, large int) *WireReport {
+	return &WireReport{Host: host, Results: []WireResult{
+		{Endpoint: "sort", Codec: "json", N: large, ReqPerSec: sortJSON, Runs: 3},
+		{Endpoint: "sort", Codec: "binary", N: large, ReqPerSec: sortBin, Runs: 3},
+		{Endpoint: "shard", Codec: "json", N: large, ReqPerSec: shardJSON, Runs: 3},
+		{Endpoint: "shard", Codec: "binary", N: large, ReqPerSec: shardBin, Runs: 3},
+	}}
+}
+
+func TestCompareWireSpeedupFloor(t *testing.T) {
+	h := hostFingerprint()
+	// Binary well above the floor on both endpoints: clean.
+	cur := wireReport(h, 100, 180, 100, 180, 1<<17)
+	if f := compareWire(nil, cur, 1<<17, 0.10); len(f) != 0 {
+		t.Fatalf("1.8x speedup gated: %v", f)
+	}
+	// Exactly at the floor still passes; below it fires, naming the
+	// endpoint that fell.
+	cur = wireReport(h, 100, 100*wireMinSpeedup, 100, 180, 1<<17)
+	if f := compareWire(nil, cur, 1<<17, 0.10); len(f) != 0 {
+		t.Fatalf("floor-touching speedup gated: %v", f)
+	}
+	cur = wireReport(h, 100, 110, 100, 180, 1<<17)
+	f := compareWire(nil, cur, 1<<17, 0.10)
+	if len(f) != 1 || !strings.Contains(f[0], "sort/n131072") {
+		t.Fatalf("1.10x speedup not gated: %v", f)
+	}
+	// Both endpoints below: two failures.
+	cur = wireReport(h, 100, 110, 100, 105, 1<<17)
+	if f := compareWire(nil, cur, 1<<17, 0.10); len(f) != 2 {
+		t.Fatalf("double miss produced %d failures: %v", len(f), f)
+	}
+}
+
+func TestCompareWireBaselineGates(t *testing.T) {
+	h := hostFingerprint()
+	base := wireReport(h, 100, 200, 100, 200, 1<<17)
+
+	// Identical run: clean.
+	cur := wireReport(h, 100, 200, 100, 200, 1<<17)
+	if f := compareWire(base, cur, 1<<17, 0.10); len(f) != 0 {
+		t.Fatalf("identical run gated: %v", f)
+	}
+	// Everything 20% slower on a comparable host: the absolute gate
+	// fires, the ratio gate (unchanged at 2x) stays quiet.
+	cur = wireReport(h, 80, 160, 80, 160, 1<<17)
+	f := compareWire(base, cur, 1<<17, 0.10)
+	if len(f) != 1 || !strings.Contains(f[0], "request throughput") {
+		t.Fatalf("20%% absolute regression: %v", f)
+	}
+	// Same regression on a different host: the absolute gate is
+	// disarmed, and nothing fires.
+	other := h
+	other.NumCPU++
+	cur = wireReport(other, 80, 160, 80, 160, 1<<17)
+	if f := compareWire(base, cur, 1<<17, 0.10); len(f) != 0 {
+		t.Fatalf("cross-host absolute numbers gated: %v", f)
+	}
+	// The binary/json ratio collapsing from 2x to 1.4x fires the
+	// host-independent ratio gate even cross-host (1.4x still clears
+	// the in-run floor).
+	cur = wireReport(other, 100, 140, 100, 140, 1<<17)
+	f = compareWire(base, cur, 1<<17, 0.10)
+	if len(f) != 1 || !strings.Contains(f[0], "ratio binary/json") {
+		t.Fatalf("ratio collapse not gated: %v", f)
+	}
+}
+
+func TestCompareWireSkipsUnknownCells(t *testing.T) {
+	h := hostFingerprint()
+	base := wireReport(h, 100, 200, 100, 200, 1<<17)
+	// A current run at different sizes shares no cells with the
+	// baseline: only the in-run floor applies.
+	cur := wireReport(h, 100, 200, 100, 200, 1<<14)
+	if f := compareWire(base, cur, 1<<14, 0.10); len(f) != 0 {
+		t.Fatalf("disjoint cells gated: %v", f)
+	}
+}
+
+func TestWireReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wire.json")
+	rep := wireReport(hostFingerprint(), 100, 200, 100, 200, 1<<17)
+	if err := writeWireReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readWireReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(rep.Results) || got.Host != rep.Host {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+	for i := range rep.Results {
+		if got.Results[i] != rep.Results[i] {
+			t.Fatalf("cell %d: %+v != %+v", i, got.Results[i], rep.Results[i])
+		}
+	}
+}

@@ -59,6 +59,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		maxInflight = fs.Int("max-inflight", 64, "admitted requests before 429")
 		maxKeys     = fs.Int("max-keys", 1<<22, "request size limit before 413")
 		drainWait   = fs.Duration("drain-timeout", 30*time.Second, "graceful drain limit on shutdown")
+		wireOn      = fs.Bool("wire", false, "scatter shards over the binary wire codec instead of JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +74,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
 			u = "http://" + u
 		}
-		fleet = append(fleet, &cluster.HTTPBackend{URL: u})
+		fleet = append(fleet, &cluster.HTTPBackend{URL: u, Wire: *wireOn})
 	}
 	if len(fleet) == 0 {
 		return fmt.Errorf("no backends: pass -backends http://host:port[,...]")

@@ -146,6 +146,97 @@ func TestSortcServesAndDrains(t *testing.T) {
 	}
 }
 
+// TestSortcWireScatter boots the coordinator with -wire: every shard
+// crosses the real sockets as a binary block and comes back as a
+// KindShardReply whose header carries the backend's ledger. A clean
+// metrics snapshot (one sort OK, a real fan-out, zero redispatches and
+// ledger failures) certifies the binary scatter end to end — the
+// coordinator's per-shard fold cross-check ran on every reply.
+func TestSortcWireScatter(t *testing.T) {
+	b1, b2 := backendServer(t), backendServer(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-backends", b1.URL + "," + b2.URL,
+			"-shard-keys", "512",
+			"-wire",
+		}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("sortc exited early: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("sortc never became ready")
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]int64, 2000)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 20)
+	}
+	body, _ := json.Marshal(map[string]any{"keys": keys})
+	resp, err := http.Post("http://"+addr+"/sort", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Sorted []int64 `json:"sorted"`
+		Shards int     `json:"shards"`
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || decErr != nil {
+		t.Fatalf("sort: status %d, decode err %v", resp.StatusCode, decErr)
+	}
+	if sr.Shards < 2 {
+		t.Fatalf("shards = %d, want a real fan-out", sr.Shards)
+	}
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if sr.Sorted[i] != want[i] {
+			t.Fatalf("sorted[%d] = %d, want %d", i, sr.Sorted[i], want[i])
+		}
+	}
+
+	mresp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Coordinator struct {
+			SortsOK          int64 `json:"sorts_ok"`
+			ShardsDispatched int64 `json:"shards_dispatched"`
+			Redispatches     int64 `json:"redispatches"`
+			LedgerFailures   int64 `json:"ledger_failures"`
+		} `json:"coordinator"`
+	}
+	decErr = json.NewDecoder(mresp.Body).Decode(&m)
+	mresp.Body.Close()
+	if decErr != nil || m.Coordinator.SortsOK != 1 || m.Coordinator.ShardsDispatched < 2 ||
+		m.Coordinator.Redispatches != 0 || m.Coordinator.LedgerFailures != 0 {
+		t.Fatalf("wire scatter not clean: err %v, coordinator %+v", decErr, m.Coordinator)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v (output: %s)", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sortc did not drain")
+	}
+}
+
 // TestSortcRejectsBadFlags locks the flag validation: no backends and
 // an unknown policy both abort startup.
 func TestSortcRejectsBadFlags(t *testing.T) {

@@ -12,11 +12,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"wfsort/internal/wire"
 )
 
 // Header names shared with internal/server and internal/loadgen.
@@ -94,6 +97,40 @@ type metricsServerBody struct {
 	} `json:"server"`
 }
 
+// encodeShard builds one shard request body in the chosen codec. The
+// binary block carries the keys' sum/xor in its header, so a wire
+// backend gets the coordinator's ledger for free.
+func encodeShard(wireOn bool, keys []int64) ([]byte, string, error) {
+	if wireOn {
+		return wire.AppendBlock(nil, wire.KindRequest, keys), wire.ContentType, nil
+	}
+	body, err := json.Marshal(shardRequestBody{Keys: keys})
+	return body, "application/json", err
+}
+
+// decodeShard fills reply from a 200 body, keyed off the response
+// Content-Type rather than what was requested: the sorted keys and the
+// backend's sum/xor ledger land in the same fields either way (a wire
+// reply's ledger rides the block header). Decoding a binary reply also
+// verifies the header ledger against the payload — transport-level
+// corruption fails here, before the coordinator's own cross-check.
+func decodeShard(contentType string, body io.Reader, reply *ShardReply) error {
+	if wire.IsWire(contentType) {
+		sorted, h, err := wire.ReadBlock(body, wire.KindShardReply, 0)
+		if err != nil {
+			return fmt.Errorf("decoding shard reply: %w", err)
+		}
+		reply.Sorted, reply.N, reply.Sum, reply.Xor = sorted, h.N, h.Sum, h.Xor
+		return nil
+	}
+	var out shardReplyBody
+	if err := json.NewDecoder(body).Decode(&out); err != nil {
+		return fmt.Errorf("decoding shard reply: %w", err)
+	}
+	reply.Sorted, reply.N, reply.Sum, reply.Xor = out.Sorted, out.N, out.Sum, out.Xor
+	return nil
+}
+
 // HTTPBackend drives a live sortd instance over the network.
 type HTTPBackend struct {
 	// URL is the backend base ("http://host:port"); /shard, /healthz
@@ -103,6 +140,9 @@ type HTTPBackend struct {
 	// deadlines ride the request context, so the client's own Timeout
 	// should be generous or absent.
 	Client *http.Client
+	// Wire switches shard dispatch to the binary codec: requests go out
+	// as wire blocks and the backend answers in kind. Probes stay JSON.
+	Wire bool
 }
 
 func (b *HTTPBackend) Name() string { return b.URL }
@@ -115,7 +155,7 @@ func (b *HTTPBackend) client() *http.Client {
 }
 
 func (b *HTTPBackend) SortShard(ctx context.Context, sr ShardRequest) (*ShardReply, error) {
-	body, err := json.Marshal(shardRequestBody{Keys: sr.Keys})
+	body, contentType, err := encodeShard(b.Wire, sr.Keys)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +163,7 @@ func (b *HTTPBackend) SortShard(ctx context.Context, sr ShardRequest) (*ShardRep
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	req.Header.Set(ClassHeader, sr.Class)
 	req.Header.Set(TraceHeader, sr.TraceID)
 	resp, err := b.client().Do(req)
@@ -138,11 +178,9 @@ func (b *HTTPBackend) SortShard(ctx context.Context, sr ShardRequest) (*ShardRep
 	if resp.StatusCode != http.StatusOK {
 		return reply, nil
 	}
-	var out shardReplyBody
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("decoding shard reply: %w", err)
+	if err := decodeShard(resp.Header.Get("Content-Type"), resp.Body, reply); err != nil {
+		return nil, err
 	}
-	reply.Sorted, reply.N, reply.Sum, reply.Xor = out.Sorted, out.N, out.Sum, out.Xor
 	return reply, nil
 }
 
@@ -192,6 +230,9 @@ type HandlerBackend struct {
 	Handler http.Handler
 	// Label names the backend in stats and errors (default "handler").
 	Label string
+	// Wire switches shard dispatch to the binary codec, as on
+	// HTTPBackend — the gates compare codecs over this seam.
+	Wire bool
 }
 
 func (b *HandlerBackend) Name() string {
@@ -202,12 +243,12 @@ func (b *HandlerBackend) Name() string {
 }
 
 func (b *HandlerBackend) SortShard(ctx context.Context, sr ShardRequest) (*ShardReply, error) {
-	body, err := json.Marshal(shardRequestBody{Keys: sr.Keys})
+	body, contentType, err := encodeShard(b.Wire, sr.Keys)
 	if err != nil {
 		return nil, err
 	}
 	req := httptest.NewRequest(http.MethodPost, "/shard", bytes.NewReader(body)).WithContext(ctx)
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	req.Header.Set(ClassHeader, sr.Class)
 	req.Header.Set(TraceHeader, sr.TraceID)
 	rec := httptest.NewRecorder()
@@ -222,11 +263,9 @@ func (b *HandlerBackend) SortShard(ctx context.Context, sr ShardRequest) (*Shard
 	if rec.Code != http.StatusOK {
 		return reply, nil
 	}
-	var out shardReplyBody
-	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("decoding shard reply: %w", err)
+	if err := decodeShard(rec.Header().Get("Content-Type"), rec.Body, reply); err != nil {
+		return nil, err
 	}
-	reply.Sorted, reply.N, reply.Sum, reply.Xor = out.Sorted, out.N, out.Sum, out.Xor
 	return reply, nil
 }
 

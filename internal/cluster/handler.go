@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"wfsort/internal/qos"
+	"wfsort/internal/sizeclass"
 )
 
 // HandlerConfig sizes the coordinator's HTTP front end; zero values
@@ -22,9 +23,9 @@ import (
 type HandlerConfig struct {
 	// MaxInFlight bounds admitted requests; excess get 429 (default 64).
 	MaxInFlight int
-	// MaxKeys rejects larger requests with 413 (default 1<<22 — the
-	// coordinator exists to take sorts bigger than one backend's
-	// request limit).
+	// MaxKeys rejects larger requests with 413 (default
+	// sizeclass.DefaultCoordinatorMaxKeys — the coordinator exists to
+	// take sorts bigger than one backend's request limit).
 	MaxKeys int
 	// Timeout is the per-request deadline (default 60s), propagated to
 	// every shard dispatch.
@@ -35,9 +36,7 @@ func (hc *HandlerConfig) fill() {
 	if hc.MaxInFlight == 0 {
 		hc.MaxInFlight = 64
 	}
-	if hc.MaxKeys == 0 {
-		hc.MaxKeys = 1 << 22
-	}
+	hc.MaxKeys = sizeclass.Limit(hc.MaxKeys, sizeclass.DefaultCoordinatorMaxKeys)
 	if hc.Timeout == 0 {
 		hc.Timeout = 60 * time.Second
 	}
@@ -100,10 +99,9 @@ func (h *handler) handleSort(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
 		return
 	}
-	if len(req.Keys) > h.cfg.MaxKeys {
+	if ok, msg := sizeclass.CheckLimit(len(req.Keys), h.cfg.MaxKeys); !ok {
 		c.tooLarge.Add(1)
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("n=%d exceeds the %d-key limit", len(req.Keys), h.cfg.MaxKeys))
+		httpError(w, http.StatusRequestEntityTooLarge, msg)
 		return
 	}
 

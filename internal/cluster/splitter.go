@@ -9,6 +9,8 @@ package cluster
 import (
 	"math/rand"
 	"sort"
+
+	"wfsort/internal/merge"
 )
 
 // shardCount is how many shards n keys split into under a per-shard
@@ -75,67 +77,13 @@ func partition(keys []int64, split []int64) [][]int64 {
 	return shards
 }
 
-// kmerge merges sorted shards into one sorted slice of n keys with a
-// binary min-heap over the shard heads; ties break toward the lower
-// shard index, so a given partition has exactly one merge output —
-// the determinism the kill-leg's byte-identical gate rests on.
+// kmerge merges sorted shards into one sorted slice of n keys; ties
+// break toward the lower shard index, so a given partition has exactly
+// one merge output — the determinism the kill-leg's byte-identical
+// gate rests on. The heap itself lives in internal/merge, shared with
+// the streaming external sort's spill drain.
 func kmerge(shards [][]int64, n int) []int64 {
-	type head struct {
-		val   int64
-		shard int
-		pos   int
-	}
-	h := make([]head, 0, len(shards))
-	less := func(a, b head) bool {
-		return a.val < b.val || (a.val == b.val && a.shard < b.shard)
-	}
-	push := func(x head) {
-		h = append(h, x)
-		for i := len(h) - 1; i > 0; {
-			p := (i - 1) / 2
-			if !less(h[i], h[p]) {
-				break
-			}
-			h[i], h[p] = h[p], h[i]
-			i = p
-		}
-	}
-	siftDown := func() {
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			min := i
-			if l < len(h) && less(h[l], h[min]) {
-				min = l
-			}
-			if r < len(h) && less(h[r], h[min]) {
-				min = r
-			}
-			if min == i {
-				return
-			}
-			h[i], h[min] = h[min], h[i]
-			i = min
-		}
-	}
-	for si, s := range shards {
-		if len(s) > 0 {
-			push(head{val: s[0], shard: si, pos: 0})
-		}
-	}
-	out := make([]int64, 0, n)
-	for len(h) > 0 {
-		top := h[0]
-		out = append(out, top.val)
-		if top.pos+1 < len(shards[top.shard]) {
-			h[0] = head{val: shards[top.shard][top.pos+1], shard: top.shard, pos: top.pos + 1}
-		} else {
-			h[0] = h[len(h)-1]
-			h = h[:len(h)-1]
-		}
-		siftDown()
-	}
-	return out
+	return merge.Slices(shards, n)
 }
 
 // ledger is the sum/xor multiset aggregate shared with loadgen's

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"wfsort/internal/server"
+	"wfsort/internal/wire"
+)
+
+// newWireFleet is newFleet with the binary codec switched on: every
+// shard scatters as a wire block and every reply's ledger rides the
+// block header.
+func newWireFleet(t *testing.T, n int) []Transport {
+	t.Helper()
+	fleet := make([]Transport, n)
+	for i := 0; i < n; i++ {
+		srv, err := server.New(server.Config{Workers: 2, TraceOff: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+		fleet[i] = &HandlerBackend{Handler: srv.Handler(), Label: fmt.Sprintf("w%d", i), Wire: true}
+	}
+	return fleet
+}
+
+// TestClusterWireScatter is the binary end-to-end: a multi-shard sort
+// scattered and gathered entirely over the wire codec, with the same
+// order, ledger and accounting guarantees as the JSON path.
+func TestClusterWireScatter(t *testing.T) {
+	c, err := New(Config{Backends: newWireFleet(t, 3), ShardKeys: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys := randKeys(10_000, 51)
+	wantSum, wantXor := wire.Fold(keys)
+	out, err := c.Sort(context.Background(), "default", "t-wire", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, out, sortedRef(keys))
+	if gotSum, gotXor := wire.Fold(out); gotSum != wantSum || gotXor != wantXor {
+		t.Fatalf("output ledger (%d,%d), want (%d,%d)", gotSum, gotXor, wantSum, wantXor)
+	}
+	st := c.Stats()
+	if st.SortsOK != 1 || st.SortErrors != 0 || st.LedgerFailures != 0 || st.Redispatches != 0 {
+		t.Fatalf("binary scatter not clean: %+v", st)
+	}
+	if want := int64(shardCount(len(keys), 1024)); st.ShardsDispatched != want {
+		t.Fatalf("shards dispatched = %d, want %d", st.ShardsDispatched, want)
+	}
+}
+
+// TestClusterWireMixedFleet runs wire and JSON backends side by side
+// in one fleet: codec choice is per-backend, and the coordinator's
+// ledger cross-check holds regardless of which decoded the reply.
+func TestClusterWireMixedFleet(t *testing.T) {
+	fleet := append(newWireFleet(t, 2), newFleet(t, 2)...)
+	c, err := New(Config{Backends: fleet, ShardKeys: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for iter := 0; iter < 3; iter++ {
+		keys := randKeys(6_000, int64(60+iter))
+		out, err := c.Sort(context.Background(), "default", fmt.Sprintf("t-mixed-%d", iter), keys)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		assertSorted(t, out, sortedRef(keys))
+	}
+	st := c.Stats()
+	if st.LedgerFailures != 0 || st.SortErrors != 0 {
+		t.Fatalf("mixed-codec fleet not clean: %+v", st)
+	}
+	// Round-robin must have touched both codecs.
+	for i, b := range st.Backends {
+		if b.ShardsOK == 0 {
+			t.Fatalf("backend %d (%s) never served a shard", i, fleet[i].Name())
+		}
+	}
+}
+
+// keyTamperTransport swaps two distinct sorted keys for their sum and
+// zero — same sum, different xor — after transport decode, modeling a
+// backend that loses keys while keeping the reply well-formed. The
+// coordinator's own fold must catch it; the wire decode cannot, since
+// the tamper happens above the codec.
+type keyTamperTransport struct{ inner Transport }
+
+func (tt *keyTamperTransport) Name() string { return "tamper" }
+func (tt *keyTamperTransport) Probe(ctx context.Context) (Probe, error) {
+	return tt.inner.Probe(ctx)
+}
+func (tt *keyTamperTransport) SortShard(ctx context.Context, sr ShardRequest) (*ShardReply, error) {
+	r, err := tt.inner.SortShard(ctx, sr)
+	if r != nil && r.Status == 200 && len(r.Sorted) >= 2 {
+		a, b := r.Sorted[0], r.Sorted[1]
+		if a != b {
+			r.Sorted[0], r.Sorted[1] = 0, a+b
+			r.Sum, r.Xor = wire.Fold(r.Sorted)
+		}
+	}
+	return r, err
+}
+
+// TestClusterWireLedgerTamper certifies the gather-side cross-check
+// survives the codec migration: a tampered wire reply fails
+// verifyShardReply (the per-shard ledger/sortedness acceptance) and
+// the shard is redispatched to an honest backend.
+func TestClusterWireLedgerTamper(t *testing.T) {
+	fleet := newWireFleet(t, 3)
+	fleet[1] = &keyTamperTransport{inner: fleet[1]}
+	c, err := New(Config{Backends: fleet, ShardKeys: 1024, CoolDown: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys := randKeys(8_000, 77)
+	out, err := c.Sort(context.Background(), "default", "t-tamper", keys)
+	if err != nil {
+		t.Fatalf("sort did not route around the tamperer: %v", err)
+	}
+	assertSorted(t, out, sortedRef(keys))
+	st := c.Stats()
+	if st.Backends[1].ShardErrors == 0 || st.Redispatches == 0 {
+		t.Fatalf("tampered wire replies not rejected and redispatched: %+v", st)
+	}
+}

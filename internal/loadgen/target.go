@@ -5,8 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+
+	"wfsort/internal/wire"
 )
 
 // ClassHeader carries the request's traffic class to the server, which
@@ -54,6 +57,32 @@ type sortResponseBody struct {
 	Sorted []int64 `json:"sorted"`
 }
 
+// encodeSortBody builds one /sort request body in the chosen codec.
+func encodeSortBody(wireOn bool, keys []int64) ([]byte, string, error) {
+	if wireOn {
+		return wire.AppendBlock(nil, wire.KindRequest, keys), wire.ContentType, nil
+	}
+	body, err := json.Marshal(sortRequestBody{Keys: keys})
+	return body, "application/json", err
+}
+
+// decodeSortBody decodes a 200 /sort reply by its Content-Type, so a
+// wire-negotiated run and a JSON run share the rest of the engine.
+func decodeSortBody(contentType string, body io.Reader) ([]int64, error) {
+	if wire.IsWire(contentType) {
+		sorted, _, err := wire.ReadBlock(body, wire.KindReply, 0)
+		if err != nil {
+			return nil, fmt.Errorf("decoding response: %w", err)
+		}
+		return sorted, nil
+	}
+	var out sortResponseBody
+	if err := json.NewDecoder(body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return out.Sorted, nil
+}
+
 // StageSummary is one serving stage's latency summary as the server
 // attributes it (the "stages" block of /metrics).
 type StageSummary struct {
@@ -85,10 +114,13 @@ type HTTPTarget struct {
 	// a generous Timeout: the open-loop engine must never block on a
 	// slow response, and per-request deadlines belong to the server.
 	Client *http.Client
+	// Wire switches requests and replies to the binary codec, so load
+	// runs can measure the serving stack under either dialect.
+	Wire bool
 }
 
 func (t *HTTPTarget) Sort(ctx context.Context, class string, keys []int64) ([]int64, int, error) {
-	body, err := json.Marshal(sortRequestBody{Keys: keys})
+	body, contentType, err := encodeSortBody(t.Wire, keys)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -96,7 +128,7 @@ func (t *HTTPTarget) Sort(ctx context.Context, class string, keys []int64) ([]in
 	if err != nil {
 		return nil, 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	req.Header.Set(ClassHeader, class)
 	if id := TraceIDFrom(ctx); id != "" {
 		req.Header.Set(TraceHeader, id)
@@ -113,11 +145,11 @@ func (t *HTTPTarget) Sort(ctx context.Context, class string, keys []int64) ([]in
 	if resp.StatusCode != http.StatusOK {
 		return nil, resp.StatusCode, nil
 	}
-	var out sortResponseBody
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, resp.StatusCode, fmt.Errorf("decoding response: %w", err)
+	sorted, err := decodeSortBody(resp.Header.Get("Content-Type"), resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
 	}
-	return out.Sorted, resp.StatusCode, nil
+	return sorted, resp.StatusCode, nil
 }
 
 // Stages fetches the server's per-stage latency attribution from
@@ -147,15 +179,18 @@ func (t *HTTPTarget) Stages() (map[string]StageSummary, error) {
 // serving path cheap. internal/server's Handler() plugs in directly.
 type HandlerTarget struct {
 	Handler http.Handler
+	// Wire switches requests and replies to the binary codec, as on
+	// HTTPTarget.
+	Wire bool
 }
 
 func (t *HandlerTarget) Sort(ctx context.Context, class string, keys []int64) ([]int64, int, error) {
-	body, err := json.Marshal(sortRequestBody{Keys: keys})
+	body, contentType, err := encodeSortBody(t.Wire, keys)
 	if err != nil {
 		return nil, 0, err
 	}
 	req := httptest.NewRequest(http.MethodPost, "/sort", bytes.NewReader(body)).WithContext(ctx)
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	req.Header.Set(ClassHeader, class)
 	if id := TraceIDFrom(ctx); id != "" {
 		req.Header.Set(TraceHeader, id)
@@ -165,11 +200,11 @@ func (t *HandlerTarget) Sort(ctx context.Context, class string, keys []int64) ([
 	if rec.Code != http.StatusOK {
 		return nil, rec.Code, nil
 	}
-	var out sortResponseBody
-	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
-		return nil, rec.Code, fmt.Errorf("decoding response: %w", err)
+	sorted, err := decodeSortBody(rec.Header().Get("Content-Type"), rec.Body)
+	if err != nil {
+		return nil, rec.Code, err
 	}
-	return out.Sorted, rec.Code, nil
+	return sorted, rec.Code, nil
 }
 
 // FuncTarget adapts a plain function — typically a cluster

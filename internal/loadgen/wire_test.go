@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+
+	"wfsort/internal/wire"
+)
+
+// codecHandler is a minimal /sort handler speaking both dialects: it
+// records each request's Content-Type and answers in kind.
+func codecHandler(record func(contentType string)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ct := r.Header.Get("Content-Type")
+		record(ct)
+		var keys []int64
+		if wire.IsWire(ct) {
+			var err error
+			keys, _, err = wire.ReadBlock(r.Body, wire.KindRequest, 0)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			w.Header().Set("Content-Type", wire.ContentType)
+			wire.WriteBlock(w, wire.KindReply, keys)
+			return
+		}
+		var in sortRequestBody
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sort.Slice(in.Keys, func(i, j int) bool { return in.Keys[i] < in.Keys[j] })
+		json.NewEncoder(w).Encode(sortResponseBody{Sorted: in.Keys})
+	})
+}
+
+// TestHandlerTargetWire: with Wire on, the target sends binary blocks
+// and decodes binary replies; with it off, JSON both ways. The decode
+// keys off the reply's Content-Type, so either answer works.
+func TestHandlerTargetWire(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	h := codecHandler(func(ct string) {
+		mu.Lock()
+		seen = append(seen, ct)
+		mu.Unlock()
+	})
+	for _, wireOn := range []bool{true, false} {
+		target := &HandlerTarget{Handler: h, Wire: wireOn}
+		sorted, status, err := target.Sort(context.Background(), "c", []int64{9, -2, 5})
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("wire=%v: status %d err %v", wireOn, status, err)
+		}
+		if len(sorted) != 3 || sorted[0] != -2 || sorted[2] != 9 {
+			t.Fatalf("wire=%v: sorted = %v", wireOn, sorted)
+		}
+	}
+	if len(seen) != 2 || !wire.IsWire(seen[0]) || wire.IsWire(seen[1]) {
+		t.Fatalf("request content types %v: want [binary, json]", seen)
+	}
+}
+
+// TestHandlerTargetWireAgainstJSONServer: a Wire target talking to a
+// JSON-only server still decodes the reply — codec negotiation must
+// degrade, not break, when the far side ignores the binary dialect.
+func TestHandlerTargetWireAgainstJSONServer(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Ignores the request codec entirely and answers fixed JSON.
+		json.NewEncoder(w).Encode(sortResponseBody{Sorted: []int64{1, 2, 3}})
+	})
+	target := &HandlerTarget{Handler: h, Wire: true}
+	sorted, status, err := target.Sort(context.Background(), "c", []int64{3, 2, 1})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("status %d err %v", status, err)
+	}
+	if len(sorted) != 3 || sorted[0] != 1 {
+		t.Fatalf("sorted = %v", sorted)
+	}
+}

@@ -1,0 +1,171 @@
+// Package merge is the k-way merge shared by the cluster coordinator
+// (reassembling sorted shard replies) and the streaming external sort
+// (draining sorted spill chunks). Both consumers need the same two
+// guarantees: ties break toward the lower source index, so a given set
+// of sorted runs has exactly one merge output — the determinism the
+// cluster kill-leg's byte-identical gate and the stream's golden tests
+// rest on — and the streaming form touches only one buffered frame per
+// source at a time, so coordinator/stream memory is bounded by buffer
+// size, not input size.
+package merge
+
+import "io"
+
+// head is one heap entry: the current key of a source plus its index.
+type head struct {
+	val int64
+	src int
+}
+
+// heap is a binary min-heap of source heads ordered by (val, src).
+type heap []head
+
+func (h heap) less(a, b head) bool {
+	return a.val < b.val || (a.val == b.val && a.src < b.src)
+}
+
+func (h *heap) push(x head) {
+	*h = append(*h, x)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !s.less(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h heap) siftDown() {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h.less(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && h.less(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// Slices merges sorted runs into one sorted slice of n keys (n sizes
+// the output allocation; pass the total length). Ties break toward the
+// lower run index.
+func Slices(runs [][]int64, n int) []int64 {
+	pos := make([]int, len(runs))
+	var h heap
+	for si, s := range runs {
+		if len(s) > 0 {
+			h.push(head{val: s[0], src: si})
+		}
+	}
+	out := make([]int64, 0, n)
+	for len(h) > 0 {
+		top := h[0]
+		out = append(out, top.val)
+		pos[top.src]++
+		if p := pos[top.src]; p < len(runs[top.src]) {
+			h[0] = head{val: runs[top.src][p], src: top.src}
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		h.siftDown()
+	}
+	return out
+}
+
+// Source is one sorted run delivered incrementally: ReadKeys fills buf
+// with the next keys in order and returns io.EOF after the last one
+// (either alongside the final keys or on the following call).
+// wire.Reader satisfies it directly.
+type Source interface {
+	ReadKeys(buf []int64) (int, error)
+}
+
+// Streams merges sorted sources into dst, emitting output in frames of
+// at most bufKeys keys. Each source holds one bufKeys-sized frame in
+// memory at a time, so the merge runs in O(len(srcs)·bufKeys) space no
+// matter how long the runs are. Ties break toward the lower source
+// index, exactly as in Slices. A source that yields out-of-order keys
+// corrupts no invariant here — the output just reflects it — ledger
+// checks upstream own that detection.
+func Streams(dst func(keys []int64) error, srcs []Source, bufKeys int) error {
+	if bufKeys < 1 {
+		bufKeys = 1
+	}
+	type frame struct {
+		buf  []int64
+		pos  int
+		n    int
+		done bool
+	}
+	frames := make([]frame, len(srcs))
+	fill := func(i int) error {
+		f := &frames[i]
+		if f.done {
+			f.n, f.pos = 0, 0
+			return nil
+		}
+		n, err := srcs[i].ReadKeys(f.buf)
+		f.n, f.pos = n, 0
+		if err == io.EOF {
+			f.done = true
+			return nil
+		}
+		return err
+	}
+	var h heap
+	for i := range frames {
+		frames[i].buf = make([]int64, bufKeys)
+		for frames[i].n == 0 && !frames[i].done {
+			if err := fill(i); err != nil {
+				return err
+			}
+		}
+		if frames[i].n > 0 {
+			h.push(head{val: frames[i].buf[0], src: i})
+		}
+	}
+	out := make([]int64, 0, bufKeys)
+	flush := func() error {
+		if len(out) == 0 {
+			return nil
+		}
+		err := dst(out)
+		out = out[:0]
+		return err
+	}
+	for len(h) > 0 {
+		top := h[0]
+		out = append(out, top.val)
+		if len(out) == bufKeys {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		f := &frames[top.src]
+		f.pos++
+		for f.pos == f.n && !f.done {
+			if err := fill(top.src); err != nil {
+				return err
+			}
+		}
+		if f.pos < f.n {
+			h[0] = head{val: f.buf[f.pos], src: top.src}
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		h.siftDown()
+	}
+	return flush()
+}

@@ -1,0 +1,139 @@
+package merge
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortedRuns(rng *rand.Rand, k, maxLen int) ([][]int64, []int64) {
+	runs := make([][]int64, k)
+	var all []int64
+	for i := range runs {
+		n := rng.Intn(maxLen + 1)
+		run := make([]int64, n)
+		for j := range run {
+			run[j] = int64(rng.Intn(64) - 32) // narrow range forces ties
+		}
+		sort.Slice(run, func(a, b int) bool { return run[a] < run[b] })
+		runs[i] = run
+		all = append(all, run...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	return runs, all
+}
+
+func TestSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		runs, want := sortedRuns(rng, 1+rng.Intn(8), 50)
+		got := Slices(runs, len(want))
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d keys, want %d", iter, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: key %d = %d, want %d", iter, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSlicesTieBreakDeterminism(t *testing.T) {
+	runs := [][]int64{{5, 5, 5}, {5, 5}, {5}}
+	a := Slices(runs, 6)
+	b := Slices(runs, 6)
+	for i := range a {
+		if a[i] != b[i] || a[i] != 5 {
+			t.Fatal("tie merge not deterministic")
+		}
+	}
+}
+
+// sliceSource adapts a slice to Source, delivering in awkward
+// increments to stress frame refills.
+type sliceSource struct {
+	keys []int64
+	pos  int
+	step int
+}
+
+func (s *sliceSource) ReadKeys(buf []int64) (int, error) {
+	if s.pos >= len(s.keys) {
+		return 0, io.EOF
+	}
+	n := s.step
+	if n > len(buf) {
+		n = len(buf)
+	}
+	if n > len(s.keys)-s.pos {
+		n = len(s.keys) - s.pos
+	}
+	copy(buf, s.keys[s.pos:s.pos+n])
+	s.pos += n
+	if s.pos == len(s.keys) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func TestStreamsMatchesSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		runs, want := sortedRuns(rng, 1+rng.Intn(6), 80)
+		srcs := make([]Source, len(runs))
+		for i, r := range runs {
+			srcs[i] = &sliceSource{keys: r, step: 1 + rng.Intn(5)}
+		}
+		bufKeys := 1 + rng.Intn(17)
+		var got []int64
+		err := Streams(func(keys []int64) error {
+			got = append(got, keys...)
+			return nil
+		}, srcs, bufKeys)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		ref := Slices(runs, len(want))
+		if len(got) != len(ref) {
+			t.Fatalf("iter %d: %d keys, want %d", iter, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("iter %d: streams diverges from slices at %d", iter, i)
+			}
+		}
+	}
+}
+
+func TestStreamsEmptySources(t *testing.T) {
+	srcs := []Source{&sliceSource{step: 1}, &sliceSource{step: 1}}
+	calls := 0
+	if err := Streams(func([]int64) error { calls++; return nil }, srcs, 8); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("dst called %d times for empty merge", calls)
+	}
+}
+
+type failSource struct{}
+
+func (failSource) ReadKeys([]int64) (int, error) { return 0, io.ErrUnexpectedEOF }
+
+func TestStreamsPropagatesSourceError(t *testing.T) {
+	err := Streams(func([]int64) error { return nil }, []Source{failSource{}}, 4)
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestStreamsPropagatesDstError(t *testing.T) {
+	src := &sliceSource{keys: []int64{1, 2, 3}, step: 3}
+	want := io.ErrClosedPipe
+	err := Streams(func([]int64) error { return want }, []Source{src}, 2)
+	if err != want {
+		t.Fatalf("got %v", err)
+	}
+}

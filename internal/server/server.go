@@ -22,6 +22,7 @@ import (
 	"wfsort/internal/obs"
 	"wfsort/internal/qos"
 	"wfsort/internal/sizeclass"
+	"wfsort/internal/wire"
 )
 
 // kv is the element the service sorts: a key plus the batch slot its
@@ -108,9 +109,7 @@ func (c *Config) fill() {
 	if c.MaxInFlight == 0 {
 		c.MaxInFlight = 64
 	}
-	if c.MaxKeys == 0 {
-		c.MaxKeys = sizeclass.MaxClass
-	}
+	c.MaxKeys = sizeclass.Limit(c.MaxKeys, sizeclass.DefaultMaxKeys)
 	if c.BatchMaxKeys == 0 {
 		c.BatchMaxKeys = 256
 	}
@@ -174,7 +173,8 @@ type batchResult struct {
 type Server struct {
 	cfg     Config
 	pool    *wfsort.Pool
-	sorter  *wfsort.Sorter[kv]
+	sorter  *wfsort.KeyedSorter[kv]
+	direct  *wfsort.KeyedSorter[int64]
 	spans   *obs.SpanLog
 	classes *obs.ClassSet
 	plane   *qos.Plane          // nil unless cfg.QoS is set
@@ -234,7 +234,16 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	sorter, err := wfsort.NewSorterFunc[kv](func(a, b kv) bool { return a.k < b.k }, wfsort.WithPool(pool))
+	// Both sorters ride the keyed zero-copy path (stable, so the batch
+	// demux by slot still works) and share one pool: the batcher sorts
+	// kv pairs, the direct path sorts the request's keys in place with
+	// no boxing at all.
+	sorter, err := wfsort.NewKeyedSorter(func(e kv) uint64 { return wfsort.Int64Key(e.k) }, wfsort.WithPool(pool))
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	direct, err := wfsort.NewKeyedSorter(wfsort.Int64Key, wfsort.WithPool(pool))
 	if err != nil {
 		pool.Close()
 		return nil, err
@@ -243,6 +252,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		pool:    pool,
 		sorter:  sorter,
+		direct:  direct,
 		spans:   obs.NewSpanLog(cfg.SpanDepth),
 		classes: classes,
 		plane:   plane,
@@ -428,19 +438,37 @@ func (s *Server) serveSort(w http.ResponseWriter, r *http.Request, shard bool) {
 	defer func() { <-s.sem }()
 	sc.mark("sem")
 
+	// Codec negotiation: a wire Content-Type means a binary request
+	// body; the reply is binary when the request was, or when the
+	// client asked via Accept. JSON stays the default both ways.
+	wireReq := wire.IsWire(r.Header.Get("Content-Type"))
+	wireResp := wireReq || wire.IsWire(r.Header.Get("Accept"))
 	var req sortRequest
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(&req); err != nil {
+	if wireReq {
+		// The size limit is enforced from the 32-byte header, before any
+		// payload allocation — an absurd promised N never costs memory.
+		keys, _, err := wire.ReadBlock(r.Body, wire.KindRequest, s.cfg.MaxKeys)
+		if err != nil {
+			cc.Errors.Add(1)
+			if errors.Is(err, wire.ErrTooLarge) {
+				s.tooLarge.Add(1)
+				httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+				return
+			}
+			httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
+			return
+		}
+		req.Keys = keys
+	} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		cc.Errors.Add(1)
 		httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
 		return
 	}
 	n := len(req.Keys)
-	if n > s.cfg.MaxKeys {
+	if ok, msg := sizeclass.CheckLimit(n, s.cfg.MaxKeys); !ok {
 		s.tooLarge.Add(1)
 		cc.Errors.Add(1)
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("n=%d exceeds the %d-key limit", n, s.cfg.MaxKeys))
+		httpError(w, http.StatusRequestEntityTooLarge, msg)
 		return
 	}
 	sc.mark("decode")
@@ -555,16 +583,25 @@ func (s *Server) serveSort(w http.ResponseWriter, r *http.Request, shard bool) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
 	if shard {
 		s.shardOK.Add(1)
-		var sum, xor int64
-		for _, k := range sorted {
-			sum += k
-			xor ^= k
-		}
+	}
+	switch {
+	case wireResp && shard:
+		// The block header's sum/xor IS the backend ledger echo the
+		// coordinator cross-checks; no separate fields needed.
+		w.Header().Set("Content-Type", wire.ContentType)
+		wire.WriteBlock(w, wire.KindShardReply, sorted)
+	case wireResp:
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.Header().Set("X-Sort-Batched", strconv.FormatBool(span.Batched == 1))
+		wire.WriteBlock(w, wire.KindReply, sorted)
+	case shard:
+		w.Header().Set("Content-Type", "application/json")
+		sum, xor := wire.Fold(sorted)
 		json.NewEncoder(w).Encode(shardResponse{Sorted: sorted, N: n, Sum: sum, Xor: xor})
-	} else {
+	default:
+		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(sortResponse{Sorted: sorted, N: n, Batched: span.Batched == 1})
 	}
 	sc.mark("encode")
@@ -573,20 +610,15 @@ func (s *Server) serveSort(w http.ResponseWriter, r *http.Request, shard bool) {
 	cc.ObserveLatency(span.Duration.Nanoseconds())
 }
 
-// sortDirect runs one request as its own pooled sort.
+// sortDirect runs one request as its own pooled sort, in place on the
+// decoded key slice via the keyed zero-copy path: no kv boxing, no
+// output copy — the request buffer goes in unsorted and comes out
+// sorted (or untouched, when the sort is aborted).
 func (s *Server) sortDirect(ctx context.Context, keys []int64) ([]int64, error) {
-	elems := make([]kv, len(keys))
-	for i, k := range keys {
-		elems[i] = kv{k: k, r: 0}
-	}
-	if err := s.sorter.SortContext(ctx, elems); err != nil {
+	if err := s.direct.SortContext(ctx, keys); err != nil {
 		return nil, err
 	}
-	out := make([]int64, len(elems))
-	for i, e := range elems {
-		out[i] = e.k
-	}
-	return out, nil
+	return keys, nil
 }
 
 // sortBatched enqueues the request for the flusher and waits for its

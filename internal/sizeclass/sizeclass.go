@@ -8,6 +8,8 @@
 // rules and a unit test pins the class boundaries.
 package sizeclass
 
+import "fmt"
+
 const (
 	// MinClass is the smallest pooled arena capacity. Below it the
 	// fixed costs of a parallel sort dwarf the work, so tiny inputs
@@ -26,6 +28,19 @@ const (
 	// a tiny input up to MinClass exceeds the cost of just building a
 	// tiny arena.
 	FreshCutoff = 64
+
+	// DefaultMaxKeys is the default request size limit for a single
+	// sort backend (internal/server): one MaxClass arena. Requests
+	// above a surface's limit are rejected with 413 via CheckLimit, so
+	// every serving path — JSON, binary wire, /sort and /shard — shares
+	// one sizing rule instead of per-handler constants.
+	DefaultMaxKeys = MaxClass
+
+	// DefaultCoordinatorMaxKeys is the default request size limit for
+	// the cluster coordinator (internal/cluster): four backend arenas.
+	// The coordinator exists to take sorts bigger than one backend's
+	// limit, and expresses that headroom in the same MaxClass unit.
+	DefaultCoordinatorMaxKeys = 4 * MaxClass
 )
 
 // Classes returns every pooled capacity, ascending: powers of two from
@@ -52,6 +67,28 @@ func For(n int) (capacity int, ok bool) {
 		c *= 2
 	}
 	return c, true
+}
+
+// Limit resolves a configured request cap: the configured value when
+// positive, the surface's fallback otherwise. Serving configs call it
+// from fill() so "zero means the shared default" is one rule, not one
+// per handler.
+func Limit(configured, fallback int) int {
+	if configured > 0 {
+		return configured
+	}
+	return fallback
+}
+
+// CheckLimit reports whether a request of n keys fits the limit, and
+// when it does not, the canonical 413 message every surface returns
+// (and tests match against). internal/wire's ErrTooLarge detail uses
+// the same wording, so a binary rejection reads identically.
+func CheckLimit(n, limit int) (ok bool, msg string) {
+	if n <= limit {
+		return true, ""
+	}
+	return false, fmt.Sprintf("n=%d exceeds the %d-key limit", n, limit)
 }
 
 // Batch picks the work-claim granularity for the contention-sharded

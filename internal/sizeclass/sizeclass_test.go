@@ -65,3 +65,30 @@ func TestBatchBoundaries(t *testing.T) {
 		}
 	}
 }
+
+// TestLimitAndCheckLimit locks the one shared 413 rule: zero config
+// means the surface default, and every path emits the same message.
+func TestLimitAndCheckLimit(t *testing.T) {
+	if got := Limit(0, DefaultMaxKeys); got != DefaultMaxKeys {
+		t.Fatalf("Limit(0) = %d", got)
+	}
+	if got := Limit(-5, DefaultCoordinatorMaxKeys); got != DefaultCoordinatorMaxKeys {
+		t.Fatalf("Limit(-5) = %d", got)
+	}
+	if got := Limit(42, DefaultMaxKeys); got != 42 {
+		t.Fatalf("Limit(42) = %d", got)
+	}
+	if DefaultCoordinatorMaxKeys <= DefaultMaxKeys {
+		t.Fatal("coordinator default must exceed the backend default")
+	}
+	if ok, msg := CheckLimit(10, 10); !ok || msg != "" {
+		t.Fatalf("CheckLimit(10,10) = %v %q", ok, msg)
+	}
+	ok, msg := CheckLimit(11, 10)
+	if ok {
+		t.Fatal("CheckLimit(11,10) accepted")
+	}
+	if msg != "n=11 exceeds the 10-key limit" {
+		t.Fatalf("413 message drifted: %q", msg)
+	}
+}

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWire drives the decoder with arbitrary bytes and holds the codec
+// contract: decoding either succeeds with a payload whose re-encoding
+// ledger matches the header, or fails with a typed *Error wrapping one
+// of the sentinel kinds — and it NEVER panics or allocates payload
+// space for a key count the limit forbids. Round-trip seeds come from
+// the encoder, hostile seeds from the corpus under testdata/fuzz.
+func FuzzWire(f *testing.F) {
+	f.Add(AppendBlock(nil, KindRequest, []int64{3, 1, 2}), 0)
+	f.Add(AppendBlock(nil, KindReply, nil), 16)
+	f.Add(AppendBlock(nil, KindShardReply, []int64{-9, 9, 0, -9}), 4)
+	f.Add(AppendBlock(nil, KindChunk, []int64{1 << 62, -(1 << 62)}), 2)
+	f.Add([]byte("WFS1"), 0)
+	f.Add([]byte{}, 0)
+
+	f.Fuzz(func(t *testing.T, body []byte, maxKeys int) {
+		if maxKeys < 0 {
+			maxKeys = -maxKeys
+		}
+		// Cap the limit so a fuzz input can't legitimately ask us to
+		// allocate gigabytes; the absurd-N defense is what's under test.
+		if maxKeys == 0 || maxKeys > 1<<20 {
+			maxKeys = 1 << 20
+		}
+		keys, h, err := ReadBlock(bytes.NewReader(body), 0, maxKeys)
+		if err != nil {
+			var we *Error
+			if !errors.As(err, &we) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			sentinel := errors.Is(err, ErrMagic) || errors.Is(err, ErrVersion) ||
+				errors.Is(err, ErrKind) || errors.Is(err, ErrTooLarge) ||
+				errors.Is(err, ErrTruncated) || errors.Is(err, ErrLedger)
+			if !sentinel {
+				t.Fatalf("error %v wraps no sentinel", err)
+			}
+			return
+		}
+		// Success: the decode obeyed the limit, the ledger matches,
+		// and re-encoding reproduces the original block bytes.
+		if len(keys) != h.N || h.N > maxKeys {
+			t.Fatalf("decoded %d keys, header N=%d, limit %d", len(keys), h.N, maxKeys)
+		}
+		sum, xor := Fold(keys)
+		if sum != h.Sum || xor != h.Xor {
+			t.Fatalf("accepted block with ledger mismatch: fold (%d,%d) header (%d,%d)",
+				sum, xor, h.Sum, h.Xor)
+		}
+		re := AppendBlock(nil, h.Kind, keys)
+		if !bytes.Equal(re, body[:BlockLen(h.N)]) {
+			t.Fatal("re-encode does not reproduce the accepted block")
+		}
+		// The streaming reader agrees with the one-shot reader.
+		d := NewReader(bytes.NewReader(body))
+		if _, err := d.Header(maxKeys); err != nil {
+			t.Fatalf("streaming header disagrees: %v", err)
+		}
+		buf := make([]int64, 7)
+		var streamed int
+		for {
+			n, err := d.ReadKeys(buf)
+			for i := 0; i < n; i++ {
+				if buf[i] != keys[streamed+i] {
+					t.Fatalf("streaming key %d disagrees", streamed+i)
+				}
+			}
+			streamed += n
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("streaming read disagrees: %v", err)
+			}
+		}
+		if streamed != h.N {
+			t.Fatalf("streamed %d keys, want %d", streamed, h.N)
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testKeys(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(rng.Uint64())
+	}
+	return keys
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 4096, 4097, 100000} {
+		keys := testKeys(n, int64(n)+1)
+		var buf bytes.Buffer
+		if err := WriteBlock(&buf, KindRequest, keys); err != nil {
+			t.Fatalf("n=%d: WriteBlock: %v", n, err)
+		}
+		if buf.Len() != BlockLen(n) {
+			t.Fatalf("n=%d: encoded %d bytes, want %d", n, buf.Len(), BlockLen(n))
+		}
+		got, h, err := ReadBlock(&buf, KindRequest, 0)
+		if err != nil {
+			t.Fatalf("n=%d: ReadBlock: %v", n, err)
+		}
+		if h.Kind != KindRequest || h.N != n {
+			t.Fatalf("n=%d: header %+v", n, h)
+		}
+		sum, xor := Fold(keys)
+		if h.Sum != sum || h.Xor != xor {
+			t.Fatalf("n=%d: header ledger (%d,%d), want (%d,%d)", n, h.Sum, h.Xor, sum, xor)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d keys", n, len(got))
+		}
+		for i := range got {
+			if got[i] != keys[i] {
+				t.Fatalf("n=%d: key %d = %d, want %d", n, i, got[i], keys[i])
+			}
+		}
+	}
+}
+
+func TestAppendBlockMatchesWriteBlock(t *testing.T) {
+	keys := testKeys(777, 7)
+	var buf bytes.Buffer
+	if err := WriteBlock(&buf, KindShardReply, keys); err != nil {
+		t.Fatal(err)
+	}
+	app := AppendBlock(nil, KindShardReply, keys)
+	if !bytes.Equal(buf.Bytes(), app) {
+		t.Fatal("AppendBlock and WriteBlock disagree")
+	}
+}
+
+func TestStreamingReader(t *testing.T) {
+	keys := testKeys(10000, 99)
+	body := AppendBlock(nil, KindChunk, keys)
+	d := NewReader(bytes.NewReader(body))
+	h, err := d.Header(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != len(keys) || h.Kind != KindChunk {
+		t.Fatalf("header %+v", h)
+	}
+	// Re-calling Header is idempotent.
+	if h2, err := d.Header(0); err != nil || h2 != h {
+		t.Fatalf("second Header: %+v, %v", h2, err)
+	}
+	var got []int64
+	buf := make([]int64, 333) // deliberately not a divisor of N
+	for {
+		n, err := d.ReadKeys(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("streamed %d keys, want %d", len(got), len(keys))
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d mismatch", i)
+		}
+	}
+	// Further reads stay EOF.
+	if n, err := d.ReadKeys(buf); n != 0 || err != io.EOF {
+		t.Fatalf("post-EOF read: %d, %v", n, err)
+	}
+}
+
+func TestReadKeysBeforeHeader(t *testing.T) {
+	d := NewReader(bytes.NewReader(AppendBlock(nil, KindRequest, []int64{1})))
+	if _, err := d.ReadKeys(make([]int64, 1)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated", err)
+	}
+}
+
+func TestHostileInputs(t *testing.T) {
+	good := AppendBlock(nil, KindRequest, testKeys(64, 3))
+	cases := []struct {
+		name string
+		body []byte
+		max  int
+		want error
+	}{
+		{"empty", nil, 0, ErrTruncated},
+		{"short header", good[:HeaderLen-1], 0, ErrTruncated},
+		{"bad magic", append([]byte("NOPE"), good[4:]...), 0, ErrMagic},
+		{"bad version", mut(good, 4, 9), 0, ErrVersion},
+		{"reserved bits", mut(good, 6, 1), 0, ErrVersion},
+		{"kind zero", mut(good, 5, 0), 0, ErrKind},
+		{"kind high", mut(good, 5, 200), 0, ErrKind},
+		{"truncated payload", good[:HeaderLen+8*10], 0, ErrTruncated},
+		{"over caller limit", good, 63, ErrTooLarge},
+		{"absurd n", absurdN(), 0, ErrTooLarge},
+		{"ledger sum", mut(good, 16, good[16]+1), 0, ErrLedger},
+		{"ledger xor", mut(good, 24, good[24]^0xff), 0, ErrLedger},
+		{"flipped key", mut(good, HeaderLen+8, good[HeaderLen+8]^1), 0, ErrLedger},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := ReadBlock(bytes.NewReader(c.body), KindRequest, c.max)
+			if !errors.Is(err, c.want) {
+				t.Fatalf("got %v, want %v", err, c.want)
+			}
+			var we *Error
+			if !errors.As(err, &we) {
+				t.Fatalf("error %v is not a *wire.Error", err)
+			}
+		})
+	}
+}
+
+func mut(b []byte, i int, v byte) []byte {
+	out := append([]byte(nil), b...)
+	out[i] = v
+	return out
+}
+
+// absurdN is a header promising math.MaxUint64 keys with no payload:
+// the decoder must refuse before allocating anything.
+func absurdN() []byte {
+	b := AppendBlock(nil, KindRequest, nil)
+	binary.LittleEndian.PutUint64(b[8:16], math.MaxUint64)
+	return b
+}
+
+func TestWrongKind(t *testing.T) {
+	body := AppendBlock(nil, KindReply, []int64{1, 2, 3})
+	if _, _, err := ReadBlock(bytes.NewReader(body), KindRequest, 0); !errors.Is(err, ErrKind) {
+		t.Fatalf("got %v, want ErrKind", err)
+	}
+	// wantKind 0 accepts anything.
+	if _, _, err := ReadBlock(bytes.NewReader(body), 0, 0); err != nil {
+		t.Fatalf("any-kind read: %v", err)
+	}
+}
+
+func TestIsWire(t *testing.T) {
+	cases := map[string]bool{
+		ContentType:                      true,
+		ContentType + "; charset=utf-8":  true,
+		ContentType + " ; q=1":           true,
+		"application/json":               false,
+		"":                               false,
+		"application/x-wfsort-not-quite": false,
+	}
+	for ct, want := range cases {
+		if got := IsWire(ct); got != want {
+			t.Errorf("IsWire(%q) = %v, want %v", ct, got, want)
+		}
+	}
+}
+
+func TestLedgerOverflowWraps(t *testing.T) {
+	// Sum wraps int64; the ledger must still round-trip.
+	keys := []int64{math.MaxInt64, math.MaxInt64, 1, math.MinInt64}
+	body := AppendBlock(nil, KindRequest, keys)
+	got, _, err := ReadBlock(bytes.NewReader(body), KindRequest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("got %d keys", len(got))
+	}
+}
+
+func TestZeroKeyBlock(t *testing.T) {
+	body := AppendBlock(nil, KindReply, nil)
+	if len(body) != HeaderLen {
+		t.Fatalf("empty block is %d bytes", len(body))
+	}
+	got, h, err := ReadBlock(bytes.NewReader(body), KindReply, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 0 || len(got) != 0 {
+		t.Fatalf("h=%+v len=%d", h, len(got))
+	}
+	// A zero-key block with a nonzero claimed ledger is corrupt.
+	bad := mut(body, 16, 5)
+	if _, _, err := ReadBlock(bytes.NewReader(bad), KindReply, 0); !errors.Is(err, ErrLedger) {
+		t.Fatalf("got %v, want ErrLedger", err)
+	}
+}
+
+func BenchmarkWriteBlock(b *testing.B) {
+	keys := testKeys(1<<16, 1)
+	var buf bytes.Buffer
+	buf.Grow(BlockLen(len(keys)))
+	b.SetBytes(int64(BlockLen(len(keys))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteBlock(&buf, KindRequest, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBlock(b *testing.B) {
+	body := AppendBlock(nil, KindRequest, testKeys(1<<16, 1))
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadBlock(bytes.NewReader(body), KindRequest, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

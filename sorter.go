@@ -337,14 +337,30 @@ func (s *Sorter[E]) SortContext(ctx context.Context, data []E) error {
 		}
 	}
 
-	seq := s.p.seq.Add(1)
-	c := s.p.c
+	if err := s.p.runPooled(ctx, pc, n, idxLess); err != nil {
+		return err
+	}
+	applyPermutation(data, input, pc.Places[:n], s.p.c.workers)
+	return nil
+}
+
+// runPooled executes one sort job on the pool's machinery — pipelined
+// crew when configured, serial team otherwise — with the QoS envelope
+// and trace sink drawn from ctx, an abort watcher on ctx cancellation,
+// and rank validation. On success pc.Places[:n] holds each element's
+// 1-based rank. It is the shared core under Sorter (payload-copying,
+// comparator-ordered) and KeyedSorter (zero-copy, key-ordered): both
+// reduce their ordering to an idxLess over 1-based arena indices and
+// diverge only in how the permutation is applied afterwards.
+func (p *Pool) runPooled(ctx context.Context, pc *pool.Ctx, n int, idxLess func(i, j int) bool) error {
+	seq := p.seq.Add(1)
+	c := p.c
 	sink := sortTraceFrom(ctx)
 	var run sortRun
 	var pipeRun *native.PipeRun
 	var teamStart time.Time
-	if pl := s.p.borrowPipeline(); pl != nil {
-		defer s.p.releasePipeline()
+	if pl := p.borrowPipeline(); pl != nil {
+		defer p.releasePipeline()
 		// The request's QoS envelope rides the context; the queue policy
 		// schedules by it. EstCost defaults to the borrowed class
 		// capacity — the size the sort actually runs at.
@@ -363,8 +379,8 @@ func (s *Sorter[E]) SortContext(ctx context.Context, data []E) error {
 		})
 		run = pipeRun
 	} else {
-		team := s.p.getTeam()
-		defer s.p.putTeam(team)
+		team := p.getTeam()
+		defer p.putTeam(team)
 		teamStart = time.Now()
 		run = team.Start(native.TeamJob{
 			Prog:      pc.Runner.Program(),
@@ -418,7 +434,6 @@ func (s *Sorter[E]) SortContext(ctx context.Context, data []E) error {
 			return fmt.Errorf("wfsort: sort incomplete (element %d unranked)", i+1)
 		}
 	}
-	applyPermutation(data, input, places, c.workers)
 	return nil
 }
 
